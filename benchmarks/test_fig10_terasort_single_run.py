@@ -1,0 +1,25 @@
+"""Figure 10: Terasort, fast single run (conservative tuning) vs default.
+
+Paper shape: a single co-tuned run beats the default run outright --
+no prior test runs needed.
+"""
+
+from benchmarks.bench_common import emit, mean, run_once, seeds
+from repro.experiments.reporting import FigureReport
+from repro.experiments.single_run import run_single_run_case
+from repro.workloads.suite import case_by_name
+
+
+def test_fig10_terasort_single_run(benchmark):
+    def experiment():
+        return [
+            run_single_run_case(case_by_name("terasort"), seed) for seed in seeds()
+        ]
+
+    results = run_once(benchmark, experiment)
+    report = FigureReport("Fig 10", "Terasort, fast single run", ["Terasort"])
+    report.add_series("Default", [mean([r.default_time for r in results])])
+    report.add_series("MRONLINE", [mean([r.mronline_time for r in results])])
+    emit(report)
+
+    assert report.series["MRONLINE"][0] < report.series["Default"][0] * 0.97

@@ -1,0 +1,41 @@
+"""Figure 11: Wikipedia apps, fast single run (conservative) vs default.
+
+Paper shape: 8% (word count) to ~19% improvement, every app positive.
+"""
+
+from benchmarks.bench_common import emit, mean, run_once, seeds
+from repro.experiments.reporting import FigureReport
+from repro.experiments.single_run import run_single_run_case
+from repro.workloads.suite import case_by_name
+
+APPS = [
+    ("bigram-wikipedia", "Bigram"),
+    ("inverted-index-wikipedia", "InvertedIndex"),
+    ("wordcount-wikipedia", "WC"),
+    ("text-search-wikipedia", "TextSearch"),
+]
+
+
+def test_fig11_wikipedia_single_run(benchmark):
+    def experiment():
+        return {
+            name: [run_single_run_case(case_by_name(name), seed) for seed in seeds()]
+            for name, _label in APPS
+        }
+
+    results = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 11", "Wikipedia apps, fast single run", [label for _n, label in APPS]
+    )
+    report.add_series(
+        "Default",
+        [mean([r.default_time for r in results[name]]) for name, _l in APPS],
+    )
+    report.add_series(
+        "MRONLINE",
+        [mean([r.mronline_time for r in results[name]]) for name, _l in APPS],
+    )
+    emit(report)
+
+    improvements = report.improvement_over("Default", "MRONLINE")
+    assert all(imp > 0.0 for imp in improvements)

@@ -1,0 +1,44 @@
+"""Figure 13: effect of job size on tuning effectiveness.
+
+Terasort from 2 GB to 100 GB, reducers ~ maps/4.  Paper shape: tuning
+is marginal below ~10 GB (too few tasks to search with), becomes
+effective around 20 GB (~21%), and stays in the ~20% band at 60 and
+100 GB without further improvement.
+"""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.jobsize import PAPER_SIZES_GB, run_sweep
+from repro.experiments.reporting import FigureReport
+
+
+def test_fig13_job_size_sweep(benchmark):
+    def experiment():
+        return [run_sweep(seed, PAPER_SIZES_GB, PAPER_HILL_CLIMB) for seed in seeds()]
+
+    per_seed = run_once(benchmark, experiment)
+    labels = [f"{int(s)}GB" for s in PAPER_SIZES_GB]
+    report = FigureReport("Fig 13", "Terasort execution time vs job size", labels)
+    report.add_series(
+        "Default",
+        [
+            mean([run[i].default_time for run in per_seed])
+            for i in range(len(PAPER_SIZES_GB))
+        ],
+    )
+    report.add_series(
+        "MRONLINE",
+        [
+            mean([run[i].mronline_time for run in per_seed])
+            for i in range(len(PAPER_SIZES_GB))
+        ],
+    )
+    emit(report)
+
+    improvements = report.improvement_over("Default", "MRONLINE")
+    small = {label: imp for label, imp in zip(labels, improvements)}
+    # Crossover: small jobs barely improve, large jobs improve clearly.
+    assert small["2GB"] < 0.12
+    large_gain = mean([small["20GB"], small["60GB"], small["100GB"]])
+    small_gain = mean([small["2GB"], small["6GB"]])
+    assert large_gain > small_gain
+    assert large_gain > 0.10

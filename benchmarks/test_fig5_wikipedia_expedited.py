@@ -1,0 +1,52 @@
+"""Figure 5: Wikipedia applications, expedited test-runs use case.
+
+Bigram / inverted index / word count / text search on the Wikipedia
+data set: default vs offline guide vs MRONLINE.  Paper shape: MRONLINE
+improves over default by 25/11/14/19% respectively and tracks offline
+tuning closely.
+"""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.expedited import run_expedited_case
+from repro.experiments.reporting import FigureReport
+from repro.workloads.suite import case_by_name
+
+APPS = [
+    ("bigram-wikipedia", "Bigram"),
+    ("inverted-index-wikipedia", "InvertedIndex"),
+    ("wordcount-wikipedia", "WC"),
+    ("text-search-wikipedia", "TextSearch"),
+]
+
+
+def test_fig5_wikipedia_expedited(benchmark):
+    def experiment():
+        out = {}
+        for name, _label in APPS:
+            out[name] = [
+                run_expedited_case(case_by_name(name), seed, PAPER_HILL_CLIMB)
+                for seed in seeds()
+            ]
+        return out
+
+    results = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 5",
+        "Wikipedia apps execution time, expedited test runs",
+        [label for _n, label in APPS],
+    )
+    for series, attr in (
+        ("Default", "default_time"),
+        ("Offline Tuning", "offline_time"),
+        ("MRONLINE", "mronline_time"),
+    ):
+        report.add_series(
+            series,
+            [mean([getattr(r, attr) for r in results[name]]) for name, _l in APPS],
+        )
+    emit(report)
+
+    improvements = report.improvement_over("Default", "MRONLINE")
+    # Paper band: 11-25% improvement across the four apps.
+    assert all(imp > 0.0 for imp in improvements)
+    assert max(improvements) > 0.10

@@ -1,0 +1,54 @@
+"""Figure 6: Freebase applications, expedited test-runs use case.
+
+Paper shape: MRONLINE improves over default by 30/18/20/25% for
+bigram / inverted index / word count / text search.
+"""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.expedited import run_expedited_case
+from repro.experiments.reporting import FigureReport
+from repro.workloads.suite import case_by_name
+
+APPS = [
+    ("bigram-freebase", "Bigram"),
+    ("inverted-index-freebase", "InvertedIndex"),
+    ("wordcount-freebase", "WC"),
+    ("text-search-freebase", "TextSearch"),
+]
+
+
+def test_fig6_freebase_expedited(benchmark):
+    def experiment():
+        return {
+            name: [
+                run_expedited_case(case_by_name(name), seed, PAPER_HILL_CLIMB)
+                for seed in seeds()
+            ]
+            for name, _label in APPS
+        }
+
+    results = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 6",
+        "Freebase apps execution time, expedited test runs",
+        [label for _n, label in APPS],
+    )
+    for series, attr in (
+        ("Default", "default_time"),
+        ("Offline Tuning", "offline_time"),
+        ("MRONLINE", "mronline_time"),
+    ):
+        report.add_series(
+            series,
+            [mean([getattr(r, attr) for r in results[name]]) for name, _l in APPS],
+        )
+    emit(report)
+
+    improvements = report.improvement_over("Default", "MRONLINE")
+    # Word count on Freebase is the one app whose default is already
+    # near-optimal under this substrate (its combiner crushes the spill
+    # *bytes* even when the spill *records* double), so individual apps
+    # are allowed a noise-level regression; the suite must clearly win.
+    assert all(imp > -0.05 for imp in improvements)
+    assert mean(improvements) > 0.08
+    assert max(improvements) > 0.15

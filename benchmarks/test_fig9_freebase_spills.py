@@ -1,0 +1,50 @@
+"""Figure 9: Freebase applications' map spill records, expedited case."""
+
+from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
+from repro.experiments.expedited import run_expedited_case
+from repro.experiments.reporting import FigureReport
+from repro.workloads.suite import case_by_name
+
+APPS = [
+    ("bigram-freebase", "Bigram"),
+    ("inverted-index-freebase", "InvertedIndex"),
+    ("wordcount-freebase", "WC"),
+    ("text-search-freebase", "TextSearch"),
+]
+
+
+def test_fig9_freebase_spills(benchmark):
+    def experiment():
+        return {
+            name: [
+                run_expedited_case(case_by_name(name), seed, PAPER_HILL_CLIMB)
+                for seed in seeds()
+            ]
+            for name, _label in APPS
+        }
+
+    results = run_once(benchmark, experiment)
+    report = FigureReport(
+        "Fig 9",
+        "Freebase apps map spill records (1e9)",
+        [label for _n, label in APPS],
+        unit="1e9 records",
+    )
+    for series, attr in (
+        ("Optimal", "optimal_spills"),
+        ("Default", "default_spills"),
+        ("Offline Tuning", "offline_spills"),
+        ("MRONLINE", "mronline_spills"),
+    ):
+        report.add_series(
+            series,
+            [
+                mean([getattr(r, attr) for r in results[name]]) / 1e9
+                for name, _l in APPS
+            ],
+        )
+    emit(report)
+
+    for idx in range(len(APPS)):
+        assert report.series["MRONLINE"][idx] <= report.series["Default"][idx] * 1.01
+        assert report.series["MRONLINE"][idx] <= report.series["Optimal"][idx] * 1.15

@@ -1,0 +1,74 @@
+"""Table 3: benchmark characteristics (input/shuffle/output, task counts).
+
+Prints every row of Table 3 as modelled (analytic dataflow
+expectations), then validates one representative row end-to-end by
+actually running the job and comparing its counters.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_common import BASE_SEED, emit, run_once
+from repro.experiments.harness import SimCluster
+from repro.experiments.reporting import FigureReport, format_table
+from repro.mapreduce.counters import Counter
+from repro.mapreduce.dataflow import JobDataflow
+from repro.workloads.suite import case_by_name, make_job_spec, table3_cases
+
+GB = 10**9
+
+
+def test_table3_characteristics(benchmark):
+    def build_table():
+        sc = SimCluster(seed=BASE_SEED, start_monitors=False)
+        rows = []
+        for case in table3_cases():
+            spec = make_job_spec(case, sc.hdfs)
+            df = JobDataflow(
+                spec, sc.hdfs.get(spec.input_path), rng=np.random.default_rng(0)
+            )
+            rows.append(
+                [
+                    case.name,
+                    f"{df.total_input_bytes / GB:.1f}",
+                    f"{df.expected_shuffle_bytes / GB:.2f}",
+                    f"{df.expected_output_bytes / GB:.2f}",
+                    df.num_maps,
+                    df.num_reducers,
+                    case.job_type.value,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build_table)
+    table = format_table(
+        ["Benchmark", "Input (GB)", "Shuffle (GB)", "Output (GB)", "#Map", "#Reduce", "Type"],
+        rows,
+    )
+    print("\n== Table 3: benchmark characteristics ==\n" + table)
+    from benchmarks.bench_common import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table3.txt").write_text(table + "\n")
+
+    # Shape assertions against the paper's row values.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["bigram-wikipedia"][4] == 676
+    assert by_name["terasort"][5] == 200
+    assert float(by_name["wordcount-wikipedia"][2]) == pytest.approx(30.3, rel=0.05)
+    assert float(by_name["bigram-freebase"][3]) == pytest.approx(77.8, rel=0.07)
+
+
+def test_table3_measured_counters_match_model(benchmark):
+    """Run word count end-to-end: measured counters vs the Table-3 row."""
+
+    def run():
+        sc = SimCluster(seed=BASE_SEED, start_monitors=False)
+        case = case_by_name("wordcount-wikipedia")
+        spec = make_job_spec(case, sc.hdfs)
+        return case, sc.run_job(spec)
+
+    case, result = run_once(benchmark, run)
+    shuffled = result.counters[Counter.SHUFFLED_BYTES]
+    assert shuffled == pytest.approx(case.expected_shuffle_bytes, rel=0.08)
+    assert len(result.task_stats) >= case.num_maps

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""What-if tuning of category-1 parameters (reducer count, slowstart).
+
+The online tuner cannot touch parameters that are fixed at job launch
+(Section 2.2); the paper defers those to simulation tools.  Because
+this reproduction's substrate *is* a simulator, the
+:class:`CategoryOneAdvisor` closes that loop: it replays the job under
+candidate reducer counts and slowstart values and recommends the best,
+optionally on top of the configuration the online tuner found.
+
+Run:  python examples/whatif_category1.py
+"""
+
+from repro.core.whatif import CategoryOneAdvisor, default_candidates
+from repro.workloads.datasets import teragen_dataset
+from repro.workloads.terasort import terasort_profile
+
+
+def main() -> None:
+    dataset = teragen_dataset(20.0)
+    profile = terasort_profile()
+    advisor = CategoryOneAdvisor(seed=1)
+    candidates = default_candidates(dataset.num_blocks)
+
+    print(f"what-if analysis: Terasort {dataset.size_gb:.0f} GiB, "
+          f"{dataset.num_blocks} maps, {len(candidates)} candidates\n")
+    advice = advisor.advise(profile, dataset, candidates=candidates)
+
+    print(f"{'reducers':>9s} {'slowstart':>10s} {'predicted':>11s}")
+    for outcome in sorted(
+        advice.evaluations, key=lambda e: (e.candidate.num_reducers, e.candidate.slowstart)
+    ):
+        marker = "  <== best" if outcome.candidate == advice.best else ""
+        print(
+            f"{outcome.candidate.num_reducers:9d} "
+            f"{outcome.candidate.slowstart:10.2f} "
+            f"{outcome.predicted_duration:10.1f}s{marker}"
+        )
+    print(
+        f"\nrecommendation: {advice.best.num_reducers} reducers, "
+        f"slowstart {advice.best.slowstart}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without network access.
+
+The offline test environment lacks the ``wheel`` package, so PEP-517
+editable installs fail; this shim lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

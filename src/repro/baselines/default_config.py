@@ -1,0 +1,15 @@
+"""The default YARN configuration (Table 2's "Default Value" column)."""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+
+
+def default_configuration() -> Configuration:
+    """Stock YARN defaults: exactly the paper's comparison baseline.
+
+    :class:`~repro.core.configuration.Configuration` already fills every
+    parameter with its Table-2 default; this function exists so that
+    experiment code names its baseline explicitly.
+    """
+    return Configuration()

@@ -1,0 +1,67 @@
+"""The offline tuning-guide baseline.
+
+Models what an administrator produces after profiling test runs with a
+vendor guide (the paper uses Cloudera's "Optimizing MapReduce job
+performance" [2]): a single static configuration per job, derived from
+the job's *known* aggregate characteristics.  The guide's standard
+recommendations:
+
+* size ``io.sort.mb`` to hold the average map output (plus headroom),
+  and the map container to hold the buffer plus the JVM;
+* set a high spill threshold so in-memory sorts don't trigger writes;
+* size the reduce heap so the average partition fits in the shuffle
+  buffer; keep merged segments in memory through the reduce phase;
+* scale ``parallelcopies`` with cluster size; raise ``io.sort.factor``
+  for jobs with many spills.
+
+Unlike MRONLINE this requires up-front knowledge of the job's data
+volumes (which the admin gets from profiling runs -- the very test runs
+the paper wants to eliminate), applies one configuration to every task,
+and cannot react to runtime conditions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import parameters as P
+from repro.core.configuration import HEAP_FRACTION, Configuration, enforce_dependencies
+from repro.workloads.suite import BenchmarkCase
+
+MB = 1024 * 1024
+
+
+def offline_guide_config(case: BenchmarkCase, num_nodes: int = 18) -> Configuration:
+    """Derive the guide's static configuration for one benchmark case."""
+    profile = case.profile
+    avg_split = case.dataset.block_size
+
+    # --- map side -----------------------------------------------------
+    map_output_mb = avg_split * profile.map_output_ratio / MB
+    sort_mb = max(100, math.ceil(map_output_mb * 1.2 / 10) * 10)
+    # Container: buffer + typical user code (the guide budgets ~0.5 GB).
+    map_mb = math.ceil((sort_mb + 512) / HEAP_FRACTION / 64) * 64
+
+    # --- reduce side ----------------------------------------------------
+    shuffle_per_reducer_mb = case.expected_shuffle_bytes / case.num_reducers / MB
+    reduce_heap_mb = shuffle_per_reducer_mb / 0.7 + 512
+    reduce_mb = math.ceil(reduce_heap_mb / HEAP_FRACTION / 64) * 64
+
+    config = Configuration(
+        {
+            P.MAP_MEMORY_MB: map_mb,
+            P.REDUCE_MEMORY_MB: reduce_mb,
+            P.IO_SORT_MB: sort_mb,
+            P.SORT_SPILL_PERCENT: 0.95,
+            P.SHUFFLE_INPUT_BUFFER_PERCENT: 0.7,
+            P.SHUFFLE_MERGE_PERCENT: 0.66,
+            P.SHUFFLE_MEMORY_LIMIT_PERCENT: 0.25,
+            P.MERGE_INMEM_THRESHOLD: 0,
+            P.REDUCE_INPUT_BUFFER_PERCENT: 0.7,
+            P.MAP_CPU_VCORES: 1,
+            P.REDUCE_CPU_VCORES: 1,
+            P.IO_SORT_FACTOR: 64,
+            P.SHUFFLE_PARALLELCOPIES: max(5, num_nodes),
+        }
+    )
+    return enforce_dependencies(config)

@@ -1,0 +1,272 @@
+"""A Starfish-style cost-based offline optimizer.
+
+Starfish [15] (Herodotou et al., CIDR'11) profiles one job run, then
+uses an analytic *what-if engine* to predict the execution time of
+candidate configurations and a cost-based optimizer to pick one -- no
+further test runs.  The paper contrasts MRONLINE with it: "the
+effectiveness of this approach depends on the accuracy of the what-if
+engine".
+
+This baseline reproduces that architecture honestly:
+
+* :class:`JobProfile` -- the measurements a profiling run yields
+  (volumes, per-phase rates), taken from real task statistics;
+* :class:`AnalyticWhatIfEngine` -- closed-form per-phase time
+  estimates driven by the same Table-2 parameters, but **without** the
+  simulator's contention effects (that is precisely the fidelity gap
+  the paper exploits);
+* :class:`CostBasedOptimizer` -- recursive random search over the
+  what-if estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import parameters as P
+from repro.core.configuration import HEAP_FRACTION, Configuration, enforce_dependencies
+from repro.core.parameters import PARAMETER_SPACE, ParameterSpace
+from repro.mapreduce.jobspec import TaskType
+from repro.mapreduce.sortspill import plan_map_spills, plan_reduce_merge
+from repro.yarn.app_master import JobResult
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """What one profiling run measures (Starfish's "job profile")."""
+
+    num_maps: int
+    num_reducers: int
+    map_input_bytes: float  # per map
+    map_output_bytes: float  # per map, pre-combiner
+    map_output_records: int  # per map
+    combiner_byte_ratio: float
+    combiner_record_ratio: float
+    has_combiner: bool
+    reduce_input_bytes: float  # per reducer
+    reduce_output_bytes: float  # per reducer
+    map_cpu_seconds: float  # per map
+    reduce_cpu_seconds: float  # per reducer
+    #: Profiled user-code working sets (Starfish profiles memory too;
+    #: without these the what-if engine recommends OOM-lethal buffers).
+    map_user_mem_bytes: float = 200 * 1024 * 1024
+    reduce_user_mem_bytes: float = 300 * 1024 * 1024
+    # Cluster constants the profiler reads from configuration.
+    nodes: int = 18
+    disk_read_bw: float = 110 * MB
+    disk_write_bw: float = 90 * MB
+    node_memory_bytes: float = 6 * 1024 * MB
+    node_vcores: int = 28
+    shuffle_stream_bw: float = 12 * MB
+
+    @classmethod
+    def from_result(cls, result: JobResult, nodes: int = 18) -> "JobProfile":
+        """Extract a profile from a (typically default-config) run."""
+        maps = [s for s in result.stats_of(TaskType.MAP) if not s.failed]
+        reds = [s for s in result.stats_of(TaskType.REDUCE) if not s.failed]
+        if not maps or not reds:
+            raise ValueError("profiling run must have successful map and reduce tasks")
+        map_out = float(np.mean([s.map_output_bytes for s in maps]))
+        combine_out = float(np.mean([s.combine_output_records for s in maps]))
+        map_records = float(np.mean([s.map_output_records for s in maps]))
+        has_combiner = combine_out > 0
+        ratio = combine_out / map_records if has_combiner and map_records else 1.0
+        base = 150 * MB  # container overhead outside the heap buffers
+        map_user = max(
+            s.working_set_bytes
+            - base
+            - min(float(s.config.get(P.IO_SORT_MB, 100)) * MB, s.map_output_bytes)
+            for s in maps
+        )
+        reduce_user = max(
+            s.working_set_bytes
+            - base
+            - min(
+                float(s.config.get(P.REDUCE_MEMORY_MB, 1024))
+                * MB
+                * HEAP_FRACTION
+                * float(s.config.get(P.SHUFFLE_INPUT_BUFFER_PERCENT, 0.7)),
+                s.shuffled_bytes,
+            )
+            for s in reds
+        )
+        return cls(
+            num_maps=len(maps),
+            num_reducers=len(reds),
+            map_input_bytes=128 * MB,
+            map_output_bytes=map_out,
+            map_output_records=int(map_records),
+            combiner_byte_ratio=ratio,
+            combiner_record_ratio=ratio,
+            has_combiner=has_combiner,
+            reduce_input_bytes=float(np.mean([s.shuffled_bytes for s in reds])),
+            reduce_output_bytes=float(np.mean([s.shuffled_bytes for s in reds])),
+            map_cpu_seconds=float(np.mean([s.cpu_seconds for s in maps])),
+            reduce_cpu_seconds=float(np.mean([s.cpu_seconds for s in reds])),
+            map_user_mem_bytes=max(0.0, map_user),
+            reduce_user_mem_bytes=max(0.0, reduce_user),
+            nodes=nodes,
+        )
+
+
+class AnalyticWhatIfEngine:
+    """Closed-form job-time prediction (no contention modelling)."""
+
+    def __init__(self, profile: JobProfile) -> None:
+        self.profile = profile
+
+    # -- per-task estimates ----------------------------------------------
+    def map_task_time(self, config: Configuration) -> float:
+        p = self.profile
+        # Infeasible: sort buffer + user code cannot fit the heap.
+        if p.map_user_mem_bytes + config.sort_buffer_bytes > config.map_heap_bytes:
+            return float("inf")
+        plan = plan_map_spills(
+            output_records=p.map_output_records,
+            output_bytes=p.map_output_bytes,
+            sort_buffer_bytes=config.sort_buffer_bytes,
+            spill_percent=float(config[P.SORT_SPILL_PERCENT]),
+            sort_factor=int(config[P.IO_SORT_FACTOR]),
+            has_combiner=p.has_combiner,
+            combiner_record_ratio=p.combiner_record_ratio,
+            combiner_byte_ratio=p.combiner_byte_ratio,
+        )
+        read = p.map_input_bytes / p.disk_read_bw
+        write = plan.total_disk_write_bytes / p.disk_write_bw
+        reread = plan.total_disk_read_bytes / p.disk_read_bw
+        return 1.5 + max(read, p.map_cpu_seconds) + write + reread
+
+    def reduce_task_time(self, config: Configuration) -> float:
+        p = self.profile
+        heap = config.reduce_heap_bytes
+        plan = plan_reduce_merge(
+            input_bytes=p.reduce_input_bytes,
+            input_records=max(1, int(p.reduce_input_bytes / 100)),
+            num_segments=p.num_maps,
+            heap_bytes=heap,
+            shuffle_input_buffer_percent=float(config[P.SHUFFLE_INPUT_BUFFER_PERCENT]),
+            shuffle_merge_percent=float(config[P.SHUFFLE_MERGE_PERCENT]),
+            shuffle_memory_limit_percent=float(config[P.SHUFFLE_MEMORY_LIMIT_PERCENT]),
+            merge_inmem_threshold=int(config[P.MERGE_INMEM_THRESHOLD]),
+            reduce_input_buffer_percent=float(config[P.REDUCE_INPUT_BUFFER_PERCENT]),
+            sort_factor=int(config[P.IO_SORT_FACTOR]),
+        )
+        # Infeasible: retained segments + user code exceed the heap.
+        if plan.retained_in_memory_bytes + p.reduce_user_mem_bytes > heap:
+            return float("inf")
+        copies = max(1, int(config[P.SHUFFLE_PARALLELCOPIES]))
+        shuffle = p.reduce_input_bytes / (copies * p.shuffle_stream_bw)
+        disk = (
+            plan.total_disk_write_bytes / p.disk_write_bw
+            + plan.total_disk_read_bytes / p.disk_read_bw
+        )
+        output = 2 * p.reduce_output_bytes / p.disk_write_bw  # local + replica
+        return 1.5 + shuffle + disk + max(p.reduce_cpu_seconds, 0.0) + output
+
+    # -- slot arithmetic ----------------------------------------------------
+    def _concurrent(self, memory_mb: float, vcores: float) -> int:
+        p = self.profile
+        per_node = min(
+            p.node_memory_bytes / (memory_mb * MB), p.node_vcores / max(1, vcores)
+        )
+        return max(1, int(per_node)) * p.nodes
+
+    def predict(self, config: Configuration) -> float:
+        """Predicted job execution time for *config*."""
+        p = self.profile
+        map_slots = self._concurrent(
+            float(config[P.MAP_MEMORY_MB]), float(config[P.MAP_CPU_VCORES])
+        )
+        reduce_slots = self._concurrent(
+            float(config[P.REDUCE_MEMORY_MB]), float(config[P.REDUCE_CPU_VCORES])
+        )
+        map_waves = math.ceil(p.num_maps / map_slots)
+        reduce_waves = math.ceil(p.num_reducers / reduce_slots)
+        map_phase = map_waves * self.map_task_time(config)
+        # The first reduce wave's shuffle overlaps the map phase.
+        reduce_phase = reduce_waves * self.reduce_task_time(config)
+        return map_phase + max(0.0, reduce_phase - 0.3 * map_phase)
+
+
+@dataclass
+class StarfishRecommendation:
+    config: Configuration
+    predicted_time: float
+    evaluations: int
+
+
+class CostBasedOptimizer:
+    """Recursive random search over the analytic what-if engine."""
+
+    def __init__(
+        self,
+        engine: AnalyticWhatIfEngine,
+        rng: np.random.Generator,
+        space: Optional[ParameterSpace] = None,
+        budget: int = 2000,
+    ) -> None:
+        self.engine = engine
+        self.rng = rng
+        self.space = space or PARAMETER_SPACE
+        self.budget = budget
+
+    def optimize(self) -> StarfishRecommendation:
+        """Global random sample, then shrink around the best point."""
+        dims = len(self.space)
+        best_point = None
+        best_time = float("inf")
+        evaluations = 0
+
+        def evaluate(point: np.ndarray) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            cfg = enforce_dependencies(Configuration(self.space.decode(point)))
+            return self.engine.predict(cfg)
+
+        # Phase 1: global scatter.
+        n_global = max(10, self.budget // 2)
+        for point in self.rng.random((n_global, dims)):
+            t = evaluate(point)
+            if t < best_time:
+                best_time, best_point = t, point
+        if best_point is None or not math.isfinite(best_time):
+            # Everything sampled was infeasible: restart from defaults.
+            best_point = self.space.default_point()
+            best_time = evaluate(best_point)
+        # Phase 2: recursive shrinking neighborhoods.
+        radius = 0.25
+        remaining = self.budget - n_global
+        per_round = max(5, remaining // 6)
+        while remaining > 0 and radius > 0.02:
+            lo = np.clip(best_point - radius, 0, 1)
+            hi = np.clip(best_point + radius, 0, 1)
+            improved = False
+            for point in lo + self.rng.random((min(per_round, remaining), dims)) * (hi - lo):
+                t = evaluate(point)
+                remaining -= 1
+                if t < best_time:
+                    best_time, best_point, improved = t, point, True
+            if not improved:
+                radius *= 0.5
+        config = enforce_dependencies(Configuration(self.space.decode(best_point)))
+        return StarfishRecommendation(config, best_time, evaluations)
+
+
+def starfish_tune(
+    profiling_result: JobResult,
+    rng: Optional[np.random.Generator] = None,
+    budget: int = 2000,
+) -> StarfishRecommendation:
+    """End-to-end Starfish flow: profile -> what-if -> optimize."""
+    profile = JobProfile.from_result(profiling_result)
+    engine = AnalyticWhatIfEngine(profile)
+    optimizer = CostBasedOptimizer(
+        engine, rng if rng is not None else np.random.default_rng(0), budget=budget
+    )
+    return optimizer.optimize()

@@ -1,0 +1,218 @@
+"""Command-line interface: reproduce the paper's experiments directly.
+
+Examples::
+
+    python -m repro table3
+    python -m repro expedited --case terasort --replicas 2
+    python -m repro single-run --case wordcount-wikipedia
+    python -m repro jobsize --sizes 2,20,60
+    python -m repro multitenant
+    python -m repro whatif --size-gb 20
+
+Each subcommand prints the same rows/series the corresponding paper
+figure plots.  ``--replicas`` controls seed averaging (the paper uses
+4 runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _mean(values: Sequence[float]) -> float:
+    return statistics.fmean(values)
+
+
+def _seeds(args) -> List[int]:
+    return [args.seed + i for i in range(args.replicas)]
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_table3(args) -> int:
+    from repro.experiments.harness import SimCluster
+    from repro.experiments.reporting import format_table
+    from repro.mapreduce.dataflow import JobDataflow
+    from repro.workloads.suite import make_job_spec, table3_cases
+
+    GB = 10**9
+    sc = SimCluster(seed=args.seed, start_monitors=False)
+    rows = []
+    for case in table3_cases():
+        spec = make_job_spec(case, sc.hdfs)
+        df = JobDataflow(spec, sc.hdfs.get(spec.input_path), rng=np.random.default_rng(0))
+        rows.append(
+            [
+                case.name,
+                f"{df.total_input_bytes / GB:.1f}",
+                f"{df.expected_shuffle_bytes / GB:.2f}",
+                f"{df.expected_output_bytes / GB:.2f}",
+                df.num_maps,
+                df.num_reducers,
+                case.job_type.value,
+            ]
+        )
+    print(
+        format_table(
+            ["Benchmark", "Input GB", "Shuffle GB", "Output GB", "#Map", "#Reduce", "Type"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_expedited(args) -> int:
+    from repro.experiments.expedited import run_expedited_case
+    from repro.workloads.suite import case_by_name
+
+    case = case_by_name(args.case)
+    results = [run_expedited_case(case, seed) for seed in _seeds(args)]
+    default = _mean([r.default_time for r in results])
+    offline = _mean([r.offline_time for r in results])
+    mronline = _mean([r.mronline_time for r in results])
+    print(f"case: {case.name}  ({len(results)} replicas)")
+    print(f"  default        : {default:8.1f} s")
+    print(f"  offline guide  : {offline:8.1f} s")
+    print(f"  MRONLINE       : {mronline:8.1f} s  ({100 * (default - mronline) / default:+.1f}%)")
+    print(f"  tuning run     : {_mean([r.tuning_run_time for r in results]):8.1f} s (one run)")
+    print(
+        f"  map spills     : optimal {_mean([r.optimal_spills for r in results]):,.0f}"
+        f" | default {_mean([r.default_spills for r in results]):,.0f}"
+        f" | MRONLINE {_mean([r.mronline_spills for r in results]):,.0f}"
+    )
+    return 0
+
+
+def cmd_single_run(args) -> int:
+    from repro.experiments.single_run import run_single_run_case
+    from repro.workloads.suite import case_by_name
+
+    case = case_by_name(args.case)
+    results = [run_single_run_case(case, seed) for seed in _seeds(args)]
+    default = _mean([r.default_time for r in results])
+    mronline = _mean([r.mronline_time for r in results])
+    print(f"case: {case.name}  ({len(results)} replicas)")
+    print(f"  default  : {default:8.1f} s")
+    print(f"  MRONLINE : {mronline:8.1f} s  ({100 * (default - mronline) / default:+.1f}%)")
+    return 0
+
+
+def cmd_jobsize(args) -> int:
+    from repro.experiments.jobsize import run_sweep
+
+    sizes = [float(s) for s in args.sizes.split(",")]
+    per_seed = [run_sweep(seed, sizes) for seed in _seeds(args)]
+    print(f"{'size':>7s} {'default':>9s} {'MRONLINE':>9s} {'gain':>7s}")
+    for i, size in enumerate(sizes):
+        d = _mean([run[i].default_time for run in per_seed])
+        t = _mean([run[i].mronline_time for run in per_seed])
+        print(f"{size:5.0f}GB {d:8.1f}s {t:8.1f}s {100 * (d - t) / d:+6.1f}%")
+    return 0
+
+
+def cmd_multitenant(args) -> int:
+    from repro.experiments.multitenant import ROLES, run_multitenant_experiment
+
+    outcomes = [run_multitenant_experiment(seed) for seed in _seeds(args)]
+    ts_d = _mean([d.terasort_time for d, _t in outcomes])
+    ts_t = _mean([t.terasort_time for _d, t in outcomes])
+    bbp_d = _mean([d.bbp_time for d, _t in outcomes])
+    bbp_t = _mean([t.bbp_time for _d, t in outcomes])
+    print(f"Terasort: {ts_d:7.1f} -> {ts_t:7.1f} s  ({100 * (ts_d - ts_t) / ts_d:+.1f}%)")
+    print(f"BBP     : {bbp_d:7.1f} -> {bbp_t:7.1f} s  ({100 * (bbp_d - bbp_t) / bbp_d:+.1f}%)")
+    print("\nmemory utilization (default -> MRONLINE):")
+    for role in ROLES:
+        d = _mean([o.utilization.memory[role] for o, _t in outcomes])
+        t = _mean([o.utilization.memory[role] for _d, o in outcomes])
+        print(f"  {role:11s} {100 * d:5.1f}% -> {100 * t:5.1f}%")
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    from repro.core.whatif import CategoryOneAdvisor, default_candidates
+    from repro.workloads.datasets import teragen_dataset
+    from repro.workloads.terasort import terasort_profile
+
+    dataset = teragen_dataset(args.size_gb)
+    advisor = CategoryOneAdvisor(seed=args.seed)
+    advice = advisor.advise(terasort_profile(), dataset)
+    for outcome in advice.evaluations:
+        marker = "  <== best" if outcome.candidate == advice.best else ""
+        print(
+            f"  reducers={outcome.candidate.num_reducers:4d} "
+            f"slowstart={outcome.candidate.slowstart:4.2f} "
+            f"-> {outcome.predicted_duration:8.1f} s{marker}"
+        )
+    return 0
+
+
+def cmd_list(args) -> int:
+    from repro.workloads.suite import table3_cases
+
+    print("benchmark cases (Table 3):")
+    for case in table3_cases():
+        print(f"  {case.name}")
+    print("\nsubcommands: table3, expedited, single-run, jobsize, multitenant, whatif")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce MRONLINE (HPDC'14) experiments on the simulated cluster.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base replica seed")
+    parser.add_argument(
+        "--replicas", type=int, default=1, help="seed replicas to average (paper: 4)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark cases and subcommands")
+    sub.add_parser("table3", help="print Table 3 (benchmark characteristics)")
+
+    p = sub.add_parser("expedited", help="Figures 4-9 protocol for one case")
+    p.add_argument("--case", default="terasort")
+
+    p = sub.add_parser("single-run", help="Figures 10-12 protocol for one case")
+    p.add_argument("--case", default="terasort")
+
+    p = sub.add_parser("jobsize", help="Figure 13 sweep")
+    p.add_argument("--sizes", default="2,6,10,20,60,100", help="comma-separated GB")
+
+    sub.add_parser("multitenant", help="Figures 14-16 protocol")
+
+    p = sub.add_parser("whatif", help="category-1 what-if advisor (Terasort)")
+    p.add_argument("--size-gb", type=float, default=20.0)
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "table3": cmd_table3,
+    "expedited": cmd_expedited,
+    "single-run": cmd_single_run,
+    "jobsize": cmd_jobsize,
+    "multitenant": cmd_multitenant,
+    "whatif": cmd_whatif,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

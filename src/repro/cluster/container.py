@@ -1,0 +1,51 @@
+"""YARN containers: the resource-scheduling unit.
+
+A container encapsulates a memory and vcore grant on a specific node.
+MRONLINE's task-level dynamic configuration hinges on YARN being able
+to hand out *different-sized* containers to different tasks; the
+:class:`Container` here carries exactly that variable grant.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+_container_ids = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    ALLOCATED = "allocated"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    RELEASED = "released"
+
+
+class Container:
+    """A memory/vcore grant on a node, owned by one application."""
+
+    __slots__ = ("container_id", "node", "memory_bytes", "vcores", "app_id", "state")
+
+    def __init__(self, node: "Node", memory_bytes: int, vcores: int, app_id: str) -> None:
+        self.container_id = next(_container_ids)
+        self.node = node
+        self.memory_bytes = memory_bytes
+        self.vcores = vcores
+        self.app_id = app_id
+        self.state = ContainerState.ALLOCATED
+
+    @property
+    def max_cores(self) -> float:
+        """Physical cores this container's vcore grant entitles it to."""
+        return self.vcores * self.node.resources.cores_per_vcore
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        mb = self.memory_bytes // (1024 * 1024)
+        return (
+            f"<Container #{self.container_id} {mb}MB/{self.vcores}vc "
+            f"on {self.node.hostname} [{self.state.value}]>"
+        )

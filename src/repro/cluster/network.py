@@ -1,0 +1,108 @@
+"""Cluster network: per-node NICs, rack uplinks, and a core switch.
+
+All transfers share one cluster-wide :class:`FlowScheduler`; a transfer
+from node A to node B traverses A's TX link and B's RX link, plus both
+racks' uplinks when it crosses racks.  Rates are max-min fair across
+everything in flight, so shuffle-heavy phases create exactly the kind
+of contention the paper's monitor observes as network hot spots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.resources import FlowScheduler, Link
+
+from repro.cluster.node import Node
+
+
+class Network:
+    """The cluster fabric connecting nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[Node],
+        rack_uplink_bw: Optional[float] = None,
+        oversubscription: float = 4.0,
+    ) -> None:
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.scheduler = FlowScheduler(sim, name="net")
+        self._tx: Dict[int, Link] = {}
+        self._rx: Dict[int, Link] = {}
+        racks = sorted({n.rack for n in self.nodes})
+        self._uplink: Dict[int, Link] = {}
+        for node in self.nodes:
+            bw = node.resources.nic_bw
+            self._tx[node.node_id] = Link(f"{node.hostname}.tx", bw)
+            self._rx[node.node_id] = Link(f"{node.hostname}.rx", bw)
+        for rack in racks:
+            members = [n for n in self.nodes if n.rack == rack]
+            if rack_uplink_bw is None:
+                # Typical top-of-rack oversubscription: aggregate NIC
+                # bandwidth divided by the oversubscription factor.
+                bw = sum(n.resources.nic_bw for n in members) / oversubscription
+            else:
+                bw = rack_uplink_bw
+            self._uplink[rack] = Link(f"rack{rack}.uplink", bw)
+        # Aggregate fabric capacity for scatter-style fetches (shuffle):
+        # sources are spread across the cluster, so the constraint is the
+        # sum of uplink capacities rather than any single path.
+        core_bw = max(sum(l.capacity for l in self._uplink.values()), 1.0)
+        self._core = Link("fabric.core", core_bw)
+
+    def transfer(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: float,
+        cap: Optional[float] = None,
+        label: str = "",
+    ) -> Event:
+        """Stream *nbytes* from *src* to *dst*; returns a completion event.
+
+        Node-local "transfers" bypass the fabric entirely (loopback) and
+        complete on the next calendar step, matching how Hadoop serves
+        node-local shuffle segments from the local filesystem.
+        """
+        if src.node_id == dst.node_id:
+            ev = self.sim.event()
+            ev.succeed(0.0)
+            return ev
+        links: List[Link] = [self._tx[src.node_id]]
+        if src.rack != dst.rack:
+            links.append(self._uplink[src.rack])
+            links.append(self._uplink[dst.rack])
+        links.append(self._rx[dst.node_id])
+        return self.scheduler.transfer(links, nbytes, cap=cap, label=label)
+
+    def fetch_into(
+        self,
+        dst: Node,
+        nbytes: float,
+        cap: Optional[float] = None,
+        extra_links: Sequence[Link] = (),
+        label: str = "",
+    ) -> Event:
+        """An aggregated many-sources-to-one fetch (shuffle rounds).
+
+        The flow is charged to the destination's RX link and the fabric
+        core (sources are spread out, so no single TX link binds); the
+        caller may thread extra links through, e.g. a per-reducer copier
+        link whose capacity encodes ``shuffle.parallelcopies``.
+        """
+        links: List[Link] = [self._core, self._rx[dst.node_id], *extra_links]
+        return self.scheduler.transfer(links, nbytes, cap=cap, label=label)
+
+    # -- monitoring -------------------------------------------------------
+    def rx_utilization(self, node: Node) -> float:
+        return self.scheduler.utilization(self._rx[node.node_id])
+
+    def tx_utilization(self, node: Node) -> float:
+        return self.scheduler.utilization(self._tx[node.node_id])
+
+    def uplink_utilization(self, rack: int) -> float:
+        return self.scheduler.utilization(self._uplink[rack])

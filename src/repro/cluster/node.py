@@ -1,0 +1,149 @@
+"""A cluster node: CPU, memory pool, and local disk.
+
+CPU is modelled as a :class:`~repro.sim.resources.FlowScheduler` with a
+single link whose capacity is ``physical_cores`` core-seconds per
+second; a compute flow's per-flow cap encodes how many cores the task
+may use (its container's vcore grant converted to physical cores,
+further capped by the task's inherent parallelism).  The disk is a
+second scheduler shared by reads and writes.
+
+Memory is bookkeeping only: containers reserve memory from the node's
+pool; the pool never oversubscribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event
+from repro.sim.resources import FlowScheduler, Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.container import Container
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class NodeResources:
+    """Static hardware description of a node."""
+
+    physical_cores: int = 8
+    #: Per-core compute throughput in "work units"/s.  Workloads express
+    #: their compute demand in the same units, so only ratios matter.
+    core_speed: float = 1.0
+    memory_bytes: int = 8 * GB
+    disk_read_bw: float = 110 * MB  # sequential read, bytes/s
+    disk_write_bw: float = 90 * MB  # sequential write, bytes/s
+    nic_bw: float = 117 * MB  # 1 Gbps full duplex, bytes/s each way
+
+    #: YARN-visible resources (the paper: 28 vcores / 6 GB per slave for
+    #: containers; the rest is reserved for DataNode + NodeManager).
+    yarn_vcores: int = 28
+    yarn_memory_bytes: int = 6 * GB
+
+    @property
+    def cores_per_vcore(self) -> float:
+        """Physical-core share represented by one YARN vcore."""
+        # The paper's nodes expose 32 vcores total (28 for containers + 4
+        # reserved) over 8 physical cores => 1 vcore = 1/4 core.
+        return self.physical_cores / 32.0
+
+
+class Node:
+    """A simulated slave node hosting containers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        rack: int,
+        resources: NodeResources,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.rack = rack
+        self.resources = resources
+        self.hostname = f"node{node_id:02d}"
+
+        self.cpu_link = Link(f"{self.hostname}.cpu", resources.physical_cores * resources.core_speed)
+        self.cpu = FlowScheduler(sim, name=f"{self.hostname}.cpu")
+        self.disk_read_link = Link(f"{self.hostname}.disk.rd", resources.disk_read_bw)
+        self.disk_write_link = Link(f"{self.hostname}.disk.wr", resources.disk_write_bw)
+        # One scheduler for the spindle: reads and writes contend, but the
+        # two links let us keep asymmetric sequential bandwidths.
+        self.disk = FlowScheduler(sim, name=f"{self.hostname}.disk")
+
+        # Memory pool for YARN containers.
+        self.yarn_memory_total = resources.yarn_memory_bytes
+        self.yarn_memory_used = 0
+        self.yarn_vcores_total = resources.yarn_vcores
+        self.yarn_vcores_used = 0
+
+        self.containers: Dict[int, "Container"] = {}
+
+    # ------------------------------------------------------------------
+    # Resource accounting (used by the YARN scheduler)
+    # ------------------------------------------------------------------
+    def can_fit(self, memory_bytes: int, vcores: int) -> bool:
+        return (
+            self.yarn_memory_used + memory_bytes <= self.yarn_memory_total
+            and self.yarn_vcores_used + vcores <= self.yarn_vcores_total
+        )
+
+    def reserve(self, memory_bytes: int, vcores: int) -> None:
+        if not self.can_fit(memory_bytes, vcores):
+            raise SimulationError(
+                f"{self.hostname}: cannot reserve {memory_bytes}B/{vcores}vc "
+                f"(used {self.yarn_memory_used}B/{self.yarn_vcores_used}vc of "
+                f"{self.yarn_memory_total}B/{self.yarn_vcores_total}vc)"
+            )
+        self.yarn_memory_used += memory_bytes
+        self.yarn_vcores_used += vcores
+
+    def release(self, memory_bytes: int, vcores: int) -> None:
+        self.yarn_memory_used -= memory_bytes
+        self.yarn_vcores_used -= vcores
+        if self.yarn_memory_used < 0 or self.yarn_vcores_used < 0:
+            raise SimulationError(f"{self.hostname}: resource over-release")
+
+    @property
+    def memory_headroom(self) -> int:
+        return self.yarn_memory_total - self.yarn_memory_used
+
+    @property
+    def vcore_headroom(self) -> int:
+        return self.yarn_vcores_total - self.yarn_vcores_used
+
+    # ------------------------------------------------------------------
+    # Hardware operations (called by task models)
+    # ------------------------------------------------------------------
+    def compute(self, work: float, max_cores: float, label: str = "") -> Event:
+        """Run *work* units of compute using up to *max_cores* cores."""
+        cap = max_cores * self.resources.core_speed
+        return self.cpu.transfer([self.cpu_link], work, cap=cap, label=label)
+
+    def disk_read(self, nbytes: float, label: str = "") -> Event:
+        return self.disk.transfer([self.disk_read_link], nbytes, label=label)
+
+    def disk_write(self, nbytes: float, label: str = "") -> Event:
+        return self.disk.transfer([self.disk_write_link], nbytes, label=label)
+
+    # ------------------------------------------------------------------
+    # Monitoring hooks
+    # ------------------------------------------------------------------
+    def cpu_utilization(self) -> float:
+        """Fraction of physical CPU capacity in use right now."""
+        return self.cpu.utilization(self.cpu_link)
+
+    def memory_utilization(self) -> float:
+        """Fraction of the YARN memory pool reserved by containers."""
+        if self.yarn_memory_total == 0:
+            return 0.0
+        return self.yarn_memory_used / self.yarn_memory_total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Node {self.hostname} rack={self.rack}>"

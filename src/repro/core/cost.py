@@ -1,0 +1,85 @@
+"""The Equation-1 cost function.
+
+    y = (1 - u_mem) + (1 - u_cpu) + n_spill / n_mapoutput + T / T_max
+
+Lower is better: the formula rewards configurations that keep memory
+and CPU busy, avoid spills, and finish fast relative to the slowest
+task seen.  Failed attempts (OOM) receive a large fixed penalty so the
+search steers away from infeasible regions -- the simulated analogue of
+"over-utilizing resources ... increasing task execution time".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.mapreduce.jobspec import TaskType
+from repro.monitor.statistics import TaskStats
+
+#: Cost assigned to a failed task attempt.  The worst feasible cost is
+#: ~4 (all four terms at 1); failures must dominate that.
+FAILURE_COST = 8.0
+
+
+def task_cost(stats: TaskStats, t_max: float) -> float:
+    """Equation 1 for one task, given the job's max task time so far."""
+    if stats.failed:
+        return FAILURE_COST
+    t_term = stats.duration / t_max if t_max > 0 else 1.0
+    return (
+        (1.0 - stats.memory_utilization)
+        + (1.0 - stats.cpu_utilization)
+        + min(4.0, stats.spill_ratio)
+        + min(1.5, t_term)
+    )
+
+
+class CostModel:
+    """Tracks per-task-type T_max and aggregates costs per sample key.
+
+    The tuner tags every launched task with the sample (configuration
+    point) it is evaluating; this model folds completed tasks back into
+    per-sample cost estimates, averaging when a sample was evaluated by
+    several tasks (which also tolerates measurement noise).
+    """
+
+    def __init__(self) -> None:
+        self._t_max: Dict[TaskType, float] = {
+            TaskType.MAP: 0.0,
+            TaskType.REDUCE: 0.0,
+        }
+        self._samples: Dict[object, List[float]] = defaultdict(list)
+
+    def observe(self, stats: TaskStats, sample_key: Optional[object] = None) -> float:
+        """Fold one completed task in; returns its Equation-1 cost."""
+        if not stats.failed:
+            if stats.duration > self._t_max[stats.task_type]:
+                self._t_max[stats.task_type] = stats.duration
+        cost = task_cost(stats, self._t_max[stats.task_type])
+        if sample_key is not None:
+            self._samples[sample_key].append(cost)
+        return cost
+
+    def t_max(self, task_type: TaskType) -> float:
+        return self._t_max[task_type]
+
+    def sample_cost(self, sample_key: object) -> Optional[float]:
+        costs = self._samples.get(sample_key)
+        if not costs:
+            return None
+        return sum(costs) / len(costs)
+
+    def evaluations(self, sample_key: object) -> int:
+        return len(self._samples.get(sample_key, ()))
+
+    def best_sample(self, keys: Iterable[object]) -> Optional[Tuple[object, float]]:
+        """The lowest-cost sample among *keys* that has observations."""
+        best: Optional[Tuple[object, float]] = None
+        for key in keys:
+            cost = self.sample_cost(key)
+            if cost is None:
+                continue
+            if best is None or cost < best[1]:
+                best = (key, cost)
+        return best

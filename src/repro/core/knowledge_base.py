@@ -1,0 +1,100 @@
+"""The tuning knowledge base: configurations learned across runs.
+
+Section 3: "the tuning rules can also be stored in a tuning knowledge
+base to be used across application runs".  Entries are keyed by
+workload name and an input-size bucket (optimal configurations depend
+on the data volume, Section 1); lookups can warm-start a later search
+or configure a job outright.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.core.configuration import Configuration
+
+
+def size_bucket(input_bytes: float) -> int:
+    """Bucket input sizes by powers of two of GB (1 GB granularity floor)."""
+    gb = max(1.0, input_bytes / 1024**3)
+    return int(round(math.log2(gb)))
+
+
+@dataclass
+class KnowledgeEntry:
+    workload: str
+    bucket: int
+    config: Dict[str, float]
+    cost: float
+    job_duration: float
+    runs: int = 1
+
+
+class TuningKnowledgeBase:
+    """A persistent map of (workload, size bucket) -> best known config."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, KnowledgeEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(
+        self,
+        workload: str,
+        input_bytes: float,
+        config: Configuration,
+        cost: float,
+        job_duration: float,
+    ) -> None:
+        """Store a tuning outcome, keeping the best per key."""
+        key = (workload, size_bucket(input_bytes))
+        existing = self._entries.get(key)
+        if existing is None or cost < existing.cost:
+            self._entries[key] = KnowledgeEntry(
+                workload, key[1], config.as_dict(), float(cost), float(job_duration)
+            )
+        else:
+            existing.runs += 1
+
+    def lookup(self, workload: str, input_bytes: float) -> Optional[Configuration]:
+        """Best known configuration for the workload at this scale.
+
+        Falls back to the nearest size bucket of the same workload (a
+        configuration tuned for 60 GB beats the default for 100 GB).
+        """
+        bucket = size_bucket(input_bytes)
+        exact = self._entries.get((workload, bucket))
+        if exact is not None:
+            return Configuration(exact.config)
+        candidates = [e for (w, _b), e in self._entries.items() if w == workload]
+        if not candidates:
+            return None
+        nearest = min(candidates, key=lambda e: abs(e.bucket - bucket))
+        return Configuration(nearest.config)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([asdict(e) for e in self._entries.values()], indent=2)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TuningKnowledgeBase":
+        kb = cls()
+        for item in json.loads(payload):
+            entry = KnowledgeEntry(**item)
+            kb._entries[(entry.workload, entry.bucket)] = entry
+        return kb
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "TuningKnowledgeBase":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

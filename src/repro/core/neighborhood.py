@@ -1,0 +1,89 @@
+"""Search-neighborhood geometry for the local phase of Algorithm 1.
+
+A neighborhood is an axis-aligned box around the current best point in
+the unit cube, intersected with the gray-box *bounds* that the tuning
+rules tighten as evidence accumulates (e.g. "increase the memory lower
+bound to the 80th percentile of sampled values", Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Initial edge length of a fresh neighborhood (fraction of the unit cube).
+INITIAL_SIZE = 0.5
+
+
+@dataclass
+class Bounds:
+    """Per-dimension sampling bounds in the unit cube, rule-adjustable."""
+
+    dims: int
+    lo: np.ndarray = field(init=False)
+    hi: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lo = np.zeros(self.dims)
+        self.hi = np.ones(self.dims)
+
+    def raise_lower(self, dim: int, value: float) -> None:
+        """Tighten the lower bound (never loosened back by rules)."""
+        self.lo[dim] = min(max(self.lo[dim], value), self.hi[dim])
+
+    def lower_upper(self, dim: int, value: float) -> None:
+        """Tighten the upper bound."""
+        self.hi[dim] = max(min(self.hi[dim], value), self.lo[dim])
+
+    def reset(self, dim: int) -> None:
+        self.lo[dim] = 0.0
+        self.hi[dim] = 1.0
+
+    def clip(self, point: np.ndarray) -> np.ndarray:
+        return np.clip(point, self.lo, self.hi)
+
+    def as_pairs(self) -> List[Tuple[float, float]]:
+        return list(zip(self.lo.tolist(), self.hi.tolist()))
+
+    def volume(self) -> float:
+        return float(np.prod(np.maximum(0.0, self.hi - self.lo)))
+
+
+@dataclass(frozen=True)
+class Neighborhood:
+    """An axis-aligned box of edge *size* centered at *center*."""
+
+    center: np.ndarray
+    size: float = INITIAL_SIZE
+
+    def shrink(self, factor: float) -> "Neighborhood":
+        """``shrink_neighbor``: same center, edge scaled by *factor* < 1."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"shrink factor {factor} outside (0, 1)")
+        return Neighborhood(self.center, self.size * factor)
+
+    def recenter(self, center: np.ndarray, size: float = INITIAL_SIZE) -> "Neighborhood":
+        """``adjust_neighbor``: move to the new best point, restore size."""
+        return Neighborhood(np.asarray(center, dtype=float), size)
+
+    def sampling_bounds(self, bounds: Bounds) -> List[Tuple[float, float]]:
+        """The box intersected with the gray-box bounds, per dimension.
+
+        If the rules have pushed a bound past the box on some dimension,
+        that dimension collapses to the nearest feasible sliver rather
+        than inverting.
+        """
+        half = self.size / 2.0
+        out: List[Tuple[float, float]] = []
+        for d in range(len(self.center)):
+            lo = max(bounds.lo[d], self.center[d] - half)
+            hi = min(bounds.hi[d], self.center[d] + half)
+            if lo > hi:
+                # The rule-tightened bounds exclude the box: sample at
+                # the feasible edge closest to the center.
+                edge = bounds.lo[d] if self.center[d] < bounds.lo[d] else bounds.hi[d]
+                lo = hi = edge
+            out.append((lo, hi))
+        return out

@@ -1,0 +1,30 @@
+"""Section-6 tuning rules.
+
+Rules are the *gray* in gray-box: they translate monitored statistics
+into (a) tighter sampling bounds for the aggressive hill climber and
+(b) direct parameter updates for the conservative single-run strategy.
+"""
+
+from repro.core.rules.base import RuleContext, TuningRule, default_rules
+from repro.core.rules.cpu import ParallelCopiesRule, SortFactorRule, VcoreRule
+from repro.core.rules.memory import (
+    ContainerMemoryRule,
+    OomBackoffRule,
+    ReduceBufferRule,
+    SortBufferRule,
+    SpillPercentRule,
+)
+
+__all__ = [
+    "ContainerMemoryRule",
+    "OomBackoffRule",
+    "ParallelCopiesRule",
+    "ReduceBufferRule",
+    "RuleContext",
+    "SortBufferRule",
+    "SortFactorRule",
+    "SpillPercentRule",
+    "TuningRule",
+    "VcoreRule",
+    "default_rules",
+]

@@ -1,0 +1,129 @@
+"""Rule plumbing: context, protocol, helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.neighborhood import Bounds
+from repro.core.parameters import ParameterSpace
+from repro.mapreduce.jobspec import TaskType, WorkloadProfile
+from repro.monitor.statistics import TaskStats
+
+MB = 1024 * 1024
+
+
+@dataclass
+class RuleContext:
+    """What a rule may look at when it fires.
+
+    ``window`` is the most recent wave of completed tasks of the type
+    being tuned; ``history`` is everything seen so far for that type.
+    Rules only read monitored statistics -- never simulator internals.
+    """
+
+    task_type: TaskType
+    space: ParameterSpace
+    bounds: Bounds
+    window: List[TaskStats]
+    history: List[TaskStats]
+    rng: np.random.Generator
+    #: Scratch space rules use to remember their own state across waves
+    #: (e.g. "did the last parallelcopies bump help?").
+    memo: Dict[str, object] = field(default_factory=dict)
+
+    # -- helpers ------------------------------------------------------------
+    def dim(self, name: str) -> Optional[int]:
+        """Index of *name* in the searched subspace, or None if absent."""
+        try:
+            return self.space.names.index(name)
+        except ValueError:
+            return None
+
+    def encode(self, name: str, value: float) -> float:
+        return self.space.spec(name).encode(value)
+
+    def sampled_values(self, name: str) -> List[float]:
+        """The values of *name* actually tried in the current window."""
+        return [float(s.config[name]) for s in self.window if name in s.config]
+
+    def ok_window(self) -> List[TaskStats]:
+        return [s for s in self.window if not s.failed]
+
+    def oom_failures(self) -> List[TaskStats]:
+        return [
+            s for s in self.window if s.failed and "OutOfMemory" in s.failure_reason
+        ]
+
+    def mean(self, values: Sequence[float]) -> float:
+        vals = list(values)
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def estimated_map_fixed_mem(self) -> float:
+        """Gray-box estimate of the map user code's working set (bytes).
+
+        A map container's reported resident set is approximately
+        ``base_overhead + touched_sort_buffer + user_code``, where the
+        touched buffer is bounded by the task's own map-output volume;
+        subtracting the two framework terms isolates the user code.
+        Used to keep the sort buffer from squeezing the map function out
+        of the heap.
+        """
+        from repro.core import parameters as P
+
+        base = 150 * MB  # JVM/code overhead, cf. task model constants
+        estimates = []
+        for s in self.history:
+            if s.failed or s.task_type is not TaskType.MAP:
+                continue
+            sort_buffer = float(s.config.get(P.IO_SORT_MB, 100)) * MB
+            touched = min(sort_buffer, s.map_output_bytes or sort_buffer)
+            estimates.append(max(0.0, s.working_set_bytes - base - touched))
+        return max(estimates) if estimates else 0.0
+
+
+class TuningRule:
+    """One Section-6 guideline.
+
+    ``adjust_bounds`` implements the aggressive-strategy behaviour
+    (narrow the hill climber's sampling region); ``conservative_update``
+    implements the fast-single-run behaviour (return direct parameter
+    changes to apply to future tasks).  Both return human-readable
+    descriptions of what they did, which the tuner logs.
+    """
+
+    name = "rule"
+
+    def adjust_bounds(self, ctx: RuleContext) -> List[str]:
+        return []
+
+    def conservative_update(
+        self, ctx: RuleContext, config: Configuration
+    ) -> Dict[str, float]:
+        return {}
+
+
+def default_rules() -> List[TuningRule]:
+    """The full Section-6 rule set, in application order."""
+    from repro.core.rules.cpu import ParallelCopiesRule, SortFactorRule, VcoreRule
+    from repro.core.rules.memory import (
+        ContainerMemoryRule,
+        OomBackoffRule,
+        ReduceBufferRule,
+        SortBufferRule,
+        SpillPercentRule,
+    )
+
+    return [
+        OomBackoffRule(),
+        ContainerMemoryRule(),
+        SortBufferRule(),
+        SpillPercentRule(),
+        ReduceBufferRule(),
+        VcoreRule(),
+        ParallelCopiesRule(),
+        SortFactorRule(),
+    ]

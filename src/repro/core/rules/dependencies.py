@@ -1,0 +1,44 @@
+"""Cross-parameter dependency handling as a rule.
+
+The actual clamps live in
+:func:`repro.core.configuration.enforce_dependencies` (the app master
+applies them to every task configuration); this module re-exports them
+in rule form so rule pipelines can list dependency enforcement
+explicitly, and provides a validation helper used by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.configuration import Configuration, enforce_dependencies, is_feasible
+from repro.core.rules.base import RuleContext, TuningRule
+
+
+class DependencyRule(TuningRule):
+    """Map any proposed configuration to the nearest feasible one."""
+
+    name = "dependencies"
+
+    def conservative_update(
+        self, ctx: RuleContext, config: Configuration
+    ) -> Dict[str, float]:
+        clamped = enforce_dependencies(config)
+        return {
+            name: value
+            for name, value in clamped.as_dict().items()
+            if value != config[name]
+        }
+
+
+def violations(config: Configuration) -> List[str]:
+    """Human-readable list of dependency violations in *config*."""
+    out: List[str] = []
+    clamped = enforce_dependencies(config)
+    for name, value in clamped.as_dict().items():
+        if value != config[name]:
+            out.append(f"{name}: {config[name]} -> {value}")
+    return out
+
+
+__all__ = ["DependencyRule", "enforce_dependencies", "is_feasible", "violations"]

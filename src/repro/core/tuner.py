@@ -1,0 +1,473 @@
+"""The online tuner: monitor -> tuner -> dynamic configurator loop.
+
+Two strategies (Section 2.3):
+
+* :attr:`TuningStrategy.AGGRESSIVE` -- expedited test runs.  A
+  :class:`GrayBoxHillClimber` per task type searches the map and reduce
+  parameter subspaces; each batch of sampled configurations is queued
+  at the dynamic configurator and a gate holds further task launches
+  until the wave's statistics are in.  Between waves the Section-6
+  rules tighten the sampling bounds (the gray box).
+* :attr:`TuningStrategy.CONSERVATIVE` -- fast single run.  Tasks start
+  with the job's defaults; every completed window of tasks drives the
+  rules directly, updating the job-level configuration for future tasks
+  and hot-swapping category-3 parameters into running ones.  Scheduling
+  is never delayed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import parameters as P
+from repro.core.configuration import Configuration, enforce_dependencies
+from repro.core.configurator import DynamicConfigurator
+from repro.core.cost import CostModel, task_cost
+from repro.core.hill_climbing import GrayBoxHillClimber, HillClimbSettings
+from repro.core.knowledge_base import TuningKnowledgeBase
+from repro.core.parameters import PARAMETER_SPACE
+from repro.core.rules.base import RuleContext, TuningRule, default_rules
+from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType
+from repro.monitor.statistics import TaskStats
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.yarn.app_master import LaunchGate, MRAppMaster
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.harness import SimCluster
+
+#: The map-side parameter subspace searched by the aggressive strategy.
+MAP_TUNABLE = [
+    P.MAP_MEMORY_MB,
+    P.IO_SORT_MB,
+    P.SORT_SPILL_PERCENT,
+    P.MAP_CPU_VCORES,
+    P.IO_SORT_FACTOR,
+]
+
+#: The reduce-side subspace.
+REDUCE_TUNABLE = [
+    P.REDUCE_MEMORY_MB,
+    P.SHUFFLE_INPUT_BUFFER_PERCENT,
+    P.SHUFFLE_MERGE_PERCENT,
+    P.SHUFFLE_MEMORY_LIMIT_PERCENT,
+    P.MERGE_INMEM_THRESHOLD,
+    P.REDUCE_INPUT_BUFFER_PERCENT,
+    P.REDUCE_CPU_VCORES,
+    P.SHUFFLE_PARALLELCOPIES,
+]
+
+
+class TuningStrategy(enum.Enum):
+    AGGRESSIVE = "aggressive"
+    CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class TunerSettings:
+    hill_climb: HillClimbSettings = field(default_factory=HillClimbSettings)
+    #: Conservative strategy: completed tasks per rule-update window.
+    conservative_window: int = 16
+    #: Warm-start searches from the knowledge base when possible.
+    use_knowledge_base: bool = True
+
+
+class _SearchState:
+    """Aggressive-strategy state for one task type of one job."""
+
+    def __init__(
+        self,
+        task_type: TaskType,
+        names: List[str],
+        rng: np.random.Generator,
+        settings: HillClimbSettings,
+        seed_config: Optional[Configuration],
+    ) -> None:
+        self.task_type = task_type
+        self.space = PARAMETER_SPACE.subspace(names)
+        seed_point = None
+        if seed_config is not None:
+            seed_point = self.space.encode(seed_config.as_dict())
+        self.climber = GrayBoxHillClimber(
+            self.space, rng, settings, seed_point=seed_point
+        )
+        self.bindings: Dict[str, int] = {}  # task id -> sample id
+        #: Completed (sample_id, stats) pairs of the in-flight batch.
+        self.result_buffer: List[Tuple[int, TaskStats]] = []
+        self.window: List[TaskStats] = []
+        self.history: List[TaskStats] = []
+        self.memo: Dict[str, object] = {}
+        self.slots = 0
+        self.admission_queue: List[Event] = []
+        self.wave = 0
+        self.rule_log: List[str] = []
+        self.search_done = False
+        #: Admission/report accounting, used to detect a starved batch
+        #: (all admitted tasks reported, yet samples remain unevaluated
+        #: because the job has too few tasks left -- Section 8.4's small
+        #: jobs, or the tail of any job).
+        self.admitted = 0
+        self.stats_seen = 0
+
+
+class _ConservativeState:
+    """Conservative-strategy window for one task type of one job."""
+
+    def __init__(self, task_type: TaskType) -> None:
+        self.task_type = task_type
+        self.window: List[TaskStats] = []
+        self.history: List[TaskStats] = []
+        self.memo: Dict[str, object] = {}
+        self.rule_log: List[str] = []
+
+
+class _TunerGate(LaunchGate):
+    """Wave gate driven by the tuner's open sample batches."""
+
+    def __init__(self, job: "_JobTuning") -> None:
+        self.job = job
+
+    def admit(self, task_type: TaskType, sim: Simulator) -> Event:
+        ev = sim.event()
+        state = self.job.search_states[task_type]
+        if state.search_done:
+            state.admitted += 1
+            ev.succeed(state.wave)
+        elif state.slots > 0:
+            state.slots -= 1
+            state.admitted += 1
+            ev.succeed(state.wave)
+        else:
+            state.admission_queue.append(ev)
+        return ev
+
+    def task_completed(self, task_type: TaskType) -> None:
+        pass  # replenishment happens per batch, on statistics arrival
+
+
+class _JobTuning:
+    """Everything the tuner tracks for one attached job."""
+
+    def __init__(self, spec: JobSpec, input_bytes: float) -> None:
+        self.spec = spec
+        self.input_bytes = input_bytes
+        self.cost_model = CostModel()
+        self.search_states: Dict[TaskType, _SearchState] = {}
+        self.conservative_states: Dict[TaskType, _ConservativeState] = {}
+        self.gate: Optional[LaunchGate] = None
+        self.finalized = False
+
+
+class OnlineTuner:
+    """The MRONLINE daemon: per-job tuning sessions over a configurator."""
+
+    def __init__(
+        self,
+        strategy: TuningStrategy = TuningStrategy.CONSERVATIVE,
+        settings: Optional[TunerSettings] = None,
+        rng: Optional[np.random.Generator] = None,
+        rules: Optional[List[TuningRule]] = None,
+        knowledge_base: Optional[TuningKnowledgeBase] = None,
+        configurator: Optional[DynamicConfigurator] = None,
+    ) -> None:
+        self.strategy = strategy
+        self.settings = settings or TunerSettings()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rules = rules if rules is not None else default_rules()
+        self.knowledge_base = knowledge_base or TuningKnowledgeBase()
+        self.configurator = configurator or DynamicConfigurator()
+        self._jobs: Dict[str, _JobTuning] = {}
+        self.configurator.assignment_listeners.append(self._on_assignment)
+
+    def _on_assignment(
+        self, job_id: str, task_id: TaskId, config: Configuration, meta: object
+    ) -> None:
+        """Record which hill-climbing sample a launching task evaluates."""
+        job = self._jobs.get(job_id)
+        if job is None or meta is None:
+            return
+        state = job.search_states.get(task_id.task_type)
+        if state is not None:
+            state.bindings[str(task_id)] = int(meta)
+
+    # ------------------------------------------------------------------
+    # Job attachment
+    # ------------------------------------------------------------------
+    def attach_job(
+        self, spec: JobSpec, input_bytes: float = 0.0
+    ) -> Tuple[DynamicConfigurator, LaunchGate]:
+        """Prepare tuning for *spec*; returns (config provider, gate)."""
+        if spec.job_id in self._jobs:
+            raise ValueError(f"job {spec.job_id!r} already attached")
+        self.configurator.register_job(spec)
+        job = _JobTuning(spec, input_bytes)
+        self._jobs[spec.job_id] = job
+        seed = None
+        if self.settings.use_knowledge_base and input_bytes > 0:
+            seed = self.knowledge_base.lookup(spec.workload.name, input_bytes)
+        if self.strategy is TuningStrategy.AGGRESSIVE:
+            hc = self.settings.hill_climb
+            for task_type, names in (
+                (TaskType.MAP, MAP_TUNABLE),
+                (TaskType.REDUCE, REDUCE_TUNABLE),
+            ):
+                state = _SearchState(
+                    task_type, names, self.rng, hc, seed_config=seed
+                )
+                job.search_states[task_type] = state
+                self._open_batch(job, state)
+            job.gate = _TunerGate(job)
+        else:
+            if seed is not None:
+                # Knowledge-base hit: start the single run from it.
+                self.configurator.set_job_parameters(spec.job_id, seed.as_dict())
+            for task_type in (TaskType.MAP, TaskType.REDUCE):
+                job.conservative_states[task_type] = _ConservativeState(task_type)
+            job.gate = LaunchGate()
+        return self.configurator, job.gate
+
+    def submit(self, sim_cluster: "SimCluster", spec: JobSpec) -> MRAppMaster:
+        """Attach, submit, and wire statistics in one call."""
+        input_bytes = sim_cluster.hdfs.get(spec.input_path).size_bytes
+        provider, gate = self.attach_job(spec, input_bytes=input_bytes)
+        am = sim_cluster.submit(spec, config_provider=provider, gate=gate)
+        am.stats_listeners.append(self.on_task_stats)
+        am.completion.add_callback(lambda ev: self.finalize_job(spec.job_id, ev.value))
+        return am
+
+    # ------------------------------------------------------------------
+    # Statistics ingestion
+    # ------------------------------------------------------------------
+    def on_task_stats(self, stats: TaskStats) -> None:
+        job = self._jobs.get(stats.task_id.job_id)
+        if job is None:
+            return
+        self.configurator.task_finished(stats.task_id)
+        if self.strategy is TuningStrategy.AGGRESSIVE:
+            self._on_stats_aggressive(job, stats)
+        else:
+            self._on_stats_conservative(job, stats)
+
+    # -- aggressive path ----------------------------------------------------
+    def _open_batch(self, job: _JobTuning, state: _SearchState) -> None:
+        samples = state.climber.propose()
+        if not samples:
+            self._finish_search(job, state)
+            return
+        base = job.spec.base_config
+        configs: List[Tuple[Configuration, object]] = []
+        for sample in samples:
+            decoded = state.space.decode(sample.point)
+            config = enforce_dependencies(base.updated(decoded))
+            for _ in range(self.settings.hill_climb.replicas):
+                configs.append((config, sample.sample_id))
+        self.configurator.push_wave_configs(job.spec.job_id, state.task_type, configs)
+        state.slots += len(configs)
+        state.wave += 1
+        self._drain_admissions(state)
+
+    def _drain_admissions(self, state: _SearchState) -> None:
+        while state.admission_queue and (state.slots > 0 or state.search_done):
+            ev = state.admission_queue.pop(0)
+            if not state.search_done:
+                state.slots -= 1
+            state.admitted += 1
+            ev.succeed(state.wave)
+
+    def _finish_search(self, job: _JobTuning, state: _SearchState) -> None:
+        if state.search_done:
+            return
+        state.search_done = True
+        # Future tasks of this type run the best configuration found.
+        best = state.climber.best_config(job.spec.base_config)
+        values = {name: best[name] for name in state.space.names}
+        self.configurator.set_job_parameters(job.spec.job_id, values)
+        self._drain_admissions(state)
+
+    def _on_stats_aggressive(self, job: _JobTuning, stats: TaskStats) -> None:
+        state = job.search_states[stats.task_type]
+        state.stats_seen += 1
+        state.window.append(stats)
+        state.history.append(stats)
+        job.cost_model.observe(stats)  # tracks job-level T_max
+        sample_id = state.bindings.pop(str(stats.task_id), None)
+        if sample_id is None or state.climber.finished:
+            self._maybe_finish_starved(job, state)
+            return
+        state.result_buffer.append((sample_id, stats))
+        # A wave's costs are computed together, once every sample in the
+        # batch has its required replica evaluations: normalizing the
+        # duration term within the wave keeps the comparison about the
+        # *configurations*, not about when in the job the wave ran (early
+        # reducers, for instance, spend most of their time waiting for
+        # map outputs regardless of configuration).
+        counts: Dict[int, int] = {}
+        for sid, _s in state.result_buffer:
+            counts[sid] = counts.get(sid, 0) + 1
+        want = self.settings.hill_climb.replicas
+        pending = state.climber.pending_samples()
+        if not pending or any(counts.get(s.sample_id, 0) < want for s in pending):
+            self._maybe_finish_starved(job, state)
+            return
+        durations = [s.duration for _sid, s in state.result_buffer if not s.failed]
+        t_max = max(durations) if durations else 1.0
+        for sid, s in state.result_buffer:
+            state.climber.observe(sid, task_cost(s, t_max))
+        state.result_buffer = []
+        # Wave complete: gray-box bound adjustment, then the next batch.
+        ctx = RuleContext(
+            task_type=state.task_type,
+            space=state.space,
+            bounds=state.climber.bounds,
+            window=state.window,
+            history=state.history,
+            rng=self.rng,
+            memo=state.memo,
+        )
+        for rule in self.rules:
+            state.rule_log.extend(rule.adjust_bounds(ctx))
+        state.window = []
+        if state.climber.finished:
+            self._finish_search(job, state)
+        else:
+            self._open_batch(job, state)
+            self._maybe_finish_starved(job, state)
+
+    def _maybe_finish_starved(self, job: _JobTuning, state: _SearchState) -> None:
+        """End a search the job can no longer feed.
+
+        If every admitted task has reported and samples are still
+        unevaluated, no running task can ever complete the batch: the
+        job simply has too few tasks left (the paper: "if too few tasks
+        are executed, the configuration quality can be improved by
+        multiple test runs").  Finish with the best validated point so
+        queued tasks -- and with them the whole job -- are not
+        deadlocked behind an unfillable wave.
+        """
+        if state.search_done:
+            return
+        outstanding = state.admitted - state.stats_seen
+        if outstanding <= 0 and state.climber.pending_samples():
+            self._finish_search(job, state)
+
+    # -- conservative path ----------------------------------------------------
+    def _on_stats_conservative(self, job: _JobTuning, stats: TaskStats) -> None:
+        state = job.conservative_states[stats.task_type]
+        state.window.append(stats)
+        state.history.append(stats)
+        job.cost_model.observe(stats)
+        if len(state.window) < self.settings.conservative_window:
+            return
+        config = self.configurator.job_config(job.spec.job_id)
+        ctx = RuleContext(
+            task_type=state.task_type,
+            space=PARAMETER_SPACE,
+            bounds=None,  # bounds are an aggressive-strategy concept
+            window=state.window,
+            history=state.history,
+            rng=self.rng,
+            memo=state.memo,
+        )
+        changes: Dict[str, float] = {}
+        for rule in self.rules:
+            changes.update(rule.conservative_update(ctx, config.updated(changes)))
+        if changes:
+            feasible = enforce_dependencies(config.updated(changes))
+            applied = {}
+            for name in changes:
+                if name not in feasible:
+                    continue
+                old, new = float(config[name]), float(feasible[name])
+                # Hysteresis: skip sub-2% refinements so the configuration
+                # settles instead of chasing estimate jitter.
+                if old != 0 and abs(new - old) / abs(old) < 0.02:
+                    continue
+                if old == new:
+                    continue
+                applied[name] = new
+            if applied:
+                # Future tasks pick this up from the job config; running
+                # tasks receive the hot-swappable subset immediately.
+                self.configurator.set_task_parameters(job.spec.job_id, applied)
+                state.rule_log.append(
+                    ", ".join(f"{k}={v:g}" for k, v in sorted(applied.items()))
+                )
+        state.window = []
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def recommended_config(self, job_id: str) -> Configuration:
+        """The configuration the tuning session recommends for re-runs."""
+        job = self._jobs[job_id]
+        base = job.spec.base_config
+        if self.strategy is TuningStrategy.AGGRESSIVE:
+            config = base.copy()
+            for state in job.search_states.values():
+                best = state.climber.best_config(base)
+                for name in state.space.names:
+                    config[name] = best[name]
+            return enforce_dependencies(config)
+        return enforce_dependencies(self.configurator.job_config(job_id).copy())
+
+    def finalize_job(self, job_id: str, result: object = None) -> Configuration:
+        """Record the session's outcome in the knowledge base."""
+        job = self._jobs[job_id]
+        config = self.recommended_config(job_id)
+        if not job.finalized:
+            job.finalized = True
+            costs = []
+            if self.strategy is TuningStrategy.AGGRESSIVE:
+                for state in job.search_states.values():
+                    c = state.climber.best_cost()
+                    if c is not None:
+                        costs.append(c)
+            cost = sum(costs) if costs else float("inf")
+            duration = getattr(result, "duration", 0.0) if result is not None else 0.0
+            self.knowledge_base.record(
+                job.spec.workload.name, job.input_bytes, config, cost, duration
+            )
+        return config
+
+    def rule_log(self, job_id: str) -> List[str]:
+        """Every gray-box adjustment made while tuning *job_id*."""
+        job = self._jobs[job_id]
+        out: List[str] = []
+        for state in job.search_states.values():
+            out.extend(state.rule_log)
+        for cstate in job.conservative_states.values():
+            out.extend(cstate.rule_log)
+        return out
+
+    def session_summary(self, job_id: str) -> Dict[str, object]:
+        """A structured account of the tuning session (for reports/UIs)."""
+        job = self._jobs[job_id]
+        summary: Dict[str, object] = {
+            "job_id": job_id,
+            "workload": job.spec.workload.name,
+            "strategy": self.strategy.value,
+            "recommended": self.recommended_config(job_id).as_dict(),
+            "rule_adjustments": len(self.rule_log(job_id)),
+        }
+        if self.strategy is TuningStrategy.AGGRESSIVE:
+            searches = {}
+            for task_type, state in job.search_states.items():
+                searches[task_type.value] = {
+                    "waves": state.wave,
+                    "samples_proposed": state.climber.samples_proposed,
+                    "tasks_evaluated": state.stats_seen,
+                    "finished": state.climber.finished or state.search_done,
+                    "best_cost": state.climber.best_cost(),
+                }
+            summary["searches"] = searches
+        else:
+            windows = {
+                t.value: len(s.history)
+                for t, s in job.conservative_states.items()
+            }
+            summary["tasks_observed"] = windows
+        return summary

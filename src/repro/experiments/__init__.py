@@ -1,0 +1,10 @@
+"""Experiment drivers reproducing the paper's evaluation (Section 8).
+
+:mod:`repro.experiments.harness` provides :class:`SimCluster`, the
+one-stop integration of simulator + cluster + HDFS + YARN + monitor;
+the sibling modules implement the per-figure experiment protocols.
+"""
+
+from repro.experiments.harness import ExperimentRunner, SimCluster
+
+__all__ = ["ExperimentRunner", "SimCluster"]

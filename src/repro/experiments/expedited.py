@@ -1,0 +1,135 @@
+"""The expedited-test-runs experiment (Figures 4-6, plus spills 7-9).
+
+Protocol, per benchmark case and seed (Section 8.2):
+
+1. run the job with the default YARN configuration;
+2. run it with the offline tuning-guide configuration;
+3. run MRONLINE's aggressive tuning session (one test run) to obtain
+   the recommended configuration, then run the job with it.
+
+The execution-time figures report step 1 vs 2 vs 3's final run; the
+spill figures report the map-side SPILLED_RECORDS of the same runs
+against the combiner-output "Optimal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.offline_guide import offline_guide_config
+from repro.core.configuration import Configuration
+from repro.core.hill_climbing import HillClimbSettings
+from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+from repro.experiments.harness import SimCluster
+from repro.mapreduce.jobspec import TaskType
+from repro.sim.rng import derive_seed
+from repro.workloads.suite import BenchmarkCase, make_job_spec
+from repro.yarn.app_master import JobResult
+
+
+@dataclass
+class ExpeditedCaseResult:
+    """One case x seed outcome of the expedited protocol."""
+
+    case: str
+    seed: int
+    default_time: float
+    offline_time: float
+    mronline_time: float
+    tuning_run_time: float
+    recommended: Configuration
+    optimal_spills: float
+    default_spills: float
+    offline_spills: float
+    mronline_spills: float
+
+
+def map_side_spills(result: JobResult) -> float:
+    """SPILLED_RECORDS of map tasks only (what Figures 7-9 plot)."""
+    return float(
+        sum(s.spilled_records for s in result.stats_of(TaskType.MAP) if not s.failed)
+    )
+
+
+def optimal_spills(result: JobResult) -> float:
+    """The paper's "Optimal": combiner-output records (map output when
+    there is no combiner) -- i.e. every record spilled exactly once."""
+    total = 0.0
+    for s in result.stats_of(TaskType.MAP):
+        if s.failed:
+            continue
+        total += s.combine_output_records or s.map_output_records
+    return total
+
+
+def run_default(case: BenchmarkCase, seed: int) -> JobResult:
+    sc = SimCluster(seed=seed)
+    return sc.run_job(make_job_spec(case, sc.hdfs))
+
+
+def run_with_config(case: BenchmarkCase, seed: int, config: Configuration) -> JobResult:
+    sc = SimCluster(seed=seed)
+    return sc.run_job(make_job_spec(case, sc.hdfs, base_config=config))
+
+
+def run_aggressive_tuning(
+    case: BenchmarkCase,
+    seed: int,
+    hill_climb: Optional[HillClimbSettings] = None,
+) -> tuple:
+    """One aggressive tuning session; returns (tuning JobResult, config)."""
+    sc = SimCluster(seed=seed)
+    spec = make_job_spec(case, sc.hdfs)
+    tuner = OnlineTuner(
+        TuningStrategy.AGGRESSIVE,
+        settings=TunerSettings(hill_climb=hill_climb or HillClimbSettings()),
+        rng=np.random.default_rng(derive_seed(seed, "tuner", case.name)),
+    )
+    am = tuner.submit(sc, spec)
+    result = sc.sim.run_until_complete(am.completion)
+    return result, tuner.recommended_config(spec.job_id)
+
+
+_case_cache: Dict[tuple, ExpeditedCaseResult] = {}
+
+
+def run_expedited_case(
+    case: BenchmarkCase,
+    seed: int,
+    hill_climb: Optional[HillClimbSettings] = None,
+) -> ExpeditedCaseResult:
+    """Full expedited protocol for one case and seed.
+
+    Memoized per (case, seed, settings): the execution-time figures
+    (4-6) and the spill figures (7-9) read the same runs.
+    """
+    key = (case.name, seed, hill_climb)
+    cached = _case_cache.get(key)
+    if cached is not None:
+        return cached
+    default_result = run_default(case, seed)
+    offline_result = run_with_config(case, seed, offline_guide_config(case))
+    tuning_result, recommended = run_aggressive_tuning(case, seed, hill_climb)
+    mronline_result = run_with_config(case, seed, recommended)
+    _case_cache[key] = result = ExpeditedCaseResult(
+        case=case.name,
+        seed=seed,
+        default_time=default_result.duration,
+        offline_time=offline_result.duration,
+        mronline_time=mronline_result.duration,
+        tuning_run_time=tuning_result.duration,
+        recommended=recommended,
+        optimal_spills=optimal_spills(default_result),
+        default_spills=map_side_spills(default_result),
+        offline_spills=map_side_spills(offline_result),
+        mronline_spills=map_side_spills(mronline_result),
+    )
+    return result
+
+
+def aggregate(results: List[ExpeditedCaseResult], attr: str) -> float:
+    values = [getattr(r, attr) for r in results]
+    return sum(values) / len(values) if values else 0.0

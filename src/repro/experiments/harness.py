@@ -1,0 +1,177 @@
+"""Integration harness: build a cluster, submit jobs, repeat with seeds.
+
+:class:`SimCluster` assembles one simulated deployment (engine, nodes,
+network, HDFS, resource manager, node managers, central monitor) and
+offers a JobClient-like interface.  :class:`ExperimentRunner` runs the
+paper's protocol: every measurement is repeated over several seeds
+("we repeat each experiment four times ... and report the average").
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.topology import Cluster, ClusterSpec, build_cluster
+from repro.core.configuration import Configuration
+from repro.hdfs.filesystem import HdfsFileSystem
+from repro.mapreduce.jobspec import JobSpec
+from repro.monitor.central_monitor import CentralMonitor
+from repro.monitor.slave_monitor import SlaveMonitor
+from repro.sim.engine import Simulator
+from repro.sim.events import AllOf
+from repro.sim.rng import RngRegistry
+from repro.workloads.suite import BenchmarkCase, make_job_spec
+from repro.yarn.app_master import ConfigProvider, JobResult, LaunchGate, MRAppMaster
+from repro.yarn.fair_scheduler import FairScheduler
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.resource_manager import ResourceManager
+from repro.yarn.scheduler import FifoScheduler, SchedulerBase
+
+
+class SimCluster:
+    """One simulated YARN deployment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cluster_spec: Optional[ClusterSpec] = None,
+        scheduler: str = "fifo",
+        monitor_interval: float = 5.0,
+        start_monitors: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.rngs = RngRegistry(seed)
+        self.sim = Simulator()
+        self.cluster: Cluster = build_cluster(self.sim, cluster_spec)
+        self.hdfs = HdfsFileSystem(
+            self.cluster, rng=self.rngs.stream("hdfs", "placement")
+        )
+        self.scheduler: SchedulerBase = self._make_scheduler(scheduler)
+        self.rm = ResourceManager(self.sim, self.cluster, self.scheduler)
+        self.node_managers: Dict[int, NodeManager] = {
+            node.node_id: NodeManager(self.sim, node) for node in self.cluster.nodes
+        }
+        self.monitor = CentralMonitor(self.sim)
+        self.slave_monitors: List[SlaveMonitor] = [
+            SlaveMonitor(
+                self.sim,
+                nm,
+                self.monitor.on_node_stats,
+                monitor_interval,
+                network=self.cluster.network,
+            )
+            for nm in self.node_managers.values()
+        ]
+        if start_monitors:
+            for sm in self.slave_monitors:
+                sm.start()
+        self._submissions = 0
+
+    def _make_scheduler(self, kind: str) -> SchedulerBase:
+        if kind == "fifo":
+            return FifoScheduler(self.cluster)
+        if kind == "fair":
+            return FairScheduler(self.cluster)
+        raise ValueError(f"unknown scheduler {kind!r} (want 'fifo' or 'fair')")
+
+    # ------------------------------------------------------------------
+    # JobClient-style interface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        config_provider: Optional[ConfigProvider] = None,
+        gate: Optional[LaunchGate] = None,
+        weight: float = 1.0,
+    ) -> MRAppMaster:
+        """Submit one job; returns its app master (already started)."""
+        # Dataflow noise is keyed by (name, submission order), NOT the
+        # process-global job id, so identically built clusters replay
+        # identically regardless of how many jobs ran before them.
+        self._submissions += 1
+        am = MRAppMaster(
+            self.sim,
+            self.cluster,
+            self.hdfs,
+            self.rm,
+            self.node_managers,
+            spec,
+            config_provider=config_provider,
+            gate=gate,
+            rng=self.rngs.stream("dataflow", spec.name, self._submissions),
+            app_weight=weight,
+        )
+        am.stats_listeners.append(self.monitor.on_task_stats)
+        am.start()
+        return am
+
+    def run_job(
+        self,
+        spec: JobSpec,
+        config_provider: Optional[ConfigProvider] = None,
+        gate: Optional[LaunchGate] = None,
+    ) -> JobResult:
+        """Submit one job and run the simulation until it completes."""
+        am = self.submit(spec, config_provider=config_provider, gate=gate)
+        return self.sim.run_until_complete(am.completion)
+
+    def run_jobs(self, ams: Sequence[MRAppMaster]) -> List[JobResult]:
+        """Run until every submitted job completes."""
+        done = AllOf(self.sim, [am.completion for am in ams])
+        return list(self.sim.run_until_complete(done))
+
+
+@dataclass
+class RepeatedMeasurement:
+    """Aggregate of one metric over seed replicas."""
+
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.values) if len(self.values) > 1 else 0.0
+
+
+class ExperimentRunner:
+    """Repeats a measurement over seeds, paper-style (4 runs, mean)."""
+
+    def __init__(self, replicas: int = 4, base_seed: int = 1) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.replicas = replicas
+        self.base_seed = base_seed
+
+    def seeds(self) -> List[int]:
+        return [self.base_seed + i for i in range(self.replicas)]
+
+    def measure(self, fn: Callable[[int], float]) -> RepeatedMeasurement:
+        """Run ``fn(seed)`` for each replica seed and aggregate."""
+        return RepeatedMeasurement([float(fn(seed)) for seed in self.seeds()])
+
+    def run_case(
+        self,
+        case: BenchmarkCase,
+        base_config: Optional[Configuration] = None,
+        scheduler: str = "fifo",
+        config_provider_factory: Optional[
+            Callable[[SimCluster, JobSpec], ConfigProvider]
+        ] = None,
+        gate_factory: Optional[Callable[[SimCluster, JobSpec], LaunchGate]] = None,
+    ) -> List[JobResult]:
+        """Run one benchmark case once per seed; returns all results."""
+        results = []
+        for seed in self.seeds():
+            sc = SimCluster(seed=seed, scheduler=scheduler)
+            spec = make_job_spec(case, sc.hdfs, base_config=base_config)
+            provider = (
+                config_provider_factory(sc, spec) if config_provider_factory else None
+            )
+            gate = gate_factory(sc, spec) if gate_factory else None
+            results.append(sc.run_job(spec, config_provider=provider, gate=gate))
+        return results

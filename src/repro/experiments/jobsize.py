@@ -1,0 +1,67 @@
+"""The job-size sweep (Figure 13, Section 8.4).
+
+Terasort with inputs from 2 GB to 100 GB, reducers at ~1/4 of the map
+count.  For each size: one aggressive tuning run produces a
+configuration, which is then used for a measured run compared against
+the default.  The paper's finding to reproduce: tuning is marginal
+below ~10 GB (too few tasks to search with) and settles around 20%+
+for 20 GB and above, with no further gains past the point where the
+search already had enough tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.hill_climbing import HillClimbSettings
+from repro.experiments.expedited import (
+    run_aggressive_tuning,
+    run_default,
+    run_with_config,
+)
+from repro.workloads.suite import terasort_case
+
+#: The x-axis of Figure 13.
+PAPER_SIZES_GB: Sequence[float] = (2.0, 6.0, 10.0, 20.0, 60.0, 100.0)
+
+
+@dataclass
+class JobSizePoint:
+    size_gb: float
+    num_maps: int
+    num_reducers: int
+    default_time: float
+    mronline_time: float
+
+    @property
+    def improvement(self) -> float:
+        if self.default_time <= 0:
+            return 0.0
+        return (self.default_time - self.mronline_time) / self.default_time
+
+
+def run_job_size_point(
+    size_gb: float,
+    seed: int,
+    hill_climb: Optional[HillClimbSettings] = None,
+) -> JobSizePoint:
+    case = terasort_case(size_gb)
+    default_result = run_default(case, seed)
+    _tuning_result, recommended = run_aggressive_tuning(case, seed, hill_climb)
+    mronline_result = run_with_config(case, seed, recommended)
+    return JobSizePoint(
+        size_gb=size_gb,
+        num_maps=case.num_maps,
+        num_reducers=case.num_reducers,
+        default_time=default_result.duration,
+        mronline_time=mronline_result.duration,
+    )
+
+
+def run_sweep(
+    seed: int,
+    sizes: Sequence[float] = PAPER_SIZES_GB,
+    hill_climb: Optional[HillClimbSettings] = None,
+) -> List[JobSizePoint]:
+    return [run_job_size_point(size, seed, hill_climb) for size in sizes]

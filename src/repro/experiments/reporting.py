@@ -1,0 +1,85 @@
+"""Plain-text reporting: the tables/series the benchmarks print.
+
+Every bench prints a :class:`FigureReport` whose rows mirror the bars
+or points of the corresponding paper figure, so paper-vs-measured
+comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class FigureReport:
+    """One reproduced figure/table: labelled series over categories."""
+
+    figure: str
+    title: str
+    categories: List[str]
+    #: series label -> one value per category
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    unit: str = "s"
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"{label}: {len(values)} values for {len(self.categories)} categories"
+            )
+        self.series[label] = values
+
+    def improvement_over(self, baseline: str, candidate: str) -> List[float]:
+        """Per-category fractional improvement of candidate vs baseline."""
+        base = self.series[baseline]
+        cand = self.series[candidate]
+        return [
+            (b - c) / b if b else 0.0
+            for b, c in zip(base, cand)
+        ]
+
+    def render(self) -> str:
+        headers = [self.figure] + [f"{c} ({self.unit})" for c in self.categories]
+        rows = [[label] + values for label, values in self.series.items()]
+        out = [f"== {self.figure}: {self.title} ==", format_table(headers, rows)]
+        # "x% better" only makes sense for lower-is-better time series.
+        if self.unit == "s" and "Default" in self.series and "MRONLINE" in self.series:
+            imp = self.improvement_over("Default", "MRONLINE")
+            out.append(
+                "MRONLINE vs Default: "
+                + ", ".join(
+                    f"{c}: {100 * i:+.1f}%" for c, i in zip(self.categories, imp)
+                )
+            )
+        out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)

@@ -1,0 +1,71 @@
+"""The fast-single-run experiment (Figures 10-12).
+
+Per case and seed: one run with the default configuration versus one
+run co-executed with MRONLINE's conservative tuner.  The conservative
+strategy never delays scheduling, so the comparison is a straight
+execution-time A/B (Section 8.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+from repro.experiments.harness import SimCluster
+from repro.sim.rng import derive_seed
+from repro.workloads.suite import BenchmarkCase, make_job_spec
+from repro.yarn.app_master import JobResult
+
+
+@dataclass
+class SingleRunResult:
+    case: str
+    seed: int
+    default_time: float
+    mronline_time: float
+    failed_attempts: float
+
+    @property
+    def improvement(self) -> float:
+        if self.default_time <= 0:
+            return 0.0
+        return (self.default_time - self.mronline_time) / self.default_time
+
+
+def run_conservative(
+    case: BenchmarkCase,
+    seed: int,
+    settings: Optional[TunerSettings] = None,
+) -> tuple:
+    """One job co-executed with the conservative tuner."""
+    sc = SimCluster(seed=seed)
+    spec = make_job_spec(case, sc.hdfs)
+    tuner = OnlineTuner(
+        TuningStrategy.CONSERVATIVE,
+        settings=settings or TunerSettings(),
+        rng=np.random.default_rng(derive_seed(seed, "tuner", case.name)),
+    )
+    am = tuner.submit(sc, spec)
+    result = sc.sim.run_until_complete(am.completion)
+    return result, tuner
+
+
+def run_single_run_case(
+    case: BenchmarkCase, seed: int, settings: Optional[TunerSettings] = None
+) -> SingleRunResult:
+    from repro.experiments.expedited import run_default
+
+    default_result: JobResult = run_default(case, seed)
+    mronline_result, _tuner = run_conservative(case, seed, settings)
+    from repro.mapreduce.counters import Counter
+
+    return SingleRunResult(
+        case=case.name,
+        seed=seed,
+        default_time=default_result.duration,
+        mronline_time=mronline_result.duration,
+        failed_attempts=mronline_result.counters.get(Counter.FAILED_TASK_ATTEMPTS),
+    )

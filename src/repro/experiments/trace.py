@@ -1,0 +1,103 @@
+"""Task-timeline export: turn a job run into a Gantt-style trace.
+
+Useful for eyeballing why a configuration wins: wave structure, the
+map/shuffle overlap, stragglers, and retry gaps all become visible.
+Exports CSV (one row per task attempt) and a terminal swimlane sketch.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional
+
+from repro.mapreduce.jobspec import TaskType
+from repro.monitor.statistics import TaskStats
+from repro.yarn.app_master import JobResult
+
+CSV_FIELDS = [
+    "task_id",
+    "type",
+    "node",
+    "attempt",
+    "wave",
+    "start",
+    "end",
+    "duration",
+    "cpu_seconds",
+    "mem_utilization",
+    "cpu_utilization",
+    "spilled_records",
+    "failed",
+]
+
+
+def to_csv(result: JobResult) -> str:
+    """One CSV row per task attempt, ordered by start time."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for s in sorted(result.task_stats, key=lambda s: (s.start_time, str(s.task_id))):
+        writer.writerow(
+            {
+                "task_id": str(s.task_id),
+                "type": s.task_type.value,
+                "node": s.node_id,
+                "attempt": s.attempt,
+                "wave": s.wave,
+                "start": f"{s.start_time:.3f}",
+                "end": f"{s.end_time:.3f}",
+                "duration": f"{s.duration:.3f}",
+                "cpu_seconds": f"{s.cpu_seconds:.3f}",
+                "mem_utilization": f"{s.memory_utilization:.4f}",
+                "cpu_utilization": f"{s.cpu_utilization:.4f}",
+                "spilled_records": s.spilled_records,
+                "failed": int(s.failed),
+            }
+        )
+    return buf.getvalue()
+
+
+def save_csv(result: JobResult, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_csv(result))
+
+
+def swimlanes(
+    result: JobResult,
+    width: int = 100,
+    max_lanes: Optional[int] = 24,
+) -> str:
+    """A terminal Gantt sketch: one lane per node, ``m``/``r`` glyphs.
+
+    Each character cell covers ``duration/width`` seconds; a cell shows
+    ``m`` (map), ``r`` (reduce), ``B`` (both ran in that cell on that
+    node), or ``x`` (a failed attempt touched it).
+    """
+    if not result.task_stats:
+        return "(no tasks)"
+    t0 = min(s.start_time for s in result.task_stats)
+    t1 = max(s.end_time for s in result.task_stats)
+    span = max(1e-9, t1 - t0)
+    nodes = sorted({s.node_id for s in result.task_stats})
+    if max_lanes is not None:
+        nodes = nodes[:max_lanes]
+    lanes = {n: [" "] * width for n in nodes}
+    for s in result.task_stats:
+        if s.node_id not in lanes:
+            continue
+        lane = lanes[s.node_id]
+        a = int((s.start_time - t0) / span * (width - 1))
+        b = max(a, int((s.end_time - t0) / span * (width - 1)))
+        glyph = "x" if s.failed else ("m" if s.task_type is TaskType.MAP else "r")
+        for i in range(a, b + 1):
+            if lane[i] == " " or lane[i] == glyph:
+                lane[i] = glyph
+            else:
+                lane[i] = "x" if glyph == "x" else "B"
+    lines: List[str] = [
+        f"t = {t0:.0f}s {'-' * (width - 20)} {t1:.0f}s",
+    ]
+    for n in nodes:
+        lines.append(f"node{n:02d} |{''.join(lanes[n])}|")
+    return "\n".join(lines)

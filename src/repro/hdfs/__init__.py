@@ -1,0 +1,13 @@
+"""A block-level HDFS model: placement, replication, locality.
+
+Only what the MapReduce engine and the tuner observe is modelled:
+block-to-node maps (for split locality), rack-aware replica placement,
+and the I/O cost of reading splits and writing replicated output.
+File *contents* are never materialized -- datasets are described by
+sizes and record statistics (see :mod:`repro.workloads.datasets`).
+"""
+
+from repro.hdfs.block import Block, BlockLocation
+from repro.hdfs.filesystem import HdfsFile, HdfsFileSystem
+
+__all__ = ["Block", "BlockLocation", "HdfsFile", "HdfsFileSystem"]

@@ -1,0 +1,42 @@
+"""HDFS blocks and replica locations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+_block_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """One replica of a block."""
+
+    node_id: int
+    rack: int
+
+
+class Block:
+    """A fixed-size chunk of an HDFS file with replicated locations."""
+
+    __slots__ = ("block_id", "size_bytes", "locations")
+
+    def __init__(self, size_bytes: int, locations: Sequence[BlockLocation]) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"block size must be positive, got {size_bytes}")
+        if not locations:
+            raise ValueError("a block needs at least one replica location")
+        self.block_id = next(_block_ids)
+        self.size_bytes = size_bytes
+        self.locations: Tuple[BlockLocation, ...] = tuple(locations)
+
+    def hosted_on(self, node_id: int) -> bool:
+        return any(loc.node_id == node_id for loc in self.locations)
+
+    def racks(self) -> Tuple[int, ...]:
+        return tuple(sorted({loc.rack for loc in self.locations}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        hosts = ",".join(str(l.node_id) for l in self.locations)
+        return f"<Block #{self.block_id} {self.size_bytes}B on [{hosts}]>"

@@ -1,0 +1,169 @@
+"""The HDFS namespace: files, rack-aware placement, and I/O costing.
+
+Placement follows the standard HDFS policy: replica 1 on the writer's
+node (or a random node for externally loaded data), replica 2 on a
+random node in a *different* rack, replica 3 on a different node in the
+same rack as replica 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.hdfs.block import Block, BlockLocation
+from repro.sim.events import AllOf, Event
+
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024  # the paper uses 128 MB blocks
+
+
+@dataclass
+class HdfsFile:
+    """A file in the namespace: an ordered list of blocks."""
+
+    path: str
+    blocks: List["Block"] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class HdfsFileSystem:
+    """Namespace + placement + replicated I/O cost model."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.cluster = cluster
+        self.block_size = block_size
+        self.replication = min(replication, len(cluster.nodes))
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._files: Dict[str, HdfsFile] = {}
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def get(self, path: str) -> HdfsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _choose_locations(self, writer: Optional[Node]) -> List[BlockLocation]:
+        nodes = self.cluster.nodes
+        first = writer if writer is not None else nodes[self.rng.integers(len(nodes))]
+        chosen: List[Node] = [first]
+        if self.replication >= 2:
+            other_rack = [n for n in nodes if n.rack != first.rack and n is not first]
+            pool = other_rack or [n for n in nodes if n is not first]
+            if pool:
+                second = pool[self.rng.integers(len(pool))]
+                chosen.append(second)
+                if self.replication >= 3:
+                    same_rack = [
+                        n for n in nodes if n.rack == second.rack and n not in chosen
+                    ]
+                    pool3 = same_rack or [n for n in nodes if n not in chosen]
+                    if pool3:
+                        chosen.append(pool3[self.rng.integers(len(pool3))])
+        # Any additional replicas: random distinct nodes.
+        while len(chosen) < self.replication:
+            remaining = [n for n in nodes if n not in chosen]
+            if not remaining:
+                break
+            chosen.append(remaining[self.rng.integers(len(remaining))])
+        return [BlockLocation(n.node_id, n.rack) for n in chosen]
+
+    def create_file(
+        self, path: str, size_bytes: int, writer: Optional[Node] = None
+    ) -> HdfsFile:
+        """Register *path* with placement, without charging I/O time.
+
+        Used to pre-load input datasets; use :meth:`write_file` from task
+        code when the write cost matters.
+        """
+        if path in self._files:
+            raise FileExistsError(path)
+        f = HdfsFile(path)
+        remaining = int(size_bytes)
+        while remaining > 0:
+            chunk = min(self.block_size, remaining)
+            f.blocks.append(Block(chunk, self._choose_locations(writer)))
+            remaining -= chunk
+        self._files[path] = f
+        return f
+
+    # ------------------------------------------------------------------
+    # I/O cost model
+    # ------------------------------------------------------------------
+    def read_block(self, block: Block, reader: Node) -> Event:
+        """Read one block from the nearest replica.
+
+        Local replica: a disk read on the reader.  Remote replica: the
+        serving node's disk read runs concurrently with (and is usually
+        hidden by) the network transfer; we charge the network path plus
+        the reader-side buffer drain, which dominates in practice.
+        """
+        if block.hosted_on(reader.node_id):
+            return reader.disk_read(block.size_bytes, label=f"hdfs.rd.b{block.block_id}")
+        # Prefer a rack-local replica.
+        candidates = sorted(
+            block.locations, key=lambda loc: (loc.rack != reader.rack, loc.node_id)
+        )
+        src = self.cluster.node(candidates[0].node_id)
+        src.disk_read(block.size_bytes, label=f"hdfs.serve.b{block.block_id}")
+        return self.cluster.network.transfer(
+            src, reader, block.size_bytes, label=f"hdfs.net.b{block.block_id}"
+        )
+
+    def write_file(self, path: str, size_bytes: int, writer: Node) -> Event:
+        """Write a replicated file through the standard pipeline.
+
+        The pipeline writes the local replica to disk while streaming
+        the same bytes to the off-rack replica (which itself forwards to
+        the third).  We charge the local disk write and the first
+        network hop concurrently; downstream hops replicate in the
+        background and do not gate job completion (matching Hadoop's
+        acked-pipeline behaviour at the granularity we need).
+        """
+        f = self.create_file(path, size_bytes, writer=writer)
+        waits: List[Event] = []
+        for block in f.blocks:
+            waits.append(writer.disk_write(block.size_bytes, label=f"hdfs.wr.b{block.block_id}"))
+            remote = [loc for loc in block.locations if loc.node_id != writer.node_id]
+            if remote:
+                dst = self.cluster.node(remote[0].node_id)
+                waits.append(
+                    self.cluster.network.transfer(
+                        writer, dst, block.size_bytes, label=f"hdfs.repl.b{block.block_id}"
+                    )
+                )
+                # Remote replica disk write happens off the critical path.
+                dst.disk_write(block.size_bytes, label=f"hdfs.rwr.b{block.block_id}")
+        return AllOf(self.cluster.sim, waits)

@@ -1,0 +1,30 @@
+"""The MapReduce engine: jobs, tasks, sort/spill/merge, shuffle.
+
+Task behaviour is an analytic per-phase cost model driven by the exact
+Table-2 parameters, executed against the simulated cluster's shared
+resources.  Spill and merge accounting mirrors Hadoop's semantics so
+the SPILLED_RECORDS counters reproduced in Figures 7-9 are meaningful.
+"""
+
+from repro.mapreduce.counters import Counter, Counters
+from repro.mapreduce.dataflow import JobDataflow
+from repro.mapreduce.jobspec import JobSpec, TaskType, WorkloadProfile
+from repro.mapreduce.sortspill import (
+    MapSpillPlan,
+    ReduceMergePlan,
+    plan_map_spills,
+    plan_reduce_merge,
+)
+
+__all__ = [
+    "Counter",
+    "Counters",
+    "JobDataflow",
+    "JobSpec",
+    "MapSpillPlan",
+    "ReduceMergePlan",
+    "TaskType",
+    "WorkloadProfile",
+    "plan_map_spills",
+    "plan_reduce_merge",
+]

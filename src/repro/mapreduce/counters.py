@@ -1,0 +1,70 @@
+"""Job and task counters, mirroring Hadoop's counter groups.
+
+The tuner is gray-box: it reads exactly these counters (plus node
+statistics) through the JobClient, never the simulator's internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Mapping
+
+
+class Counter(enum.Enum):
+    """The counter names MRONLINE's monitor consumes."""
+
+    MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+    MAP_INPUT_BYTES = "MAP_INPUT_BYTES"
+    MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+    MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
+    COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+    COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
+    SPILLED_RECORDS = "SPILLED_RECORDS"
+    REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+    REDUCE_INPUT_BYTES = "REDUCE_INPUT_BYTES"
+    REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+    REDUCE_OUTPUT_BYTES = "REDUCE_OUTPUT_BYTES"
+    SHUFFLED_BYTES = "SHUFFLED_BYTES"
+    LOCAL_BYTES_READ = "LOCAL_BYTES_READ"
+    LOCAL_BYTES_WRITTEN = "LOCAL_BYTES_WRITTEN"
+    HDFS_BYTES_READ = "HDFS_BYTES_READ"
+    HDFS_BYTES_WRITTEN = "HDFS_BYTES_WRITTEN"
+    CPU_MILLISECONDS = "CPU_MILLISECONDS"
+    FAILED_TASK_ATTEMPTS = "FAILED_TASK_ATTEMPTS"
+    MERGE_PASSES = "MERGE_PASSES"
+
+
+class Counters:
+    """A bag of named numeric counters."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, initial: Mapping[Counter, float] = ()) -> None:
+        self._values: Dict[Counter, float] = dict(initial) if initial else {}
+
+    def increment(self, counter: Counter, amount: float = 1) -> None:
+        self._values[counter] = self._values.get(counter, 0) + amount
+
+    def get(self, counter: Counter) -> float:
+        return self._values.get(counter, 0)
+
+    def __getitem__(self, counter: Counter) -> float:
+        return self.get(counter)
+
+    def __iter__(self) -> Iterator[Counter]:
+        return iter(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate *other* into this bag (job <- task aggregation)."""
+        for counter, value in other._values.items():
+            self.increment(counter, value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {c.value: v for c, v in sorted(self._values.items(), key=lambda kv: kv[0].value)}
+
+    def copy(self) -> "Counters":
+        return Counters(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        inner = ", ".join(f"{c.value}={v:g}" for c, v in self._values.items())
+        return f"Counters({inner})"

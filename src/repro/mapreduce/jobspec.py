@@ -1,0 +1,118 @@
+"""Job specifications, task identities, and workload profiles."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.configuration import Configuration
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+_job_ids = itertools.count(1)
+
+
+class TaskType(enum.Enum):
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class TaskId:
+    """Identifies one task within a job (Hadoop: ``task_<job>_<m|r>_<idx>``)."""
+
+    job_id: str
+    task_type: TaskType
+    index: int
+
+    def __str__(self) -> str:
+        kind = "m" if self.task_type is TaskType.MAP else "r"
+        return f"task_{self.job_id}_{kind}_{self.index:06d}"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Application characteristics that drive the dataflow model.
+
+    All ratios are averages over the dataset; per-task variation and
+    reducer skew are layered on by :class:`~repro.mapreduce.dataflow.JobDataflow`.
+    """
+
+    name: str
+    #: Map function selectivity: map-output bytes per input byte
+    #: (*before* the combiner).
+    map_output_ratio: float
+    #: Average map-output record size in bytes.
+    map_output_record_size: float
+    #: Whether the job registers a combiner.
+    has_combiner: bool = False
+    #: Combiner selectivity when it sees a full buffer of records
+    #: (output/input, in records and bytes).  1.0 = identity.
+    combiner_record_ratio: float = 1.0
+    combiner_byte_ratio: float = 1.0
+    #: Reduce selectivity: output bytes per shuffled input byte.
+    reduce_output_ratio: float = 1.0
+    #: Compute demand, in core-seconds per input MB (map) and per
+    #: shuffled MB (reduce).  A value of 0.4 means a 128 MB split costs
+    #: ~51 core-seconds of pure compute.
+    map_cpu_per_mb: float = 0.1
+    reduce_cpu_per_mb: float = 0.05
+    #: Fixed per-task compute cost in core-seconds (dominates for
+    #: compute-bound applications such as BBP, whose input is tiny).
+    map_cpu_fixed_sec: float = 0.0
+    reduce_cpu_fixed_sec: float = 0.0
+    #: Maximum physical cores one task can exploit (>1 only for tasks
+    #: with internal parallelism, e.g. BBP's multi-threaded digits).
+    map_cpu_parallelism: float = 1.0
+    reduce_cpu_parallelism: float = 1.0
+    #: Resident working set of the user code itself (excludes framework
+    #: buffers, which the configuration controls).
+    map_fixed_mem_bytes: int = 200 * MB
+    reduce_fixed_mem_bytes: int = 300 * MB
+    #: Reducer-partition skew: coefficient of variation of partition
+    #: weights (0 = perfectly uniform).
+    partition_skew: float = 0.1
+    #: Per-map-task variation of output volume (lognormal sigma).
+    map_output_noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.map_output_ratio < 0:
+            raise ValueError("map_output_ratio must be >= 0")
+        if not self.has_combiner and (
+            self.combiner_record_ratio != 1.0 or self.combiner_byte_ratio != 1.0
+        ):
+            raise ValueError("combiner ratios set but has_combiner is False")
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to submit one MapReduce job."""
+
+    name: str
+    workload: WorkloadProfile
+    input_path: str
+    num_reducers: int
+    #: Category-1 parameter: fraction of maps that must complete before
+    #: reducers launch.
+    slowstart: float = 0.05
+    #: Job-level base configuration (tasks may override per-task).
+    base_config: Configuration = field(default_factory=Configuration)
+    output_path: Optional[str] = None
+    job_id: str = field(default_factory=lambda: f"job_{next(_job_ids):04d}")
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        if not 0.0 <= self.slowstart <= 1.0:
+            raise ValueError("slowstart must be in [0, 1]")
+        if self.output_path is None:
+            self.output_path = f"/out/{self.job_id}"
+
+    def map_task_id(self, index: int) -> TaskId:
+        return TaskId(self.job_id, TaskType.MAP, index)
+
+    def reduce_task_id(self, index: int) -> TaskId:
+        return TaskId(self.job_id, TaskType.REDUCE, index)

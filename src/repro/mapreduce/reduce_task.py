@@ -1,0 +1,191 @@
+"""The reduce task process: shuffle, merge, reduce, output commit.
+
+The shuffle loop consumes map outputs as they complete (overlapping
+with the map phase once slowstart admits the reducer), fetching every
+newly available segment batch through an aggregated network flow whose
+rate is bounded by ``shuffle.parallelcopies`` copier streams.  The
+merge behaviour follows :func:`plan_reduce_merge`.
+
+``shuffle.merge.percent``, ``merge.inmem.threshold`` and
+``parallelcopies`` are read from the live configuration at each use, so
+category-3 (hot-swappable) updates land mid-task.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.container import Container
+from repro.core import parameters as P
+from repro.core.configuration import Configuration
+from repro.mapreduce import task_context as tc
+from repro.mapreduce.shuffle import SHUFFLE_STREAM_BW
+from repro.mapreduce.sortspill import plan_reduce_merge
+from repro.mapreduce.task_context import TaskContext
+from repro.monitor.statistics import TaskStats
+from repro.sim.events import AllOf, Event
+from repro.sim.resources import Link
+
+MB = 1024 * 1024
+
+#: How long a fetcher waits after news before re-scanning the event
+#: list, batching bursts of map completions into one aggregated fetch.
+SHUFFLE_POLL_INTERVAL = 5.0
+
+
+def run_reduce_task(
+    ctx: TaskContext,
+    reduce_index: int,
+    container: Container,
+    config: Configuration,
+    attempt: int = 1,
+    wave: int = -1,
+) -> Generator[Event, object, TaskStats]:
+    """Execute one reduce-task attempt; returns its :class:`TaskStats`."""
+    sim = ctx.sim
+    node = container.node
+    profile = ctx.spec.workload
+    task_id = ctx.spec.reduce_task_id(reduce_index)
+
+    start = sim.now
+    stats = TaskStats(
+        task_id=task_id,
+        task_type=task_id.task_type,
+        node_id=node.node_id,
+        attempt=attempt,
+        config=config.as_dict(),
+        start_time=start,
+        end_time=start,
+        cpu_seconds=0.0,
+        allocated_cores=tc.allocated_cores(
+            node.resources.cores_per_vcore, int(config[P.REDUCE_CPU_VCORES])
+        ),
+        working_set_bytes=0.0,
+        container_memory_bytes=container.memory_bytes,
+        wave=wave,
+    )
+
+    yield sim.timeout(tc.CONTAINER_LAUNCH_OVERHEAD)
+
+    heap = config.reduce_heap_bytes
+    shuffle_buf = heap * float(config[P.SHUFFLE_INPUT_BUFFER_PERCENT])
+    cores_cap = tc.effective_core_cap(
+        node.resources.cores_per_vcore,
+        int(config[P.REDUCE_CPU_VCORES]),
+        profile.reduce_cpu_parallelism,
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 1: shuffle.  One aggregated fetch per availability round.
+    # ------------------------------------------------------------------
+    copier_link = Link(f"{task_id}.copiers", SHUFFLE_STREAM_BW)
+    cursor = 0
+    fetched_bytes = 0.0
+    num_segments = 0
+    while True:
+        cursor, fresh = ctx.catalog.new_outputs_since(cursor)
+        if fresh:
+            batch = ctx.catalog.batch_bytes_for_reducer(fresh, reduce_index)
+            num_segments += len(fresh)
+            if batch > 0:
+                # parallelcopies is hot-swappable: refresh the copier
+                # pool's aggregate service rate each round.
+                copies = max(1, int(config[P.SHUFFLE_PARALLELCOPIES]))
+                copier_link.capacity = copies * SHUFFLE_STREAM_BW
+                yield ctx.cluster.network.fetch_into(
+                    node, batch, extra_links=[copier_link], label=f"{task_id}.shuffle"
+                )
+                fetched_bytes += batch
+        elif ctx.catalog.maps_done:
+            break
+        else:
+            yield ctx.catalog.wait_for_news()
+            # Batch availability into poll windows (Hadoop's fetchers
+            # likewise poll completion events periodically) so a burst
+            # of map completions becomes one aggregated fetch.
+            yield sim.timeout(SHUFFLE_POLL_INTERVAL)
+
+    input_records = int(round(fetched_bytes / max(1.0, profile.map_output_record_size)))
+    stats.shuffled_bytes = fetched_bytes
+    stats.reduce_input_records = input_records
+
+    # ------------------------------------------------------------------
+    # Phase 2: merge planning and shuffle-phase disk traffic.
+    # ------------------------------------------------------------------
+    plan = plan_reduce_merge(
+        input_bytes=fetched_bytes,
+        input_records=input_records,
+        num_segments=max(1, num_segments),
+        heap_bytes=heap,
+        shuffle_input_buffer_percent=float(config[P.SHUFFLE_INPUT_BUFFER_PERCENT]),
+        shuffle_merge_percent=float(config[P.SHUFFLE_MERGE_PERCENT]),
+        shuffle_memory_limit_percent=float(config[P.SHUFFLE_MEMORY_LIMIT_PERCENT]),
+        merge_inmem_threshold=int(config[P.MERGE_INMEM_THRESHOLD]),
+        reduce_input_buffer_percent=float(config[P.REDUCE_INPUT_BUFFER_PERCENT]),
+        sort_factor=int(config[P.IO_SORT_FACTOR]),
+    )
+
+    retained = plan.retained_in_memory_bytes
+    # Resident memory peaks at the larger of the two phases: the shuffle
+    # buffer's *touched* portion, or the reduce phase's retained segments
+    # plus the user code's state.  An oversized buffer that the input
+    # never fills does not show up as used.
+    touched_buf = min(shuffle_buf, fetched_bytes)
+    stats.working_set_bytes = tc.CONTAINER_BASE_OVERHEAD_BYTES + min(
+        heap,
+        max(touched_buf, retained + profile.reduce_fixed_mem_bytes),
+    )
+
+    if retained + profile.reduce_fixed_mem_bytes > heap:
+        # OOM during the reduce phase: retained segments plus user state
+        # exceed the heap.
+        stats.end_time = sim.now
+        stats.failed = True
+        stats.failure_reason = (
+            f"OutOfMemory: retained {retained / MB:.0f} MB + user code "
+            f"{profile.reduce_fixed_mem_bytes // MB} MB exceeds heap {heap // MB} MB"
+        )
+        return stats
+
+    shuffle_disk_in = plan.direct_to_disk_bytes + plan.inmem_spill_bytes
+    if shuffle_disk_in > 0:
+        yield node.disk_write(shuffle_disk_in, label=f"{task_id}.shufspill")
+    if plan.disk_merge_rounds > 0:
+        merge_cpu = tc.MERGE_CPU_PER_MB * plan.disk_merge_write_bytes / MB
+        yield AllOf(
+            sim,
+            [
+                node.disk_read(plan.disk_merge_read_bytes, label=f"{task_id}.mrg.rd"),
+                node.disk_write(plan.disk_merge_write_bytes, label=f"{task_id}.mrg.wr"),
+                node.compute(merge_cpu, cores_cap, label=f"{task_id}.mrg"),
+            ],
+        )
+        stats.cpu_seconds += merge_cpu
+
+    # ------------------------------------------------------------------
+    # Phase 3: the reduce function, streaming the final merge from disk.
+    # ------------------------------------------------------------------
+    cpu_work = (
+        profile.reduce_cpu_fixed_sec + profile.reduce_cpu_per_mb * fetched_bytes / MB
+    )
+    waits = [node.compute(cpu_work, cores_cap, label=f"{task_id}.reduce")]
+    if plan.final_read_bytes > 0:
+        waits.append(node.disk_read(plan.final_read_bytes, label=f"{task_id}.final.rd"))
+    yield AllOf(sim, waits)
+    stats.cpu_seconds += cpu_work
+
+    # ------------------------------------------------------------------
+    # Phase 4: write the replicated output partition.
+    # ------------------------------------------------------------------
+    output_bytes = ctx.dataflow.reduce_output_bytes(fetched_bytes)
+    if output_bytes > 0:
+        path = f"{ctx.spec.output_path}/part-{reduce_index:05d}"
+        if ctx.hdfs.exists(path):
+            ctx.hdfs.delete(path)  # earlier failed attempt's partial output
+        yield ctx.hdfs.write_file(path, int(output_bytes), node)
+
+    yield sim.timeout(tc.TASK_COMMIT_OVERHEAD)
+
+    stats.end_time = sim.now
+    stats.spilled_records = plan.spilled_records
+    return stats

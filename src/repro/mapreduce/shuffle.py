@@ -1,0 +1,102 @@
+"""The shuffle: map-output catalog and reducer fetch bookkeeping.
+
+Map tasks register their final output (total bytes and the per-reducer
+partition vector) with the :class:`MapOutputCatalog`; reduce tasks
+consume completed outputs in arrival order, fetching everything new in
+aggregated rounds (Hadoop's fetchers also batch by event polls).
+
+Per-fetch throughput is bounded by ``shuffle.parallelcopies`` times a
+per-stream service rate: serving a map segment is a seek-bound read on
+the source node, so a single copier stream cannot saturate a NIC --
+which is exactly why the parameter is worth tuning (S6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+MB = 1024 * 1024
+
+#: Service rate of one shuffle copier stream (seek-bound map-output
+#: serving; the tuning rule "increase parallelcopies in increments of
+#: 10" only makes sense if single streams are slow).
+SHUFFLE_STREAM_BW = 12 * MB
+
+
+class MapOutputCatalog:
+    """Tracks completed map outputs for one job's shuffle."""
+
+    def __init__(self, sim: Simulator, num_maps: int, num_reducers: int) -> None:
+        self.sim = sim
+        self.num_maps = num_maps
+        self.num_reducers = num_reducers
+        #: map index -> (node_id, partition byte vector)
+        self._outputs: Dict[int, tuple[int, np.ndarray]] = {}
+        self._completed_order: List[int] = []
+        self._waiters: List[Event] = []
+        self.maps_done = False
+
+    # -- producer side -----------------------------------------------------
+    def register_map_output(
+        self, map_index: int, node_id: int, partitions: np.ndarray
+    ) -> None:
+        if map_index in self._outputs:
+            raise ValueError(f"map {map_index} registered twice")
+        if len(partitions) != self.num_reducers:
+            raise ValueError(
+                f"partition vector has {len(partitions)} entries, "
+                f"expected {self.num_reducers}"
+            )
+        self._outputs[map_index] = (node_id, np.asarray(partitions, dtype=float))
+        self._completed_order.append(map_index)
+        if len(self._outputs) >= self.num_maps:
+            self.maps_done = True
+        self._wake()
+
+    def mark_all_maps_done(self) -> None:
+        """Called by the app master when no further map outputs will appear."""
+        self.maps_done = True
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    # -- consumer side -----------------------------------------------------
+    @property
+    def completed_maps(self) -> int:
+        return len(self._outputs)
+
+    def new_outputs_since(self, cursor: int) -> tuple[int, List[int]]:
+        """Map indices completed since *cursor*; returns (new_cursor, indices)."""
+        fresh = self._completed_order[cursor:]
+        return len(self._completed_order), fresh
+
+    def wait_for_news(self) -> Event:
+        """An event that fires when another map output lands (or maps end)."""
+        ev = self.sim.event()
+        self._waiters.append(ev)
+        return ev
+
+    def partition_bytes(self, map_index: int, reduce_index: int) -> float:
+        _node, parts = self._outputs[map_index]
+        return float(parts[reduce_index])
+
+    def batch_bytes_for_reducer(
+        self, map_indices: Sequence[int], reduce_index: int
+    ) -> float:
+        return float(
+            sum(self._outputs[m][1][reduce_index] for m in map_indices)
+        )
+
+    def total_bytes_for_reducer(self, reduce_index: int) -> float:
+        return float(sum(parts[reduce_index] for _n, parts in self._outputs.values()))
+
+    def source_nodes(self, map_indices: Sequence[int]) -> List[int]:
+        return [self._outputs[m][0] for m in map_indices]

@@ -1,0 +1,256 @@
+"""Analytic sort/spill/merge planning -- the Hadoop buffer mechanics.
+
+These are pure functions: given data volumes and the buffer parameters
+from Table 2, they return how many spills happen, how many records are
+(re)written to disk, and how many bytes of disk traffic each merge pass
+costs.  The task processes turn the byte figures into simulated I/O;
+the record figures feed the SPILLED_RECORDS counter (Figures 7-9).
+
+Semantics follow Hadoop's MapTask/MergeManager:
+
+* Map side: the serialized output stream fills ``io.sort.mb``; a spill
+  triggers at ``sort.spill.percent`` of the buffer.  One spill means the
+  spill file *is* the map output (records hit disk once -- the paper's
+  "Optimal").  k > 1 spills require merging, and every merge pass
+  rewrites every record, so spilled records grow by one output-volume
+  per pass (the paper's "3x the map output records in the worst case").
+* Reduce side: fetched segments land in memory if they fit under
+  ``shuffle.memory.limit.percent`` of the shuffle buffer
+  (``shuffle.input.buffer.percent`` of the heap); the in-memory merger
+  flushes to disk at ``shuffle.merge.percent`` (or
+  ``merge.inmem.threshold`` segments); on-disk runs merge with fan-in
+  ``io.sort.factor``; ``reduce.input.buffer.percent`` of the heap may
+  retain segments in memory while the reduce function runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def merge_passes(num_segments: int, fan_in: int) -> int:
+    """Number of merge passes to combine *num_segments* sorted runs.
+
+    Each pass merges up to ``fan_in`` runs into one.  0 or 1 segments
+    need no merging.
+    """
+    if fan_in < 2:
+        raise ValueError(f"merge fan-in must be >= 2, got {fan_in}")
+    if num_segments <= 1:
+        return 0
+    return max(1, math.ceil(math.log(num_segments, fan_in)))
+
+
+@dataclass(frozen=True)
+class MapSpillPlan:
+    """Disk/record consequences of one map task's buffer configuration."""
+
+    num_spills: int
+    #: SPILLED_RECORDS contribution of this task.
+    spilled_records: int
+    #: Bytes written by the initial spills (the post-combiner stream).
+    spill_write_bytes: float
+    #: Bytes read and written by intermediate+final merge passes.
+    merge_read_bytes: float
+    merge_write_bytes: float
+    merge_rounds: int
+    #: The final map-output file (what the shuffle serves).
+    output_bytes: float
+    output_records: int
+
+    @property
+    def total_disk_write_bytes(self) -> float:
+        return self.spill_write_bytes + self.merge_write_bytes
+
+    @property
+    def total_disk_read_bytes(self) -> float:
+        return self.merge_read_bytes
+
+
+def plan_map_spills(
+    output_records: int,
+    output_bytes: float,
+    sort_buffer_bytes: float,
+    spill_percent: float,
+    sort_factor: int,
+    has_combiner: bool = False,
+    combiner_record_ratio: float = 1.0,
+    combiner_byte_ratio: float = 1.0,
+) -> MapSpillPlan:
+    """Plan the map-side spill/merge behaviour.
+
+    ``output_records``/``output_bytes`` are the *map function's* output,
+    before any combiner.  The combiner is applied per spill chunk, as
+    Hadoop does.
+    """
+    if output_records < 0 or output_bytes < 0:
+        raise ValueError("negative map output")
+    if sort_buffer_bytes <= 0:
+        raise ValueError("sort buffer must be positive")
+    if not 0.0 < spill_percent <= 1.0:
+        raise ValueError(f"spill percent {spill_percent} outside (0, 1]")
+
+    if output_bytes == 0:
+        return MapSpillPlan(0, 0, 0.0, 0.0, 0.0, 0, 0.0, 0)
+
+    usable = sort_buffer_bytes * spill_percent
+    num_spills = max(1, math.ceil(output_bytes / usable))
+
+    if has_combiner:
+        combined_records = max(1, math.ceil(output_records * combiner_record_ratio))
+        combined_bytes = max(1.0, output_bytes * combiner_byte_ratio)
+    else:
+        combined_records = output_records
+        combined_bytes = output_bytes
+
+    if num_spills == 1:
+        # The single spill file is the output: records hit disk once.
+        return MapSpillPlan(
+            num_spills=1,
+            spilled_records=combined_records,
+            spill_write_bytes=combined_bytes,
+            merge_read_bytes=0.0,
+            merge_write_bytes=0.0,
+            merge_rounds=0,
+            output_bytes=combined_bytes,
+            output_records=combined_records,
+        )
+
+    rounds = merge_passes(num_spills, max(2, int(sort_factor)))
+    # Initial spills write the combined stream once; every merge pass
+    # rewrites it (the final pass writes the output file).
+    spilled_records = combined_records * (1 + rounds)
+    return MapSpillPlan(
+        num_spills=num_spills,
+        spilled_records=spilled_records,
+        spill_write_bytes=combined_bytes,
+        merge_read_bytes=combined_bytes * rounds,
+        merge_write_bytes=combined_bytes * rounds,
+        merge_rounds=rounds,
+        output_bytes=combined_bytes,
+        output_records=combined_records,
+    )
+
+
+@dataclass(frozen=True)
+class ReduceMergePlan:
+    """Disk/record consequences of one reduce task's buffer configuration."""
+
+    #: Segment bytes that bypassed memory entirely (too large to admit).
+    direct_to_disk_bytes: float
+    #: Bytes flushed from the in-memory merger to disk during shuffle.
+    inmem_spill_bytes: float
+    #: Bytes retained in memory and fed straight to the reduce function.
+    retained_in_memory_bytes: float
+    #: On-disk run count entering the disk merge.
+    disk_segments: int
+    #: Intermediate disk-merge passes (each rereads+rewrites disk bytes).
+    disk_merge_rounds: int
+    disk_merge_read_bytes: float
+    disk_merge_write_bytes: float
+    #: Disk bytes streamed during the reduce phase (the final merge).
+    final_read_bytes: float
+    #: SPILLED_RECORDS contribution of this task.
+    spilled_records: int
+
+    @property
+    def total_disk_write_bytes(self) -> float:
+        return self.direct_to_disk_bytes + self.inmem_spill_bytes + self.disk_merge_write_bytes
+
+    @property
+    def total_disk_read_bytes(self) -> float:
+        return self.disk_merge_read_bytes + self.final_read_bytes
+
+
+def plan_reduce_merge(
+    input_bytes: float,
+    input_records: int,
+    num_segments: int,
+    heap_bytes: float,
+    shuffle_input_buffer_percent: float,
+    shuffle_merge_percent: float,
+    shuffle_memory_limit_percent: float,
+    merge_inmem_threshold: int,
+    reduce_input_buffer_percent: float,
+    sort_factor: int,
+) -> ReduceMergePlan:
+    """Plan the reduce-side shuffle-merge behaviour for one reducer."""
+    if input_bytes < 0 or input_records < 0:
+        raise ValueError("negative reduce input")
+    if num_segments < 1:
+        num_segments = 1
+    if heap_bytes <= 0:
+        raise ValueError("heap must be positive")
+
+    if input_bytes == 0:
+        return ReduceMergePlan(0.0, 0.0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0)
+
+    shuffle_buf = heap_bytes * shuffle_input_buffer_percent
+    seg_limit = shuffle_buf * shuffle_memory_limit_percent
+    avg_seg = input_bytes / num_segments
+
+    if shuffle_buf <= 0 or avg_seg > seg_limit:
+        # Segments are too big for the in-memory path: everything lands
+        # on disk as it is fetched.
+        direct = input_bytes
+        inmem_in = 0.0
+    else:
+        direct = 0.0
+        inmem_in = input_bytes
+
+    # In-memory merger: flush a batch once the buffered bytes pass the
+    # merge trigger or the segment count passes the threshold.
+    batch = shuffle_buf * shuffle_merge_percent
+    if merge_inmem_threshold > 0:
+        batch = min(batch, merge_inmem_threshold * avg_seg)
+    batch = max(batch, avg_seg)  # a batch holds at least one segment
+
+    inmem_spill = 0.0
+    inmem_flushes = 0
+    pending = 0.0
+    if inmem_in > 0:
+        if inmem_in <= batch:
+            pending = inmem_in
+        else:
+            inmem_flushes = int(inmem_in // batch)
+            inmem_spill = inmem_flushes * batch
+            pending = inmem_in - inmem_spill
+
+    # While the reduce function runs, only reduce.input.buffer.percent
+    # of the heap may keep segments resident; the excess is spilled.
+    allowance = heap_bytes * reduce_input_buffer_percent
+    extra_spill = max(0.0, pending - allowance)
+    retained = pending - extra_spill
+    if extra_spill > 0:
+        inmem_spill += extra_spill
+        inmem_flushes += 1
+
+    disk_bytes = direct + inmem_spill
+    disk_segments = (num_segments if direct > 0 else 0) + inmem_flushes
+
+    fan_in = max(2, int(sort_factor))
+    total_passes = merge_passes(disk_segments, fan_in)
+    # The last pass streams directly into the reduce function (no write).
+    inter_rounds = max(0, total_passes - 1)
+    merge_read = disk_bytes * inter_rounds
+    merge_write = disk_bytes * inter_rounds
+    final_read = disk_bytes
+
+    if input_bytes > 0:
+        frac_disk = disk_bytes / input_bytes
+    else:
+        frac_disk = 0.0
+    spilled_records = int(round(input_records * frac_disk * (1 + inter_rounds)))
+
+    return ReduceMergePlan(
+        direct_to_disk_bytes=direct,
+        inmem_spill_bytes=inmem_spill,
+        retained_in_memory_bytes=retained,
+        disk_segments=disk_segments,
+        disk_merge_rounds=inter_rounds,
+        disk_merge_read_bytes=merge_read,
+        disk_merge_write_bytes=merge_write,
+        final_read_bytes=final_read,
+        spilled_records=spilled_records,
+    )

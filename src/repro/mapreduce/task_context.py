@@ -1,0 +1,51 @@
+"""Shared context handed to task processes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.topology import Cluster
+from repro.hdfs.filesystem import HdfsFileSystem
+from repro.mapreduce.dataflow import JobDataflow
+from repro.mapreduce.jobspec import JobSpec
+from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.sim.engine import Simulator
+
+# Timing constants shared by both task types (seconds).
+CONTAINER_LAUNCH_OVERHEAD = 1.5  # JVM + localization
+TASK_COMMIT_OVERHEAD = 0.3
+#: Memory a container consumes beyond heap buffers (JVM, stacks, code).
+CONTAINER_BASE_OVERHEAD_BYTES = 150 * 1024 * 1024
+#: Extra physical-core headroom a container may burst into beyond its
+#: strict vcore share (YARN's cgroup shares only bind under contention;
+#: the paper observes a 1-vcore BBP mapper at 99% of a core).
+CPU_BURST_FACTOR = 4.0
+#: CPU cost of sorting/serializing one MB of map output (core-seconds).
+SORT_CPU_PER_MB = 0.015
+#: CPU cost of merging one MB during reduce-side merges (core-seconds).
+MERGE_CPU_PER_MB = 0.008
+
+
+@dataclass
+class TaskContext:
+    """Services a task process needs to execute."""
+
+    sim: Simulator
+    cluster: Cluster
+    hdfs: HdfsFileSystem
+    spec: JobSpec
+    dataflow: JobDataflow
+    catalog: MapOutputCatalog
+
+
+def allocated_cores(node_cores_per_vcore: float, vcores: int) -> float:
+    """Physical-core entitlement of a container (with burst headroom)."""
+    return vcores * node_cores_per_vcore * CPU_BURST_FACTOR
+
+
+def effective_core_cap(
+    node_cores_per_vcore: float, vcores: int, parallelism: float
+) -> float:
+    """Cores a task can actually use: entitlement capped by its own parallelism."""
+    return min(allocated_cores(node_cores_per_vcore, vcores), max(0.05, parallelism))

@@ -1,0 +1,67 @@
+"""The central monitor: aggregates task and node statistics.
+
+The per-node slave monitors push :class:`NodeStats` samples here; app
+masters push :class:`TaskStats` on task completion.  The tuner reads
+both through query methods -- it never touches simulator internals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from repro.mapreduce.jobspec import TaskType
+from repro.monitor.statistics import NodeStats, TaskStats, UtilizationTimeline
+from repro.sim.engine import Simulator
+
+
+class CentralMonitor:
+    """Aggregation point for all runtime statistics."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.task_stats: List[TaskStats] = []
+        self.node_samples: List[NodeStats] = []
+        self.cpu_timelines: Dict[int, UtilizationTimeline] = defaultdict(UtilizationTimeline)
+        self.mem_timelines: Dict[int, UtilizationTimeline] = defaultdict(UtilizationTimeline)
+        #: Subscribers notified of every completed task (the tuner).
+        self.task_listeners: List[Callable[[TaskStats], None]] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def on_task_stats(self, stats: TaskStats) -> None:
+        self.task_stats.append(stats)
+        for listener in self.task_listeners:
+            listener(stats)
+
+    def on_node_stats(self, sample: NodeStats) -> None:
+        self.node_samples.append(sample)
+        self.cpu_timelines[sample.node_id].add(sample.time, sample.cpu_utilization)
+        self.mem_timelines[sample.node_id].add(sample.time, sample.memory_utilization)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def stats_for_job(self, job_id: str, task_type: Optional[TaskType] = None) -> List[TaskStats]:
+        out = [s for s in self.task_stats if s.task_id.job_id == job_id]
+        if task_type is not None:
+            out = [s for s in out if s.task_type is task_type]
+        return out
+
+    def mean_cpu_utilization(self, since: float = 0.0) -> float:
+        values = [tl.mean(since) for tl in self.cpu_timelines.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_memory_utilization(self, since: float = 0.0) -> float:
+        values = [tl.mean(since) for tl in self.mem_timelines.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def hot_nodes(self, cpu_threshold: float = 0.9) -> List[int]:
+        """Nodes whose latest CPU sample exceeds *cpu_threshold* (hot spots)."""
+        hot = []
+        for node_id, tl in self.cpu_timelines.items():
+            latest = tl.latest()
+            if latest is not None and latest >= cpu_threshold:
+                hot.append(node_id)
+        return sorted(hot)

@@ -1,0 +1,70 @@
+"""Per-node slave monitor: samples node statistics periodically."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional
+
+from repro.monitor.statistics import NodeStats
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a monitor <-> yarn cycle
+    from repro.yarn.node_manager import NodeManager
+
+DEFAULT_SAMPLE_INTERVAL = 5.0
+
+
+class SlaveMonitor:
+    """Gathers node statistics and forwards them to the central monitor.
+
+    Mirrors the paper's slave monitors running inside each node manager
+    (Section 3): they sample local CPU/memory/network state and push it
+    upstream on a fixed period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_manager: "NodeManager",
+        sink: Callable[[NodeStats], None],
+        interval: float = DEFAULT_SAMPLE_INTERVAL,
+        network=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sim = sim
+        self.nm = node_manager
+        self.sink = sink
+        self.interval = interval
+        self.network = network
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._loop(), name=f"slave-mon-{self.nm.node.node_id}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def sample(self) -> NodeStats:
+        node = self.nm.node
+        rx = tx = 0.0
+        if self.network is not None:
+            rx = self.network.rx_utilization(node)
+            tx = self.network.tx_utilization(node)
+        return NodeStats(
+            node_id=node.node_id,
+            time=self.sim.now,
+            cpu_utilization=self.nm.cpu_utilization(),
+            memory_utilization=self.nm.memory_utilization(),
+            running_containers=self.nm.running_containers,
+            rx_utilization=rx,
+            tx_utilization=tx,
+        )
+
+    def _loop(self) -> Generator[Event, object, None]:
+        while self._running:
+            self.sink(self.sample())
+            yield self.sim.timeout(self.interval)

@@ -1,0 +1,118 @@
+"""Statistics records exchanged between monitors and the tuner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mapreduce.jobspec import TaskId, TaskType
+
+
+@dataclass
+class TaskStats:
+    """Everything the monitor reports about one finished task attempt.
+
+    This is deliberately restricted to signals a real YARN deployment
+    exposes (job counters + container utilization); the tuner is
+    gray-box, not omniscient.
+    """
+
+    task_id: TaskId
+    task_type: TaskType
+    node_id: int
+    attempt: int
+    config: Dict[str, float]
+    start_time: float
+    end_time: float
+    #: Core-seconds of CPU actually consumed.
+    cpu_seconds: float
+    #: Core-capacity the container was entitled to (cores).
+    allocated_cores: float
+    #: Peak resident working set in bytes.
+    working_set_bytes: float
+    container_memory_bytes: float
+    spilled_records: int = 0
+    map_output_records: int = 0
+    map_output_bytes: float = 0.0
+    combine_output_records: int = 0
+    shuffled_bytes: float = 0.0
+    reduce_input_records: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+    #: Wave index assigned by the launch gate (aggressive tuning).
+    wave: int = -1
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def memory_utilization(self) -> float:
+        """u_mem in Equation 1: peak working set over the container grant."""
+        if self.container_memory_bytes <= 0:
+            return 0.0
+        return min(1.0, self.working_set_bytes / self.container_memory_bytes)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """u_cpu in Equation 1: CPU consumed over the container's entitlement."""
+        denom = self.duration * self.allocated_cores
+        if denom <= 0:
+            return 0.0
+        return min(1.0, self.cpu_seconds / denom)
+
+    @property
+    def spill_ratio(self) -> float:
+        """Spilled records over map/combine output records (Equation 1).
+
+        For reduce tasks the denominator is the shuffled record count.
+        """
+        if self.task_type is TaskType.MAP:
+            denom = self.combine_output_records or self.map_output_records
+        else:
+            denom = self.reduce_input_records
+        if denom <= 0:
+            return 0.0 if self.spilled_records == 0 else 1.0
+        return self.spilled_records / denom
+
+
+@dataclass
+class NodeStats:
+    """A point-in-time sample of one node's resource state."""
+
+    node_id: int
+    time: float
+    cpu_utilization: float
+    memory_utilization: float
+    running_containers: int
+    rx_utilization: float = 0.0
+    tx_utilization: float = 0.0
+
+
+@dataclass
+class UtilizationTimeline:
+    """Accumulates utilization samples; reports time-weighted means."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def mean(self, since: float = 0.0) -> float:
+        pairs = [(t, v) for t, v in zip(self.times, self.values) if t >= since]
+        if not pairs:
+            return 0.0
+        if len(pairs) == 1:
+            return pairs[0][1]
+        total = 0.0
+        span = pairs[-1][0] - pairs[0][0]
+        if span <= 0:
+            return sum(v for _, v in pairs) / len(pairs)
+        for (t0, v0), (t1, _v1) in zip(pairs, pairs[1:]):
+            total += v0 * (t1 - t0)
+        return total / span
+
+    def latest(self) -> Optional[float]:
+        return self.values[-1] if self.values else None

@@ -1,0 +1,181 @@
+"""The event calendar and simulated clock.
+
+The :class:`Simulator` owns a binary-heap event calendar keyed by
+``(time, priority, sequence)``.  The sequence number makes event ordering
+total and deterministic, which in turn makes every experiment in this
+repository reproducible bit-for-bit under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.events import Event, Process, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        When true, every executed event is appended to :attr:`trace_log`
+        as ``(time, description)``.  Tracing is intended for debugging
+        and tests; it is off by default to keep long runs allocation
+        light.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq: int = 0
+        self._running = False
+        self.trace = trace
+        self.trace_log: list[tuple[float, str]] = []
+        #: Number of events executed so far (diagnostic counter).
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, event: "Event", delay: float = 0.0, priority: int = 0) -> None:
+        """Schedule *event* to fire ``delay`` seconds from now.
+
+        Negative delays are rejected: the calendar never travels back in
+        time.  ``priority`` breaks ties at equal timestamps (lower runs
+        first); the insertion sequence breaks any remaining ties.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay!r})")
+        if event.scheduled:
+            raise SimulationError(f"event {event!r} is already scheduled")
+        event.scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """Return a :class:`Timeout` event firing after *delay* seconds."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def event(self) -> "Event":
+        """Return a fresh, untriggered :class:`Event`."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def process(
+        self, generator: Generator["Event", Any, Any], name: Optional[str] = None
+    ) -> "Process":
+        """Wrap *generator* in a :class:`Process` and start it immediately."""
+        from repro.sim.events import Process
+
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> "Event":
+        """Invoke *fn* at absolute simulated time *when* (>= now)."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the calendar is empty."""
+        while self._queue:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = when
+            self.events_executed += 1
+            if self.trace:
+                self.trace_log.append((when, repr(event)))
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the calendar is
+            left intact, and ``now`` is set to ``until``).  ``None``
+            drains the calendar.
+        max_events:
+            Safety valve against runaway simulations.
+
+        Returns
+        -------
+        float
+            The simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway simulation"
+                    )
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, event: "Event", max_events: int = 50_000_000) -> Any:
+        """Run until *event* has fired, then return its value.
+
+        Raises the event's exception if it failed, and
+        :class:`SimulationError` if the calendar drains first.
+        """
+        executed = 0
+        while not event.triggered:
+            if not self.step():
+                raise SimulationError(
+                    f"event calendar drained before {event!r} triggered"
+                )
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if event.failed:
+            raise event.exception  # type: ignore[misc]
+        return event.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the calendar (including cancelled)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Simulator now={self._now:.3f} pending={len(self._queue)}>"

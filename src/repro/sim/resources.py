@@ -1,0 +1,300 @@
+"""Shared resources: fair-shared links, semaphores, and stores.
+
+The central abstraction is the :class:`FlowScheduler`, which models a
+set of capacity-limited :class:`Link` objects carrying :class:`Flow`
+objects.  Every flow traverses one or more links and optionally has a
+per-flow rate cap; the scheduler allocates rates by progressive-filling
+**max-min fairness**, the standard model for bandwidth sharing on
+disks, NICs, and (approximately) time-shared CPUs.
+
+Whenever a flow is added or completes, the scheduler advances every
+active flow by the elapsed time at its previous rate, recomputes the
+max-min allocation, and schedules a completion event for the earliest
+finisher.  Stale completion events are invalidated by a token counter.
+
+Complexity per recompute is ``O(iterations * (links + flows))`` with at
+least one flow or link frozen per iteration; schedulers in this
+repository are kept node-local (per-disk, per-CPU) or cluster-global
+(network) so the active flow counts stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event
+
+_EPS = 1e-12
+
+
+class Link:
+    """A capacity-limited resource (bytes/s, ops/s, core-seconds/s)."""
+
+    __slots__ = ("name", "capacity", "_active")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} needs positive capacity, got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+        self._active: int = 0  # maintained by the scheduler
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Link {self.name} cap={self.capacity:g}>"
+
+
+class Flow:
+    """A unit of work streaming through one or more links."""
+
+    __slots__ = ("links", "cap", "remaining", "event", "rate", "started_at", "label", "total")
+
+    def __init__(
+        self,
+        links: Sequence[Link],
+        amount: float,
+        event: Event,
+        cap: Optional[float] = None,
+        label: str = "",
+    ) -> None:
+        self.links = tuple(links)
+        self.total = float(amount)
+        self.remaining = float(amount)
+        self.event = event
+        self.cap = float(cap) if cap is not None else float("inf")
+        self.rate = 0.0
+        self.started_at = 0.0
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Flow {self.label} remaining={self.remaining:g} rate={self.rate:g}>"
+
+
+def maxmin_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """Progressive-filling max-min fair allocation with per-flow caps.
+
+    Returns a mapping flow -> rate.  Each iteration either freezes all
+    flows bottlenecked at the tightest link at that link's fair share,
+    or freezes flows whose cap is below the current water level, so the
+    loop terminates in at most ``len(flows)`` iterations.
+    """
+    rates: Dict[Flow, float] = {}
+    if not flows:
+        return rates
+    active: List[Flow] = list(flows)
+    cap_left: Dict[Link, float] = {}
+    counts: Dict[Link, int] = {}
+    for f in active:
+        for link in f.links:
+            cap_left.setdefault(link, link.capacity)
+            counts[link] = counts.get(link, 0) + 1
+
+    while active:
+        # Fair share on the currently tightest link.
+        water = float("inf")
+        for link, n in counts.items():
+            if n > 0:
+                share = cap_left[link] / n
+                if share < water:
+                    water = share
+        if water == float("inf"):  # all remaining flows traverse no links
+            for f in active:
+                rates[f] = f.cap
+            break
+        capped = [f for f in active if f.cap <= water + _EPS]
+        if capped:
+            frozen = capped
+            frozen_rates = {f: min(f.cap, water) for f in frozen}
+        else:
+            # Freeze every flow crossing a bottleneck link.
+            bottlenecks = {
+                link
+                for link, n in counts.items()
+                if n > 0 and cap_left[link] / n <= water + _EPS
+            }
+            frozen = [f for f in active if any(l in bottlenecks for l in f.links)]
+            frozen_rates = {f: water for f in frozen}
+        for f in frozen:
+            r = frozen_rates[f]
+            rates[f] = r
+            for link in f.links:
+                cap_left[link] = max(0.0, cap_left[link] - r)
+                counts[link] -= 1
+        active = [f for f in active if f not in rates]
+    return rates
+
+
+class FlowScheduler:
+    """Allocates link bandwidth across active flows, max-min fairly."""
+
+    def __init__(self, sim: Simulator, name: str = "flows") -> None:
+        self.sim = sim
+        self.name = name
+        self._flows: List[Flow] = []
+        self._last_update: float = 0.0
+        self._token: int = 0  # invalidates stale completion events
+        #: Total work completed through this scheduler (diagnostics).
+        self.completed_work: float = 0.0
+        self.completed_flows: int = 0
+
+    # -- public API -------------------------------------------------------
+    def transfer(
+        self,
+        links: Sequence[Link],
+        amount: float,
+        cap: Optional[float] = None,
+        label: str = "",
+    ) -> Event:
+        """Stream *amount* units through *links*; returns a completion event.
+
+        Zero-sized transfers complete on the next calendar step.
+        """
+        if amount < 0:
+            raise SimulationError(f"negative transfer amount {amount}")
+        done = self.sim.event()
+        if amount <= _EPS:
+            done.succeed(0.0)
+            return done
+        flow = Flow(links, amount, done, cap=cap, label=label)
+        flow.started_at = self.sim.now
+        self._advance()
+        self._flows.append(flow)
+        self._reschedule()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def utilization(self, link: Link) -> float:
+        """Fraction of *link* capacity currently allocated."""
+        self._advance_rates_only()
+        used = sum(f.rate for f in self._flows if link in f.links)
+        return min(1.0, used / link.capacity)
+
+    # -- internals --------------------------------------------------------
+    def _advance(self) -> None:
+        """Credit progress to all flows for time elapsed at current rates."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for f in self._flows:
+                f.remaining = max(0.0, f.remaining - f.rate * dt)
+        self._last_update = now
+
+    def _advance_rates_only(self) -> None:
+        rates = maxmin_rates(self._flows)
+        for f in self._flows:
+            f.rate = rates.get(f, 0.0)
+
+    def _reschedule(self) -> None:
+        """Recompute rates and schedule the next completion."""
+        self._token += 1
+        token = self._token
+        rates = maxmin_rates(self._flows)
+        soonest: Optional[Flow] = None
+        soonest_t = float("inf")
+        for f in self._flows:
+            f.rate = rates.get(f, 0.0)
+            if f.rate > _EPS:
+                t = f.remaining / f.rate
+                if t < soonest_t:
+                    soonest_t = t
+                    soonest = f
+        if soonest is None:
+            if self._flows:
+                raise SimulationError(
+                    f"scheduler {self.name!r} has {len(self._flows)} flows but none "
+                    "can make progress (all rates zero)"
+                )
+            return
+        self.sim.call_at(self.sim.now + soonest_t, lambda: self._on_completion(token))
+
+    def _on_completion(self, token: int) -> None:
+        if token != self._token:
+            return  # stale wakeup; a newer reschedule superseded it
+        self._advance()
+        finished = [f for f in self._flows if f.remaining <= _EPS * max(1.0, f.total)]
+        if not finished:
+            # Numerical slack: finish the closest flow.
+            finished = [min(self._flows, key=lambda f: f.remaining)]
+        for f in finished:
+            self._flows.remove(f)
+            self.completed_work += f.total
+            self.completed_flows += 1
+            f.event.succeed(self.sim.now - f.started_at)
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<FlowScheduler {self.name} active={len(self._flows)}>"
+
+
+class Semaphore:
+    """A counting semaphore with FIFO waiters (container slots, permits)."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "sem") -> None:
+        if capacity < 1:
+            raise ValueError("semaphore capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: List[tuple[int, Event]] = []
+
+    def acquire(self, count: int = 1) -> Event:
+        """Request *count* permits; the returned event fires when granted."""
+        if count > self.capacity:
+            raise SimulationError(
+                f"requesting {count} permits from {self.name!r} (capacity {self.capacity})"
+            )
+        ev = self.sim.event()
+        self._waiters.append((count, ev))
+        self._drain()
+        return ev
+
+    def release(self, count: int = 1) -> None:
+        self.in_use -= count
+        if self.in_use < 0:
+            raise SimulationError(f"semaphore {self.name!r} over-released")
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters:
+            count, ev = self._waiters[0]
+            if self.in_use + count > self.capacity:
+                break
+            self._waiters.pop(0)
+            self.in_use += count
+            ev.succeed(count)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+
+class Store:
+    """An unbounded FIFO message store (mailboxes between components)."""
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: List[object] = []
+        self._getters: List[Event] = []
+
+    def put(self, item: object) -> None:
+        self._items.append(item)
+        self._drain()
+
+    def get(self) -> Event:
+        ev = self.sim.event()
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        while self._items and self._getters:
+            ev = self._getters.pop(0)
+            ev.succeed(self._items.pop(0))
+
+    def __len__(self) -> int:
+        return len(self._items)

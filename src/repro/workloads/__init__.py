@@ -1,0 +1,38 @@
+"""The benchmark applications and datasets of the paper's evaluation.
+
+Each application module exposes a profile factory returning a
+:class:`~repro.mapreduce.jobspec.WorkloadProfile` calibrated so that the
+job's input/shuffle/output volumes reproduce its row of Table 3;
+:mod:`repro.workloads.suite` assembles the full benchmark matrix.
+"""
+
+from repro.workloads.bbp import bbp_profile
+from repro.workloads.bigram import bigram_profile
+from repro.workloads.datasets import (
+    DatasetSpec,
+    freebase_dataset,
+    teragen_dataset,
+    wikipedia_dataset,
+)
+from repro.workloads.grep import text_search_profile
+from repro.workloads.inverted_index import inverted_index_profile
+from repro.workloads.suite import BenchmarkCase, JobType, make_job_spec, table3_cases
+from repro.workloads.terasort import terasort_profile
+from repro.workloads.wordcount import wordcount_profile
+
+__all__ = [
+    "BenchmarkCase",
+    "DatasetSpec",
+    "JobType",
+    "bbp_profile",
+    "bigram_profile",
+    "freebase_dataset",
+    "inverted_index_profile",
+    "make_job_spec",
+    "table3_cases",
+    "teragen_dataset",
+    "terasort_profile",
+    "text_search_profile",
+    "wikipedia_dataset",
+    "wordcount_profile",
+]

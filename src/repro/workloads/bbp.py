@@ -1,0 +1,49 @@
+"""BBP: Bailey-Borwein-Plouffe digits of pi -- pure compute.
+
+Table 3: no input, 252 KB shuffled, no output, 100 maps and a single
+reducer.  Each map computes a digit range; the work is embarrassingly
+parallel *within* a task too (digit extraction is independent per
+digit), so a mapper can exploit several cores when its container grant
+allows -- which is how MRONLINE's multi-tenant experiment reassigns
+idle CPUs to BBP (Section 8.5).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.jobspec import WorkloadProfile
+
+MB = 1024 * 1024
+
+
+def bbp_profile(digits: int = 500_000, num_tasks: int = 100) -> WorkloadProfile:
+    """Profile for computing *digits* digits of pi over *num_tasks* maps.
+
+    The per-task compute cost scales linearly with the digit share; the
+    paper's 0.5e6-digit configuration costs roughly 600 core-seconds
+    per map on our reference core speed.
+    """
+    if digits <= 0 or num_tasks <= 0:
+        raise ValueError("digits and num_tasks must be positive")
+    per_task_sec = 600.0 * (digits / 500_000.0) * (100.0 / num_tasks)
+    shuffle_bytes = 252 * 1024
+    # Splits are 1 MB placeholders; derive the output ratio that lands
+    # the total shuffle at 252 KB.
+    total_input = num_tasks * 1 * MB
+    return WorkloadProfile(
+        name="bbp",
+        map_output_ratio=shuffle_bytes / total_input,
+        map_output_record_size=256.0,
+        has_combiner=False,
+        reduce_output_ratio=0.0,  # the single reducer just verifies/concats
+        map_cpu_per_mb=0.0,
+        reduce_cpu_per_mb=0.5,
+        map_cpu_fixed_sec=per_task_sec,
+        reduce_cpu_fixed_sec=5.0,
+        map_cpu_parallelism=4.0,  # digit extraction parallelizes in-task
+        reduce_cpu_parallelism=1.0,
+        # The series computation keeps sizeable per-thread state tables.
+        map_fixed_mem_bytes=256 * MB,
+        reduce_fixed_mem_bytes=128 * MB,
+        partition_skew=0.0,
+        map_output_noise=0.0,
+    )

@@ -1,0 +1,40 @@
+"""Bigram counting: emit every pair of consecutive words.
+
+Shuffle-intensive on both datasets (Table 3): bigrams are nearly
+unique, so the combiner barely helps and most of the inflated map
+output crosses the network.  Wikipedia: 90.5 GB -> 80.8 GB shuffle ->
+27.6 GB out; Freebase: 100.8 GB -> 84.8 GB -> 77.8 GB (knowledge-graph
+bigrams barely collapse in the reduce either).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.jobspec import WorkloadProfile
+
+
+def bigram_profile(dataset: str = "wikipedia") -> WorkloadProfile:
+    if dataset == "wikipedia":
+        # 90.5 * 1.8 * 0.496 = 80.8 GB shuffle; * 0.342 = 27.6 GB out.
+        combiner_byte_ratio = 0.496
+        reduce_output_ratio = 0.342
+        skew = 0.3
+    elif dataset == "freebase":
+        # 100.8 * 1.8 * 0.467 = 84.8 GB shuffle; * 0.917 = 77.8 GB out.
+        combiner_byte_ratio = 0.467
+        reduce_output_ratio = 0.917
+        skew = 0.25
+    else:
+        raise ValueError(f"no bigram calibration for dataset {dataset!r}")
+    return WorkloadProfile(
+        name=f"bigram-{dataset}",
+        map_output_ratio=1.8,  # two words per record plus a count
+        map_output_record_size=24.0,
+        has_combiner=True,
+        combiner_record_ratio=combiner_byte_ratio,
+        combiner_byte_ratio=combiner_byte_ratio,
+        reduce_output_ratio=reduce_output_ratio,
+        map_cpu_per_mb=0.45,
+        reduce_cpu_per_mb=0.08,
+        partition_skew=skew,
+        map_output_noise=0.08,
+    )

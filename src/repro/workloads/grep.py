@@ -1,0 +1,38 @@
+"""Text search (Grep): scan for a pattern, emit the rare matches.
+
+Compute-intensive (Table 3): the regex scan touches every byte while
+the output is tiny -- Wikipedia: 2.3 GB shuffled / 469 MB out;
+Freebase: 906 MB / 229 MB.  This is the paper's introduction example
+of a job needing far less sort space than Terasort.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.jobspec import WorkloadProfile
+
+
+def text_search_profile(dataset: str = "wikipedia") -> WorkloadProfile:
+    if dataset == "wikipedia":
+        # 90.7 GB * 0.0317 * 0.8 (combine) = 2.3 GB shuffle; * 0.204 = 469 MB.
+        map_output_ratio = 0.0317
+        reduce_output_ratio = 0.204
+    elif dataset == "freebase":
+        # 100.9 GB * 0.0112 * 0.8 = 906 MB shuffle; * 0.253 = 229 MB out.
+        map_output_ratio = 0.0112
+        reduce_output_ratio = 0.253
+    else:
+        raise ValueError(f"no text-search calibration for dataset {dataset!r}")
+    return WorkloadProfile(
+        name=f"text-search-{dataset}",
+        map_output_ratio=map_output_ratio,
+        map_output_record_size=16.0,
+        has_combiner=True,
+        combiner_record_ratio=0.8,
+        combiner_byte_ratio=0.8,
+        reduce_output_ratio=reduce_output_ratio,
+        map_cpu_per_mb=0.5,  # the regex scan dominates
+        reduce_cpu_per_mb=0.05,
+        partition_skew=0.2,
+        map_output_noise=0.15,  # match density varies across the corpus
+        map_fixed_mem_bytes=150 * 1024 * 1024,
+    )

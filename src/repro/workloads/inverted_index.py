@@ -1,0 +1,40 @@
+"""Inverted index: word -> document-ID postings.
+
+Table 3 classifies it "Map" on Wikipedia (tokenization-heavy, moderate
+shuffle: 38 GB) and "Compute" on Freebase (more parsing per byte,
+smaller shuffle: 21 GB).  Postings lists do not combine well, so no
+combiner is registered (Cloud9's implementation likewise aggregates
+only in the reducer).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.jobspec import WorkloadProfile
+
+
+def inverted_index_profile(dataset: str = "wikipedia") -> WorkloadProfile:
+    if dataset == "wikipedia":
+        # 90.5 GB * 0.42 = 38 GB shuffle; * 0.271 = 10.3 GB out.
+        map_output_ratio = 0.42
+        reduce_output_ratio = 0.271
+        map_cpu = 0.4
+        skew = 0.4
+    elif dataset == "freebase":
+        # 100.8 GB * 0.208 = 21 GB shuffle; * 0.524 = 11 GB out.
+        map_output_ratio = 0.208
+        reduce_output_ratio = 0.524
+        map_cpu = 0.7  # "Compute" job type: heavier per-byte parsing
+        skew = 0.35
+    else:
+        raise ValueError(f"no inverted-index calibration for dataset {dataset!r}")
+    return WorkloadProfile(
+        name=f"inverted-index-{dataset}",
+        map_output_ratio=map_output_ratio,
+        map_output_record_size=60.0,
+        has_combiner=False,
+        reduce_output_ratio=reduce_output_ratio,
+        map_cpu_per_mb=map_cpu,
+        reduce_cpu_per_mb=0.1,
+        partition_skew=skew,
+        map_output_noise=0.1,
+    )

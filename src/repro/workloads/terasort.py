@@ -1,0 +1,28 @@
+"""Terasort: the identity sort -- pure shuffle stress.
+
+Every input byte crosses the shuffle and lands in the output
+(Table 3: 100 GB in, 100 GB shuffled, 100 GB out), with 100-byte
+records and no combiner.  Compute per record is minimal; the job is
+bound by disk spills and the shuffle, which is exactly why it responds
+strongly to ``io.sort.mb`` and the reduce-side buffers.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.jobspec import WorkloadProfile
+
+
+def terasort_profile() -> WorkloadProfile:
+    return WorkloadProfile(
+        name="terasort",
+        map_output_ratio=1.0,
+        map_output_record_size=100.0,
+        has_combiner=False,
+        reduce_output_ratio=1.0,
+        map_cpu_per_mb=0.05,
+        reduce_cpu_per_mb=0.04,
+        map_fixed_mem_bytes=150 * 1024 * 1024,  # identity map
+        reduce_fixed_mem_bytes=200 * 1024 * 1024,  # identity reduce
+        partition_skew=0.05,  # Teragen keys are uniform
+        map_output_noise=0.02,
+    )

@@ -1,0 +1,43 @@
+"""Word count: tokenize, emit (word, 1), combine, sum.
+
+Map-intensive (Table 3 classifies it "Map" on both datasets): the map
+phase tokenizes every byte while the combiner collapses the output to
+a modest shuffle volume.  Calibration targets Table 3's shuffle/output
+sizes: Wikipedia 90.5 GB -> 30.3 GB shuffled -> 8.6 GB out; Freebase
+100.8 GB -> 16.7 GB -> 9.4 GB (Freebase's structured triples repeat
+identifiers heavily, so its combiner is far more effective).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.jobspec import WorkloadProfile
+
+
+def wordcount_profile(dataset: str = "wikipedia") -> WorkloadProfile:
+    if dataset == "wikipedia":
+        # 90.5 GB * 1.6 * 0.209 = 30.3 GB shuffle; * 0.284 = 8.6 GB out.
+        combiner_byte_ratio = 0.209
+        combiner_record_ratio = 0.209
+        reduce_output_ratio = 0.284
+        skew = 0.35  # natural-language word frequencies are heavy tailed
+    elif dataset == "freebase":
+        # 100.8 GB * 1.6 * 0.104 = 16.7 GB shuffle; * 0.563 = 9.4 GB out.
+        combiner_byte_ratio = 0.104
+        combiner_record_ratio = 0.104
+        reduce_output_ratio = 0.563
+        skew = 0.3
+    else:
+        raise ValueError(f"no word count calibration for dataset {dataset!r}")
+    return WorkloadProfile(
+        name=f"wordcount-{dataset}",
+        map_output_ratio=1.6,  # "(word, 1)" pairs inflate the raw text
+        map_output_record_size=16.0,
+        has_combiner=True,
+        combiner_record_ratio=combiner_record_ratio,
+        combiner_byte_ratio=combiner_byte_ratio,
+        reduce_output_ratio=reduce_output_ratio,
+        map_cpu_per_mb=0.35,
+        reduce_cpu_per_mb=0.05,
+        partition_skew=skew,
+        map_output_noise=0.08,
+    )

@@ -1,0 +1,428 @@
+"""The MapReduce application master.
+
+Runs one job: spawns a lifecycle process per task, requests
+appropriately sized containers (per-task configuration!), enforces
+slowstart and reduce ramp-up, retries failed attempts, and aggregates
+counters.
+
+Two seams let MRONLINE plug in without the AM knowing about tuning:
+
+* a **config provider** is consulted for every task attempt's
+  configuration (the dynamic configurator's per-task table sits behind
+  it), and
+* a **launch gate** controls when a task may be requested.  The default
+  gate admits immediately (conservative tuning "does not interrupt the
+  application task scheduling sequence"); the :class:`WaveGate`
+  implements aggressive tuning's hold-the-next-wave behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Protocol
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.core import parameters as P
+from repro.core.configuration import Configuration, enforce_dependencies
+from repro.hdfs.filesystem import HdfsFileSystem
+from repro.mapreduce.counters import Counter, Counters
+from repro.mapreduce.dataflow import JobDataflow
+from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType
+from repro.mapreduce.map_task import run_map_task
+from repro.mapreduce.reduce_task import run_reduce_task
+from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.mapreduce.task_context import TaskContext
+from repro.monitor.statistics import TaskStats
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.resources import Semaphore
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.records import ContainerRequest, Priority, Resource
+from repro.yarn.resource_manager import ResourceManager
+
+MAX_TASK_ATTEMPTS = 2
+#: Fraction of cluster memory reduce containers may occupy while maps
+#: are still pending (MRAppMaster's reduce ramp-up limit).
+REDUCE_RAMPUP_LIMIT = 0.5
+
+
+class ConfigProvider(Protocol):
+    """Source of per-task configurations (Table-1 seam)."""
+
+    def task_config(self, spec: JobSpec, task_id: TaskId) -> Configuration: ...
+
+
+class BaseConfigProvider:
+    """Every task runs the job's base configuration (vanilla YARN)."""
+
+    def task_config(self, spec: JobSpec, task_id: TaskId) -> Configuration:
+        return spec.base_config
+
+
+class LaunchGate:
+    """Default gate: admit every task immediately (wave = -1)."""
+
+    def admit(self, task_type: TaskType, sim: Simulator) -> Event:
+        ev = sim.event()
+        ev.succeed(-1)
+        return ev
+
+    def task_completed(self, task_type: TaskType) -> None:
+        pass
+
+
+@dataclass
+class _WaveState:
+    wave_size: int
+    wave: int = 0
+    admitted: int = 0
+    outstanding: int = 0
+    queue: List[Event] = field(default_factory=list)
+
+
+class WaveGate(LaunchGate):
+    """Admit tasks in fixed-size waves; hold wave k+1 until k finishes.
+
+    This is the aggressive strategy's "wave pattern for invoking
+    parameter changes" (Section 6.1): the tuner sees the complete
+    statistics of a wave before the next wave's tasks ask for their
+    configurations.
+    """
+
+    def __init__(self, map_wave_size: int, reduce_wave_size: Optional[int] = None) -> None:
+        if map_wave_size < 1:
+            raise ValueError("wave size must be >= 1")
+        self._states: Dict[TaskType, _WaveState] = {
+            TaskType.MAP: _WaveState(map_wave_size),
+            TaskType.REDUCE: _WaveState(reduce_wave_size or map_wave_size),
+        }
+
+    def admit(self, task_type: TaskType, sim: Simulator) -> Event:
+        st = self._states[task_type]
+        ev = sim.event()
+        if st.admitted < st.wave_size:
+            st.admitted += 1
+            st.outstanding += 1
+            ev.succeed(st.wave)
+        else:
+            st.queue.append(ev)
+        return ev
+
+    def task_completed(self, task_type: TaskType) -> None:
+        st = self._states[task_type]
+        st.outstanding -= 1
+        if st.outstanding == 0 and st.queue:
+            st.wave += 1
+            st.admitted = 0
+            while st.queue and st.admitted < st.wave_size:
+                ev = st.queue.pop(0)
+                st.admitted += 1
+                st.outstanding += 1
+                ev.succeed(st.wave)
+
+    def current_wave(self, task_type: TaskType) -> int:
+        return self._states[task_type].wave
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job run."""
+
+    job_id: str
+    succeeded: bool
+    start_time: float
+    end_time: float
+    counters: Counters
+    task_stats: List[TaskStats]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def stats_of(self, task_type: TaskType) -> List[TaskStats]:
+        return [s for s in self.task_stats if s.task_type is task_type]
+
+
+class MRAppMaster:
+    """Per-job orchestration (YARN delegates task tracking to us)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        hdfs: HdfsFileSystem,
+        rm: ResourceManager,
+        node_managers: Dict[int, NodeManager],
+        spec: JobSpec,
+        config_provider: Optional[ConfigProvider] = None,
+        gate: Optional[LaunchGate] = None,
+        rng: Optional[np.random.Generator] = None,
+        app_weight: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.rm = rm
+        self.node_managers = node_managers
+        self.spec = spec
+        self.provider: ConfigProvider = config_provider or BaseConfigProvider()
+        self.gate = gate or LaunchGate()
+        self.app_weight = app_weight
+
+        input_file = hdfs.get(spec.input_path)
+        self.dataflow = JobDataflow(spec, input_file, rng=rng)
+        self.catalog = MapOutputCatalog(
+            sim, self.dataflow.num_maps, self.dataflow.num_reducers
+        )
+        self.ctx = TaskContext(sim, cluster, hdfs, spec, self.dataflow, self.catalog)
+        self._input_file = input_file
+
+        self.completion: Event = sim.event()
+        self.counters = Counters()
+        self.task_stats: List[TaskStats] = []
+        self.stats_listeners: List[Callable[[TaskStats], None]] = []
+
+        self._start_time: float = 0.0
+        self._completed_maps = 0
+        self._map_lifecycles_done = 0
+        self._completed_reduces = 0
+        self._lifecycles_done = 0
+        self._permanent_failures = 0
+        self._reduces_started = False
+        self._reduce_mem_outstanding = 0
+        self._headroom_waiters: List[Event] = []
+        self._started = False
+        # Keep at most ~half a wave of container requests outstanding per
+        # task type.  Configurations are resolved at request time, so a
+        # bounded pipeline is what makes category-2 parameters (container
+        # size!) tunable mid-job: requests made a whole job in advance
+        # would freeze the sizing at submission-time values.  Half a wave
+        # keeps the scheduler fed while letting tuning reach tasks within
+        # the same wave in shared (multi-tenant) clusters.
+        depth = max(16, cluster.total_yarn_memory // (2 * 1024 * 1024 * 1024))
+        self._request_tokens: Dict[TaskType, Semaphore] = {
+            TaskType.MAP: Semaphore(sim, depth, name=f"{spec.job_id}-mreq"),
+            TaskType.REDUCE: Semaphore(sim, depth, name=f"{spec.job_id}-rreq"),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Event:
+        """Submit the job; returns the completion event."""
+        if self._started:
+            raise RuntimeError("job already started")
+        self._started = True
+        self._start_time = self.sim.now
+        self.rm.register_app(self.spec.job_id, weight=self.app_weight)
+        for index in range(self.dataflow.num_maps):
+            self.sim.process(
+                self._map_lifecycle(index), name=f"{self.spec.job_id}-m{index}"
+            )
+        if self._slowstart_threshold() == 0:
+            self._start_reduces()
+        return self.completion
+
+    def _slowstart_threshold(self) -> int:
+        import math
+
+        return math.ceil(self.spec.slowstart * self.dataflow.num_maps)
+
+    # ------------------------------------------------------------------
+    # Task configuration
+    # ------------------------------------------------------------------
+    def _task_config(self, task_id: TaskId) -> Configuration:
+        cfg = self.provider.task_config(self.spec, task_id)
+        if getattr(self.provider, "provides_feasible_configs", False):
+            return cfg
+        return enforce_dependencies(cfg)
+
+    def _launch_config(self, task_id: TaskId, requested: Configuration) -> Configuration:
+        """Refresh the configuration when the container actually starts.
+
+        Providers with a launch-time view (the dynamic configurator's
+        slave side) may hand the task fresher values than what sized the
+        container request; others keep the requested configuration.
+        """
+        refresh = getattr(self.provider, "task_launch_config", None)
+        if refresh is None:
+            return requested
+        return refresh(self.spec, task_id, requested)
+
+    def _fallback_config(self, task_id: TaskId) -> Configuration:
+        """Second attempts run the job's base configuration, clamped."""
+        return enforce_dependencies(self.spec.base_config)
+
+    # ------------------------------------------------------------------
+    # Map tasks
+    # ------------------------------------------------------------------
+    def _map_lifecycle(self, index: int) -> Generator[Event, object, None]:
+        task_id = self.spec.map_task_id(index)
+        block = self._input_file.blocks[index]
+        stats: Optional[TaskStats] = None
+        for attempt in range(1, MAX_TASK_ATTEMPTS + 1):
+            wave = yield self.gate.admit(TaskType.MAP, self.sim)
+            yield self._request_tokens[TaskType.MAP].acquire()
+            config = (
+                self._task_config(task_id)
+                if attempt == 1
+                else self._fallback_config(task_id)
+            )
+            resource = Resource.of_mb(
+                int(config[P.MAP_MEMORY_MB]), int(config[P.MAP_CPU_VCORES])
+            )
+            request = ContainerRequest(
+                app_id=self.spec.job_id,
+                resource=resource,
+                priority=Priority.MAP,
+                preferred_nodes=tuple(loc.node_id for loc in block.locations),
+                tag=task_id,
+            )
+            container = yield self.rm.allocate(request)
+            self._request_tokens[TaskType.MAP].release()
+            config = self._launch_config(task_id, config)
+            nm = self.node_managers[container.node.node_id]
+            proc = nm.launch(
+                container,
+                run_map_task(self.ctx, index, block, container, config, attempt, wave),
+            )
+            stats = yield proc
+            self.rm.release_container(container)
+            self._record(stats)
+            self.gate.task_completed(TaskType.MAP)
+            self._poke_headroom()
+            if not stats.failed:
+                break
+        assert stats is not None
+        self._map_lifecycles_done += 1
+        if stats.failed:
+            self._permanent_failures += 1
+            # Reducers must not wait forever for this map's output.
+            self.catalog.mark_all_maps_done()
+        else:
+            self._completed_maps += 1
+        if not self._reduces_started and (
+            self._completed_maps >= self._slowstart_threshold()
+            # Every map lifecycle has ended (some permanently failed):
+            # slowstart can never be met, so let the reducers drain what
+            # exists rather than deadlocking the job.
+            or self._map_lifecycles_done >= self.dataflow.num_maps
+        ):
+            self._start_reduces()
+        self._lifecycle_finished()
+
+    # ------------------------------------------------------------------
+    # Reduce tasks
+    # ------------------------------------------------------------------
+    def _start_reduces(self) -> None:
+        if self._reduces_started:
+            return
+        self._reduces_started = True
+        for index in range(self.dataflow.num_reducers):
+            self.sim.process(
+                self._reduce_lifecycle(index), name=f"{self.spec.job_id}-r{index}"
+            )
+
+    def _reduce_lifecycle(self, index: int) -> Generator[Event, object, None]:
+        task_id = self.spec.reduce_task_id(index)
+        stats: Optional[TaskStats] = None
+        for attempt in range(1, MAX_TASK_ATTEMPTS + 1):
+            wave = yield self.gate.admit(TaskType.REDUCE, self.sim)
+            yield self._request_tokens[TaskType.REDUCE].acquire()
+            config = (
+                self._task_config(task_id)
+                if attempt == 1
+                else self._fallback_config(task_id)
+            )
+            resource = Resource.of_mb(
+                int(config[P.REDUCE_MEMORY_MB]), int(config[P.REDUCE_CPU_VCORES])
+            )
+            yield from self._await_reduce_headroom(resource.memory_bytes)
+            request = ContainerRequest(
+                app_id=self.spec.job_id,
+                resource=resource,
+                priority=Priority.REDUCE,
+                tag=task_id,
+            )
+            container = yield self.rm.allocate(request)
+            self._request_tokens[TaskType.REDUCE].release()
+            config = self._launch_config(task_id, config)
+            nm = self.node_managers[container.node.node_id]
+            proc = nm.launch(
+                container,
+                run_reduce_task(self.ctx, index, container, config, attempt, wave),
+            )
+            stats = yield proc
+            self.rm.release_container(container)
+            self._reduce_mem_outstanding -= resource.memory_bytes
+            self._record(stats)
+            self.gate.task_completed(TaskType.REDUCE)
+            self._poke_headroom()
+            if not stats.failed:
+                break
+        assert stats is not None
+        if stats.failed:
+            self._permanent_failures += 1
+        else:
+            self._completed_reduces += 1
+        self._lifecycle_finished()
+
+    def _await_reduce_headroom(
+        self, memory_bytes: int
+    ) -> Generator[Event, object, None]:
+        """Reduce ramp-up: cap reducers' memory share while maps remain."""
+        limit = REDUCE_RAMPUP_LIMIT * self.cluster.total_yarn_memory
+        while (
+            self._maps_remaining() > 0
+            and self._reduce_mem_outstanding + memory_bytes > limit
+        ):
+            ev = self.sim.event()
+            self._headroom_waiters.append(ev)
+            yield ev
+        self._reduce_mem_outstanding += memory_bytes
+
+    def _maps_remaining(self) -> int:
+        return self.dataflow.num_maps - self._completed_maps
+
+    def _poke_headroom(self) -> None:
+        waiters, self._headroom_waiters = self._headroom_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    # ------------------------------------------------------------------
+    # Completion bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, stats: TaskStats) -> None:
+        self.task_stats.append(stats)
+        c = self.counters
+        if stats.failed:
+            c.increment(Counter.FAILED_TASK_ATTEMPTS)
+        else:
+            if stats.task_type is TaskType.MAP:
+                c.increment(Counter.MAP_OUTPUT_RECORDS, stats.map_output_records)
+                c.increment(Counter.MAP_OUTPUT_BYTES, stats.map_output_bytes)
+                c.increment(Counter.COMBINE_OUTPUT_RECORDS, stats.combine_output_records)
+            else:
+                c.increment(Counter.SHUFFLED_BYTES, stats.shuffled_bytes)
+                c.increment(Counter.REDUCE_INPUT_RECORDS, stats.reduce_input_records)
+            c.increment(Counter.SPILLED_RECORDS, stats.spilled_records)
+            c.increment(Counter.CPU_MILLISECONDS, stats.cpu_seconds * 1000.0)
+        for listener in self.stats_listeners:
+            listener(stats)
+
+    def _lifecycle_finished(self) -> None:
+        self._lifecycles_done += 1
+        total = self.dataflow.num_maps + self.dataflow.num_reducers
+        if self._lifecycles_done >= total:
+            self.rm.unregister_app(self.spec.job_id)
+            result = JobResult(
+                job_id=self.spec.job_id,
+                succeeded=self._permanent_failures == 0,
+                start_time=self._start_time,
+                end_time=self.sim.now,
+                counters=self.counters,
+                task_stats=self.task_stats,
+            )
+            self.completion.succeed(result)

@@ -1,0 +1,59 @@
+"""Node managers: per-node container execution and slave monitoring."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.node import Node
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event, Process
+
+
+class NodeManager:
+    """Runs containers on one node and samples its resource state.
+
+    MRONLINE's slave components (monitor + configurator threads) hook in
+    here; see :class:`repro.monitor.slave_monitor.SlaveMonitor` and
+    :class:`repro.core.configurator.SlaveConfigurator`.
+    """
+
+    def __init__(self, sim: Simulator, node: Node) -> None:
+        self.sim = sim
+        self.node = node
+        self._running: Dict[int, Process] = {}
+        #: Completed-container observers (e.g. monitors).
+        self.on_container_finished: List[Callable[[Container], None]] = []
+
+    def launch(self, container: Container, task: Generator[Event, object, object]) -> Process:
+        """Start *task* inside *container*; returns the task process."""
+        if container.node is not self.node:
+            raise SimulationError(
+                f"{container!r} belongs to {container.node.hostname}, "
+                f"not {self.node.hostname}"
+            )
+        if container.state is not ContainerState.ALLOCATED:
+            raise SimulationError(f"cannot launch into {container!r}")
+        container.state = ContainerState.RUNNING
+        process = self.sim.process(task, name=f"container-{container.container_id}")
+
+        def _done(_ev: Event) -> None:
+            container.state = ContainerState.COMPLETED
+            self._running.pop(container.container_id, None)
+            for observer in self.on_container_finished:
+                observer(container)
+
+        process.add_callback(_done)
+        self._running[container.container_id] = process
+        return process
+
+    @property
+    def running_containers(self) -> int:
+        return len(self._running)
+
+    # -- monitoring hooks ---------------------------------------------------
+    def cpu_utilization(self) -> float:
+        return self.node.cpu_utilization()
+
+    def memory_utilization(self) -> float:
+        return self.node.memory_utilization()

@@ -1,0 +1,62 @@
+"""YARN protocol records: resources, priorities, container requests."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+MB = 1024 * 1024
+
+
+class Priority:
+    """Request priorities (lower value = more urgent), as in MRAppMaster."""
+
+    AM = 0
+    REDUCE = 10
+    MAP = 20
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A memory/vcore pair -- the unit YARN schedules."""
+
+    memory_bytes: int
+    vcores: int
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.vcores <= 0:
+            raise ValueError(f"invalid resource {self.memory_bytes}B/{self.vcores}vc")
+
+    @classmethod
+    def of_mb(cls, memory_mb: int, vcores: int) -> "Resource":
+        return cls(int(memory_mb) * MB, int(vcores))
+
+    def fits_in(self, memory_bytes: int, vcores: int) -> bool:
+        return self.memory_bytes <= memory_bytes and self.vcores <= vcores
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ContainerRequest:
+    """One outstanding ask for a container.
+
+    ``preferred_nodes`` encodes data locality (the map split's replica
+    hosts); an empty tuple means "anywhere".
+    """
+
+    app_id: str
+    resource: Resource
+    priority: int = Priority.MAP
+    preferred_nodes: Tuple[int, ...] = ()
+    tag: Optional[object] = None  # typically a TaskId
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Request #{self.request_id} app={self.app_id} "
+            f"{self.resource.memory_bytes // MB}MB/{self.resource.vcores}vc "
+            f"prio={self.priority} tag={self.tag}>"
+        )

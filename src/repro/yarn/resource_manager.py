@@ -1,0 +1,136 @@
+"""The resource manager: allocation requests in, containers out.
+
+Applications register, submit :class:`ContainerRequest` objects, and
+receive :class:`Container` grants through events.  Every enqueue and
+every release triggers a dispatch pass that drains the scheduler while
+assignments remain possible; grants are delivered after a small
+heartbeat latency so allocation never reenters the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.topology import Cluster
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event
+from repro.yarn.records import ContainerRequest
+from repro.yarn.scheduler import SchedulerBase
+
+#: Allocation heartbeat latency (NM heartbeats are 1 s in YARN; grants
+#: land on the next beat on average).
+ALLOCATION_LATENCY = 0.5
+
+
+class ResourceManager:
+    """Cluster-wide resource arbitration."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster, scheduler: SchedulerBase) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self._grants: Dict[int, Event] = {}  # request_id -> grant event
+        self._live_containers: Dict[int, Container] = {}
+        self._dispatch_scheduled = False
+        #: Diagnostics: total containers ever granted.
+        self.containers_granted = 0
+
+    # ------------------------------------------------------------------
+    # Application lifecycle
+    # ------------------------------------------------------------------
+    def register_app(self, app_id: str, weight: float = 1.0) -> None:
+        self.scheduler.add_app(app_id, weight)
+
+    def unregister_app(self, app_id: str) -> None:
+        self.scheduler.remove_app(app_id)
+
+    # ------------------------------------------------------------------
+    # Allocation protocol
+    # ------------------------------------------------------------------
+    def allocate(self, request: ContainerRequest) -> Event:
+        """Submit *request*; the returned event fires with a Container."""
+        max_mem = max(n.yarn_memory_total for n in self.cluster.nodes)
+        max_vc = max(n.yarn_vcores_total for n in self.cluster.nodes)
+        if not request.resource.fits_in(max_mem, max_vc):
+            raise SimulationError(
+                f"{request!r} can never be satisfied: exceeds the largest node "
+                f"({max_mem}B/{max_vc}vc)"
+            )
+        grant = self.sim.event()
+        self._grants[request.request_id] = grant
+        self.scheduler.enqueue(request)
+        self._schedule_dispatch()
+        return grant
+
+    def cancel(self, request: ContainerRequest) -> bool:
+        """Withdraw a request that has not been granted yet."""
+        if self.scheduler.cancel(request):
+            self._grants.pop(request.request_id, None)
+            return True
+        return False
+
+    def release_container(self, container: Container) -> None:
+        """Return a finished container's resources to the cluster."""
+        if container.state is ContainerState.RELEASED:
+            raise SimulationError(f"{container!r} released twice")
+        container.state = ContainerState.RELEASED
+        container.node.release(container.memory_bytes, container.vcores)
+        container.node.containers.pop(container.container_id, None)
+        self._live_containers.pop(container.container_id, None)
+        self.scheduler.on_released(
+            container.app_id,
+            _resource_of(container),
+        )
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        ev = self.sim.timeout(ALLOCATION_LATENCY)
+        ev.add_callback(lambda _e: self._dispatch())
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        while True:
+            pick = self.scheduler.assign_once()
+            if pick is None:
+                return
+            request, node = pick
+            container = Container(
+                node, request.resource.memory_bytes, request.resource.vcores, request.app_id
+            )
+            node.reserve(container.memory_bytes, container.vcores)
+            node.containers[container.container_id] = container
+            self._live_containers[container.container_id] = container
+            self.scheduler.on_allocated(request.app_id, request.resource)
+            self.containers_granted += 1
+            grant = self._grants.pop(request.request_id, None)
+            if grant is None:
+                raise SimulationError(f"no grant event for {request!r}")
+            grant.succeed(container)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_container_count(self) -> int:
+        return len(self._live_containers)
+
+    def app_memory_usage(self, app_id: str) -> int:
+        return self.scheduler.app_memory_usage.get(app_id, 0)
+
+    def cluster_memory_utilization(self) -> float:
+        total = self.cluster.total_yarn_memory
+        used = sum(n.yarn_memory_used for n in self.cluster.nodes)
+        return used / total if total else 0.0
+
+
+def _resource_of(container: Container):
+    from repro.yarn.records import Resource
+
+    return Resource(container.memory_bytes, container.vcores)

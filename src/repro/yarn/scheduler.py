@@ -1,0 +1,135 @@
+"""Container scheduling policies.
+
+The base class holds the request book-keeping -- including the
+hash-map-of-sizes structure the paper adds so that *different-sized*
+container requests coexist (Section 4) -- and the placement logic
+(data-local, then rack-local, then least-loaded).  Policies differ only
+in which pending request gets the next available slot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.yarn.records import ContainerRequest, Resource
+
+
+class SchedulerBase:
+    """Request queue + placement; subclasses choose the ordering."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._pending: List[ContainerRequest] = []
+        #: The paper's "hash map data structure to keep track of the
+        #: different-sized containers requested" -- resource -> count.
+        self.requested_sizes: Dict[Resource, int] = defaultdict(int)
+        self._app_weight: Dict[str, float] = {}
+        #: app -> currently allocated memory bytes (fair-share bookkeeping).
+        self.app_memory_usage: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # App lifecycle
+    # ------------------------------------------------------------------
+    def add_app(self, app_id: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("app weight must be positive")
+        self._app_weight[app_id] = weight
+
+    def remove_app(self, app_id: str) -> None:
+        self._app_weight.pop(app_id, None)
+        self.app_memory_usage.pop(app_id, None)
+        removed = [r for r in self._pending if r.app_id == app_id]
+        for r in removed:
+            self.requested_sizes[r.resource] -= 1
+        self._pending = [r for r in self._pending if r.app_id != app_id]
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def enqueue(self, request: ContainerRequest) -> None:
+        if request.app_id not in self._app_weight:
+            raise KeyError(f"unknown app {request.app_id!r}")
+        self._pending.append(request)
+        self.requested_sizes[request.resource] += 1
+
+    def cancel(self, request: ContainerRequest) -> bool:
+        try:
+            self._pending.remove(request)
+        except ValueError:
+            return False
+        self.requested_sizes[request.resource] -= 1
+        return True
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Accounting (driven by the resource manager)
+    # ------------------------------------------------------------------
+    def on_allocated(self, app_id: str, resource: Resource) -> None:
+        self.app_memory_usage[app_id] += resource.memory_bytes
+
+    def on_released(self, app_id: str, resource: Resource) -> None:
+        self.app_memory_usage[app_id] -= resource.memory_bytes
+        if self.app_memory_usage[app_id] < 0:
+            raise RuntimeError(f"negative usage for app {app_id!r}")
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def find_node(self, request: ContainerRequest) -> Optional[Node]:
+        """Pick a node for *request*: data-local > rack-local > emptiest."""
+        res = request.resource
+        fits = [
+            n
+            for n in self.cluster.nodes
+            if n.can_fit(res.memory_bytes, res.vcores)
+        ]
+        if not fits:
+            return None
+        if request.preferred_nodes:
+            preferred = set(request.preferred_nodes)
+            local = [n for n in fits if n.node_id in preferred]
+            if local:
+                return min(local, key=lambda n: n.yarn_memory_used)
+            racks = {
+                self.cluster.node(nid).rack
+                for nid in preferred
+                if nid < len(self.cluster.nodes)
+            }
+            rack_local = [n for n in fits if n.rack in racks]
+            if rack_local:
+                return min(rack_local, key=lambda n: n.yarn_memory_used)
+        return min(fits, key=lambda n: n.yarn_memory_used)
+
+    # ------------------------------------------------------------------
+    # Policy hook
+    # ------------------------------------------------------------------
+    def assign_once(self) -> Optional[Tuple[ContainerRequest, Node]]:
+        """Pick one (request, node) assignment, or None if nothing fits."""
+        raise NotImplementedError
+
+    def _take(self, request: ContainerRequest, node: Node) -> Tuple[ContainerRequest, Node]:
+        self._pending.remove(request)
+        self.requested_sizes[request.resource] -= 1
+        return request, node
+
+
+class FifoScheduler(SchedulerBase):
+    """Priority-then-arrival order, as YARN's default queue behaves.
+
+    Within a priority level requests are served in arrival order;
+    requests that don't currently fit are skipped rather than blocking
+    the queue (YARN heartbeats likewise skip unsatisfiable asks).
+    """
+
+    def assign_once(self) -> Optional[Tuple[ContainerRequest, Node]]:
+        for request in sorted(self._pending, key=lambda r: (r.priority, r.request_id)):
+            node = self.find_node(request)
+            if node is not None:
+                return self._take(request, node)
+        return None

@@ -1,0 +1,106 @@
+"""Tests for the Starfish-style cost-based baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.starfish import (
+    AnalyticWhatIfEngine,
+    CostBasedOptimizer,
+    JobProfile,
+    starfish_tune,
+)
+from repro.core import parameters as P
+from repro.core.configuration import Configuration, is_feasible
+from repro.experiments.expedited import run_default, run_with_config
+from repro.workloads.suite import terasort_case
+
+MB = 1024**2
+
+
+def small_profile(**over):
+    base = dict(
+        num_maps=80,
+        num_reducers=20,
+        map_input_bytes=128 * MB,
+        map_output_bytes=134 * MB,
+        map_output_records=1_340_000,
+        combiner_byte_ratio=1.0,
+        combiner_record_ratio=1.0,
+        has_combiner=False,
+        reduce_input_bytes=500 * MB,
+        reduce_output_bytes=500 * MB,
+        map_cpu_seconds=7.0,
+        reduce_cpu_seconds=20.0,
+    )
+    base.update(over)
+    return JobProfile(**base)
+
+
+class TestWhatIfEngine:
+    def test_bigger_sort_buffer_predicts_faster_maps(self):
+        engine = AnalyticWhatIfEngine(small_profile())
+        small = engine.map_task_time(Configuration({P.IO_SORT_MB: 100}))
+        big = engine.map_task_time(
+            Configuration({P.MAP_MEMORY_MB: 1024, P.IO_SORT_MB: 170, P.SORT_SPILL_PERCENT: 0.99})
+        )
+        assert big < small
+
+    def test_more_parallelcopies_predicts_faster_shuffle(self):
+        engine = AnalyticWhatIfEngine(small_profile())
+        slow = engine.reduce_task_time(Configuration({P.SHUFFLE_PARALLELCOPIES: 2}))
+        fast = engine.reduce_task_time(Configuration({P.SHUFFLE_PARALLELCOPIES: 20}))
+        assert fast < slow
+
+    def test_bigger_containers_predict_fewer_slots(self):
+        engine = AnalyticWhatIfEngine(small_profile(num_maps=400))
+        lean = engine.predict(Configuration())
+        bloated = engine.predict(Configuration({P.MAP_MEMORY_MB: 4096}))
+        assert bloated > lean
+
+    def test_prediction_positive_for_defaults(self):
+        engine = AnalyticWhatIfEngine(small_profile())
+        assert engine.predict(Configuration()) > 0
+
+    def test_profile_from_result(self):
+        result = run_default(terasort_case(4.0), seed=1)
+        profile = JobProfile.from_result(result)
+        assert profile.num_maps == 32
+        assert profile.num_reducers == 8
+        assert profile.map_output_bytes == pytest.approx(134 * MB, rel=0.1)
+
+    def test_profile_requires_tasks(self):
+        result = run_default(terasort_case(2.0), seed=1)
+        result.task_stats.clear()
+        with pytest.raises(ValueError):
+            JobProfile.from_result(result)
+
+
+class TestOptimizer:
+    def test_recommendation_feasible_and_better_than_default(self):
+        engine = AnalyticWhatIfEngine(small_profile(num_maps=400, num_reducers=100))
+        opt = CostBasedOptimizer(engine, np.random.default_rng(0), budget=500)
+        rec = opt.optimize()
+        assert is_feasible(rec.config)
+        assert rec.predicted_time <= engine.predict(Configuration())
+        assert rec.evaluations <= 520
+
+    def test_deterministic_under_seed(self):
+        engine = AnalyticWhatIfEngine(small_profile())
+        a = CostBasedOptimizer(engine, np.random.default_rng(3), budget=300).optimize()
+        b = CostBasedOptimizer(engine, np.random.default_rng(3), budget=300).optimize()
+        assert a.config == b.config
+
+
+class TestEndToEnd:
+    def test_starfish_improves_over_default_on_simulator(self):
+        """Profile one run, optimize analytically, validate on the sim.
+
+        The analytic engine ignores contention, so it won't match
+        MRONLINE -- but it must still beat the default configuration.
+        """
+        case = terasort_case(10.0)
+        profiling = run_default(case, seed=2)
+        rec = starfish_tune(profiling, np.random.default_rng(2), budget=600)
+        validated = run_with_config(case, 2, rec.config)
+        assert validated.succeeded
+        assert validated.duration < profiling.duration * 1.02

@@ -1,0 +1,109 @@
+"""Tests for node resource accounting and hardware operations."""
+
+import pytest
+
+from repro.cluster.node import GB, MB, Node, NodeResources
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+@pytest.fixture
+def node():
+    return Node(Simulator(), node_id=0, rack=0, resources=NodeResources())
+
+
+class TestAccounting:
+    def test_fresh_node_fits_a_container(self, node):
+        assert node.can_fit(1 * GB, 1)
+
+    def test_reserve_reduces_headroom(self, node):
+        node.reserve(2 * GB, 4)
+        assert node.memory_headroom == node.yarn_memory_total - 2 * GB
+        assert node.vcore_headroom == node.yarn_vcores_total - 4
+
+    def test_cannot_overcommit_memory(self, node):
+        assert not node.can_fit(node.yarn_memory_total + 1, 1)
+        with pytest.raises(SimulationError):
+            node.reserve(node.yarn_memory_total + 1, 1)
+
+    def test_cannot_overcommit_vcores(self, node):
+        assert not node.can_fit(1 * GB, node.yarn_vcores_total + 1)
+
+    def test_release_restores_headroom(self, node):
+        node.reserve(1 * GB, 2)
+        node.release(1 * GB, 2)
+        assert node.memory_headroom == node.yarn_memory_total
+        assert node.vcore_headroom == node.yarn_vcores_total
+
+    def test_over_release_raises(self, node):
+        with pytest.raises(SimulationError):
+            node.release(1 * GB, 1)
+
+    def test_paper_capacity_28_vcores_6gb(self, node):
+        # The evaluation's per-node container pool (Section 8.1).
+        assert node.yarn_vcores_total == 28
+        assert node.yarn_memory_total == 6 * GB
+
+    def test_default_six_1gb_containers_fit(self, node):
+        for _ in range(6):
+            node.reserve(1 * GB, 1)
+        assert not node.can_fit(1 * GB, 1)
+
+    def test_memory_utilization_fraction(self, node):
+        node.reserve(3 * GB, 1)
+        assert node.memory_utilization() == pytest.approx(0.5)
+
+
+class TestHardwareOps:
+    def test_disk_read_duration(self):
+        sim = Simulator()
+        node = Node(sim, 0, 0, NodeResources(disk_read_bw=100 * MB))
+        done = node.disk_read(200 * MB)
+        sim.run_until_complete(done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_disk_write_slower_than_read(self):
+        sim = Simulator()
+        node = Node(sim, 0, 0, NodeResources(disk_read_bw=110 * MB, disk_write_bw=55 * MB))
+        read = node.disk_read(110 * MB)
+        sim.run_until_complete(read)
+        t_read = sim.now
+        write = node.disk_write(110 * MB)
+        sim.run_until_complete(write)
+        assert sim.now - t_read > t_read  # write took longer
+
+    def test_reads_and_writes_contend_on_spindle(self):
+        sim = Simulator()
+        node = Node(sim, 0, 0, NodeResources(disk_read_bw=100 * MB, disk_write_bw=100 * MB))
+        # Two concurrent reads halve each other's bandwidth.
+        d1 = node.disk_read(100 * MB)
+        node.disk_read(100 * MB)
+        sim.run_until_complete(d1)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_compute_capped_by_cores(self):
+        sim = Simulator()
+        node = Node(sim, 0, 0, NodeResources(physical_cores=8, core_speed=1.0))
+        done = node.compute(4.0, max_cores=2.0)
+        sim.run_until_complete(done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_compute_contention_shares_cores(self):
+        sim = Simulator()
+        node = Node(sim, 0, 0, NodeResources(physical_cores=2, core_speed=1.0))
+        # Three tasks each wanting 1 core on a 2-core node: fair share 2/3.
+        evs = [node.compute(2.0, max_cores=1.0) for _ in range(3)]
+        for ev in evs:
+            sim.run_until_complete(ev)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_cpu_utilization_reflects_load(self):
+        sim = Simulator()
+        node = Node(sim, 0, 0, NodeResources(physical_cores=8))
+        node.compute(100.0, max_cores=4.0)
+        sim.run(until=0.1)
+        assert node.cpu_utilization() == pytest.approx(0.5)
+
+    def test_cores_per_vcore_quarter_core(self, node):
+        # 8 physical cores exposed as 32 vcores => 1/4 core per vcore.
+        assert node.resources.cores_per_vcore == pytest.approx(0.25)

@@ -1,0 +1,75 @@
+"""Tests for the tuning knowledge base."""
+
+import pytest
+
+from repro.core import parameters as P
+from repro.core.configuration import Configuration
+from repro.core.knowledge_base import TuningKnowledgeBase, size_bucket
+
+GB = 1024**3
+
+
+class TestSizeBucket:
+    def test_powers_of_two(self):
+        assert size_bucket(1 * GB) == 0
+        assert size_bucket(2 * GB) == 1
+        assert size_bucket(64 * GB) == 6
+
+    def test_sub_gb_floors_to_zero(self):
+        assert size_bucket(100) == 0
+
+    def test_100gb_and_90gb_nearby(self):
+        assert abs(size_bucket(100 * GB) - size_bucket(90 * GB)) <= 1
+
+
+class TestRecordLookup:
+    def test_roundtrip(self):
+        kb = TuningKnowledgeBase()
+        cfg = Configuration({P.IO_SORT_MB: 250})
+        kb.record("terasort", 100 * GB, cfg, cost=1.5, job_duration=500)
+        found = kb.lookup("terasort", 100 * GB)
+        assert found[P.IO_SORT_MB] == 250
+
+    def test_best_config_kept(self):
+        kb = TuningKnowledgeBase()
+        kb.record("ts", 100 * GB, Configuration({P.IO_SORT_MB: 100}), 3.0, 900)
+        kb.record("ts", 100 * GB, Configuration({P.IO_SORT_MB: 250}), 1.0, 500)
+        kb.record("ts", 100 * GB, Configuration({P.IO_SORT_MB: 400}), 2.0, 700)
+        assert kb.lookup("ts", 100 * GB)[P.IO_SORT_MB] == 250
+
+    def test_unknown_workload_none(self):
+        assert TuningKnowledgeBase().lookup("nope", GB) is None
+
+    def test_nearest_bucket_fallback(self):
+        kb = TuningKnowledgeBase()
+        kb.record("ts", 64 * GB, Configuration({P.IO_SORT_MB: 300}), 1.0, 500)
+        # 100 GB has no exact entry; nearest (64 GB) is returned.
+        found = kb.lookup("ts", 100 * GB)
+        assert found is not None and found[P.IO_SORT_MB] == 300
+
+    def test_workloads_isolated(self):
+        kb = TuningKnowledgeBase()
+        kb.record("ts", GB, Configuration({P.IO_SORT_MB: 300}), 1.0, 500)
+        assert kb.lookup("wc", GB) is None
+
+    def test_len(self):
+        kb = TuningKnowledgeBase()
+        kb.record("a", GB, Configuration(), 1.0, 1.0)
+        kb.record("b", GB, Configuration(), 1.0, 1.0)
+        assert len(kb) == 2
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        kb = TuningKnowledgeBase()
+        kb.record("ts", 100 * GB, Configuration({P.IO_SORT_MB: 250}), 1.5, 500)
+        restored = TuningKnowledgeBase.from_json(kb.to_json())
+        assert restored.lookup("ts", 100 * GB)[P.IO_SORT_MB] == 250
+
+    def test_save_load_file(self, tmp_path):
+        kb = TuningKnowledgeBase()
+        kb.record("wc", 90 * GB, Configuration({P.SHUFFLE_PARALLELCOPIES: 20}), 2.0, 600)
+        path = str(tmp_path / "kb.json")
+        kb.save(path)
+        restored = TuningKnowledgeBase.load(path)
+        assert restored.lookup("wc", 90 * GB)[P.SHUFFLE_PARALLELCOPIES] == 20

@@ -1,0 +1,142 @@
+"""Tests for the Table-2 parameter space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import parameters as P
+from repro.core.parameters import (
+    DEFAULTS,
+    PARAMETER_SPACE,
+    ParameterSpace,
+    ParamSpec,
+    build_parameter_space,
+)
+
+
+class TestTable2Defaults:
+    """Every default must match Table 2 verbatim."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            (P.MAP_MEMORY_MB, 1024),
+            (P.REDUCE_MEMORY_MB, 1024),
+            (P.IO_SORT_MB, 100),
+            (P.SORT_SPILL_PERCENT, 0.8),
+            (P.SHUFFLE_INPUT_BUFFER_PERCENT, 0.7),
+            (P.SHUFFLE_MERGE_PERCENT, 0.66),
+            (P.SHUFFLE_MEMORY_LIMIT_PERCENT, 0.25),
+            (P.MERGE_INMEM_THRESHOLD, 1000),
+            (P.REDUCE_INPUT_BUFFER_PERCENT, 0.0),
+            (P.MAP_CPU_VCORES, 1),
+            (P.REDUCE_CPU_VCORES, 1),
+            (P.IO_SORT_FACTOR, 10),
+            (P.SHUFFLE_PARALLELCOPIES, 5),
+        ],
+    )
+    def test_default(self, name, expected):
+        assert DEFAULTS[name] == expected
+
+    def test_thirteen_parameters(self):
+        assert len(PARAMETER_SPACE) == 13
+
+
+class TestParamSpec:
+    def test_decode_endpoints(self):
+        spec = ParamSpec("x", 5, 0, 10)
+        assert spec.decode(0.0) == 0
+        assert spec.decode(1.0) == 10
+
+    def test_decode_clips_out_of_range(self):
+        spec = ParamSpec("x", 5, 0, 10)
+        assert spec.decode(-0.5) == 0
+        assert spec.decode(1.5) == 10
+
+    def test_int_kind_rounds(self):
+        spec = ParamSpec("x", 5, 1, 10, kind="int")
+        assert isinstance(spec.decode(0.5), int)
+
+    def test_log_scale_midpoint_is_geometric_mean(self):
+        spec = ParamSpec("x", 100, 10, 1000, log_scale=True)
+        assert spec.decode(0.5) == pytest.approx(100, rel=0.01)
+
+    def test_log_scale_requires_positive_low(self):
+        with pytest.raises(ValueError):
+            ParamSpec("x", 1, 0, 10, log_scale=True)
+
+    def test_default_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpec("x", 20, 0, 10)
+
+    def test_step_rounding(self):
+        spec = ParamSpec("x", 64, 64, 1024, step=64)
+        assert spec.decode(0.37) % 64 == 0
+
+    def test_clamp(self):
+        spec = ParamSpec("x", 5, 1, 10, kind="int")
+        assert spec.clamp(0) == 1
+        assert spec.clamp(99) == 10
+        assert spec.clamp(5.4) == 5
+
+    @given(u=st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_within_one_step(self, u):
+        spec = ParamSpec("x", 100, 50, 1600, kind="int", log_scale=True, step=10)
+        value = spec.decode(u)
+        again = spec.decode(spec.encode(value))
+        assert abs(again - value) <= 10  # one step of quantization
+
+    @given(u=st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_float_roundtrip_exact(self, u):
+        spec = ParamSpec("x", 0.5, 0.2, 0.9)
+        value = spec.decode(u)
+        assert spec.decode(spec.encode(value)) == pytest.approx(value)
+
+
+class TestParameterSpace:
+    def test_duplicate_names_rejected(self):
+        s = ParamSpec("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            ParameterSpace([s, s])
+
+    def test_decode_requires_matching_dims(self):
+        with pytest.raises(ValueError):
+            PARAMETER_SPACE.decode(np.zeros(3))
+
+    def test_default_point_decodes_to_defaults(self):
+        decoded = PARAMETER_SPACE.decode(PARAMETER_SPACE.default_point())
+        for name, value in DEFAULTS.items():
+            spec = PARAMETER_SPACE.spec(name)
+            tolerance = max(spec.step, 1e-6) if spec.step else 1e-6
+            if spec.kind == "int":
+                tolerance = max(tolerance, 1)
+            assert abs(decoded[name] - value) <= tolerance, name
+
+    def test_subspace_preserves_order(self):
+        sub = PARAMETER_SPACE.subspace([P.IO_SORT_MB, P.MAP_MEMORY_MB])
+        assert sub.names == [P.IO_SORT_MB, P.MAP_MEMORY_MB]
+
+    def test_encode_partial_uses_defaults(self):
+        point = PARAMETER_SPACE.encode({P.IO_SORT_MB: 800})
+        decoded = PARAMETER_SPACE.decode(point)
+        assert decoded[P.MAP_CPU_VCORES] == DEFAULTS[P.MAP_CPU_VCORES]
+
+    def test_contains(self):
+        assert P.IO_SORT_MB in PARAMETER_SPACE
+        assert "nonsense" not in PARAMETER_SPACE
+
+    def test_custom_bounds(self):
+        space = build_parameter_space(max_container_mb=2048, max_vcores=4)
+        assert space.spec(P.MAP_MEMORY_MB).high == 2048
+        assert space.spec(P.MAP_CPU_VCORES).high == 4
+
+    def test_hot_swappable_parameters_are_category3(self):
+        hot = {s.name for s in PARAMETER_SPACE if s.hot_swappable}
+        # Section 2.2 names these as changeable on the fly.
+        assert P.SORT_SPILL_PERCENT in hot
+        assert P.MERGE_INMEM_THRESHOLD in hot
+        # Container sizes definitely are not.
+        assert P.MAP_MEMORY_MB not in hot

@@ -1,0 +1,100 @@
+"""Tests for (weighted) Latin hypercube sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import latin_hypercube, weighted_latin_hypercube
+
+
+class TestLatinHypercube:
+    def test_shape(self):
+        pts = latin_hypercube(np.random.default_rng(0), 24, 5)
+        assert pts.shape == (24, 5)
+
+    def test_within_unit_cube(self):
+        pts = latin_hypercube(np.random.default_rng(0), 100, 4)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    @given(seed=st.integers(0, 500), n=st.integers(2, 40), dims=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_stratification_property(self, seed, n, dims):
+        """Exactly one sample per 1/n slab of every dimension -- the
+        defining LHS property the paper relies on for sampling quality."""
+        pts = latin_hypercube(np.random.default_rng(seed), n, dims)
+        for d in range(dims):
+            strata = np.floor(pts[:, d] * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert sorted(strata) == list(range(n))
+
+    def test_bounds_respected(self):
+        bounds = [(0.2, 0.4), (0.5, 0.9), (0.0, 1.0)]
+        pts = latin_hypercube(np.random.default_rng(1), 30, 3, bounds=bounds)
+        for d, (lo, hi) in enumerate(bounds):
+            assert (pts[:, d] >= lo - 1e-12).all()
+            assert (pts[:, d] <= hi + 1e-12).all()
+
+    def test_degenerate_bounds_collapse(self):
+        pts = latin_hypercube(np.random.default_rng(1), 10, 1, bounds=[(0.5, 0.5)])
+        assert np.allclose(pts, 0.5)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(np.random.default_rng(0), 5, 1, bounds=[(0.9, 0.1)])
+
+    def test_wrong_bounds_count_rejected(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(np.random.default_rng(0), 5, 2, bounds=[(0, 1)])
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(np.random.default_rng(0), 0, 2)
+
+    def test_deterministic_under_seed(self):
+        a = latin_hypercube(np.random.default_rng(7), 16, 3)
+        b = latin_hypercube(np.random.default_rng(7), 16, 3)
+        assert (a == b).all()
+
+
+class TestWeightedLatinHypercube:
+    def test_within_bounds(self):
+        center = np.array([0.5, 0.2])
+        bounds = [(0.3, 0.7), (0.0, 0.4)]
+        pts = weighted_latin_hypercube(np.random.default_rng(0), 50, center, bounds)
+        for d, (lo, hi) in enumerate(bounds):
+            assert (pts[:, d] >= lo - 1e-9).all()
+            assert (pts[:, d] <= hi + 1e-9).all()
+
+    def test_density_concentrates_at_center(self):
+        """More mass lands nearer the center than a uniform draw would put."""
+        rng = np.random.default_rng(3)
+        center = np.array([0.5])
+        pts = weighted_latin_hypercube(rng, 400, center, [(0.0, 1.0)])
+        near = np.abs(pts[:, 0] - 0.5) < 0.25
+        # Uniform would give ~50%; the triangular kernel gives 75%.
+        assert near.mean() > 0.6
+
+    def test_center_at_edge_works(self):
+        pts = weighted_latin_hypercube(
+            np.random.default_rng(1), 30, np.array([0.0]), [(0.0, 1.0)]
+        )
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_center_outside_bounds_clipped(self):
+        pts = weighted_latin_hypercube(
+            np.random.default_rng(1), 30, np.array([0.9]), [(0.0, 0.2)]
+        )
+        assert (pts <= 0.2 + 1e-9).all()
+
+    def test_collapsed_bounds(self):
+        pts = weighted_latin_hypercube(
+            np.random.default_rng(1), 10, np.array([0.5]), [(0.5, 0.5)]
+        )
+        assert np.allclose(pts, 0.5)
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_latin_hypercube(
+                np.random.default_rng(0), 5, np.array([0.5, 0.5]), [(0, 1)]
+            )

@@ -1,0 +1,167 @@
+"""Regression tests for tuner/app-master interaction bugs.
+
+Each test here pins a failure mode found while integrating the tuner
+with the job lifecycle; they are deliberately scenario-shaped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core import parameters as P
+from repro.core.hill_climbing import HillClimbSettings
+from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+from repro.experiments.harness import SimCluster
+from repro.mapreduce.jobspec import JobSpec, TaskType, WorkloadProfile
+from repro.workloads.datasets import DatasetSpec
+
+MB = 1024**2
+
+
+def small_cluster(seed=0):
+    return SimCluster(
+        seed=seed,
+        cluster_spec=ClusterSpec(num_slaves=4, racks=(2, 2)),
+        start_monitors=False,
+    )
+
+
+def spec_with(sc, blocks, reducers, path=None):
+    path = path or f"/in-{blocks}-{reducers}"
+    DatasetSpec(f"d-{blocks}-{reducers}", num_blocks=blocks).load(sc.hdfs, path)
+    profile = WorkloadProfile(
+        name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+        map_output_noise=0.05, partition_skew=0.1,
+    )
+    return JobSpec(name="t", workload=profile, input_path=path, num_reducers=reducers)
+
+
+class TestBatchStarvation:
+    """A job whose task count cannot fill the search batch must not hang.
+
+    Found as a deadlock: the last map waited at the tuner gate for a
+    wave that could never complete (all other lifecycles had finished),
+    while every reducer waited for that map's output.
+    """
+
+    @pytest.mark.parametrize("blocks,reducers", [(7, 3), (26, 2), (3, 1)])
+    def test_tiny_jobs_terminate(self, blocks, reducers):
+        sc = small_cluster()
+        spec = spec_with(sc, blocks, reducers)
+        tuner = OnlineTuner(
+            TuningStrategy.AGGRESSIVE,
+            settings=TunerSettings(
+                hill_climb=HillClimbSettings(m=25, n=16),
+                use_knowledge_base=False,
+            ),
+            rng=np.random.default_rng(0),
+        )
+        am = tuner.submit(sc, spec)
+        result = sc.sim.run_until_complete(am.completion, max_events=2_000_000)
+        assert result.succeeded
+
+    def test_single_reducer_job_terminates(self):
+        # BBP's shape: many maps, exactly one reducer (its reduce search
+        # can never evaluate more than one sample).
+        sc = small_cluster()
+        spec = spec_with(sc, 30, 1)
+        tuner = OnlineTuner(
+            TuningStrategy.AGGRESSIVE,
+            settings=TunerSettings(use_knowledge_base=False),
+            rng=np.random.default_rng(1),
+        )
+        am = tuner.submit(sc, spec)
+        result = sc.sim.run_until_complete(am.completion, max_events=2_000_000)
+        assert result.succeeded
+
+    def test_starved_search_still_recommends_something(self):
+        sc = small_cluster()
+        spec = spec_with(sc, 10, 2)
+        tuner = OnlineTuner(
+            TuningStrategy.AGGRESSIVE,
+            settings=TunerSettings(use_knowledge_base=False),
+            rng=np.random.default_rng(2),
+        )
+        am = tuner.submit(sc, spec)
+        sc.sim.run_until_complete(am.completion)
+        cfg = tuner.recommended_config(spec.job_id)
+        assert cfg is not None  # best-so-far, per Section 2.3's caveat
+
+
+class TestLaunchTimeRefresh:
+    """Job-level config changes must reach tasks whose container request
+    was already queued (configs are read at launch, not at request)."""
+
+    def test_mid_job_update_reaches_later_tasks(self):
+        from repro.core.configurator import DynamicConfigurator
+
+        sc = small_cluster()
+        spec = spec_with(sc, 60, 2)
+        configurator = DynamicConfigurator()
+        configurator.register_job(spec)
+
+        def update():
+            configurator.set_job_parameters(spec.job_id, {P.IO_SORT_MB: 300})
+
+        # Mid-map-phase: after the first wave launches, before the last.
+        sc.sim.call_at(10.0, update)
+        result = sc.run_job(spec, config_provider=configurator)
+        values = {s.config[P.IO_SORT_MB] for s in result.stats_of(TaskType.MAP)}
+        assert 100 in values  # early tasks ran the default
+        assert 300 in values  # later tasks picked up the update
+
+
+class TestReduceRampUp:
+    def test_reducers_capped_while_maps_pending(self):
+        """While maps remain, reduce containers stay within ~half the
+        cluster's memory (MRAppMaster's ramp-up limit)."""
+        sc = small_cluster()
+        spec = spec_with(sc, 60, 40)
+        am = sc.submit(spec)
+        limit = 0.5 * sc.cluster.total_yarn_memory
+        violations = []
+        while not am.completion.triggered:
+            sc.sim.step()
+            if am._maps_remaining() > 0 and am._reduce_mem_outstanding > limit:
+                violations.append(sc.sim.now)
+        assert not violations
+
+    def test_reducers_fill_cluster_after_maps(self):
+        sc = small_cluster()
+        spec = spec_with(sc, 16, 40)
+        result = sc.run_job(spec)
+        maps_end = max(s.end_time for s in result.stats_of(TaskType.MAP))
+        late_reduces = [
+            s for s in result.stats_of(TaskType.REDUCE) if s.start_time > maps_end
+        ]
+        assert late_reduces  # the post-map phase exists and is used
+
+
+class TestHotSwapMidTask:
+    def test_spill_percent_update_lands_in_running_map(self):
+        """Category-3 semantics: a spill.percent update delivered while
+        a map is in its map phase takes effect at its spill decision."""
+        from repro.core.configurator import DynamicConfigurator
+
+        sc = small_cluster()
+        # One long map (compute-bound) so there is time to hot swap.
+        path = "/hot-in"
+        DatasetSpec("hot", num_blocks=1).load(sc.hdfs, path)
+        profile = WorkloadProfile(
+            name="hot", map_output_ratio=1.0, map_output_record_size=100.0,
+            map_cpu_fixed_sec=60.0, map_output_noise=0.0, partition_skew=0.0,
+        )
+        spec = JobSpec(name="hot", workload=profile, input_path=path, num_reducers=1)
+        configurator = DynamicConfigurator()
+        configurator.register_job(spec)
+        # Default 0.8 would spill twice (134 MB output vs 160*0.8=128);
+        # the mid-run bump to 0.99 avoids the second spill (158 > 134).
+        configurator.set_job_parameters(spec.job_id, {P.IO_SORT_MB: 160})
+
+        def bump():
+            configurator.set_task_parameters(spec.job_id, {P.SORT_SPILL_PERCENT: 0.99})
+
+        sc.sim.call_at(30.0, bump)
+        result = sc.run_job(spec, config_provider=configurator)
+        (mstat,) = result.stats_of(TaskType.MAP)
+        assert mstat.spilled_records == mstat.map_output_records  # single spill

@@ -1,0 +1,96 @@
+"""Tests for the category-1 what-if advisor."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.whatif import (
+    CategoryOneAdvisor,
+    CategoryOneCandidate,
+    default_candidates,
+)
+from repro.workloads.datasets import DatasetSpec
+from repro.workloads.terasort import terasort_profile
+
+SMALL_CLUSTER = ClusterSpec(num_slaves=4, racks=(2, 2))
+
+
+class TestCandidate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoryOneCandidate(0)
+        with pytest.raises(ValueError):
+            CategoryOneCandidate(4, slowstart=2.0)
+
+    def test_default_grid_shape(self):
+        grid = default_candidates(64)
+        reducers = {c.num_reducers for c in grid}
+        assert reducers == {8, 16, 32, 64}
+        slowstarts = {c.slowstart for c in grid}
+        assert slowstarts == {0.05, 0.8}
+
+    def test_default_grid_small_jobs(self):
+        grid = default_candidates(2)
+        assert all(c.num_reducers >= 1 for c in grid)
+
+
+class TestAdvisor:
+    def test_evaluate_runs_a_job(self):
+        advisor = CategoryOneAdvisor(seed=1, cluster_spec=SMALL_CLUSTER)
+        outcome = advisor.evaluate(
+            terasort_profile(),
+            DatasetSpec("whatif-a", num_blocks=16),
+            CategoryOneCandidate(4),
+        )
+        assert outcome.succeeded
+        assert outcome.predicted_duration > 0
+
+    def test_advise_picks_minimum(self):
+        advisor = CategoryOneAdvisor(seed=1, cluster_spec=SMALL_CLUSTER)
+        advice = advisor.advise(
+            terasort_profile(),
+            DatasetSpec("whatif-b", num_blocks=16),
+            candidates=[
+                CategoryOneCandidate(1),   # one reducer strangles the job
+                CategoryOneCandidate(4),
+                CategoryOneCandidate(8),
+            ],
+        )
+        durations = {
+            e.candidate.num_reducers: e.predicted_duration for e in advice.evaluations
+        }
+        assert advice.predicted_duration == min(durations.values())
+        # A single reducer must be clearly worse than the best.
+        assert durations[1] > advice.predicted_duration
+
+    def test_speedup_over(self):
+        advisor = CategoryOneAdvisor(seed=1, cluster_spec=SMALL_CLUSTER)
+        one = CategoryOneCandidate(1)
+        advice = advisor.advise(
+            terasort_profile(),
+            DatasetSpec("whatif-c", num_blocks=16),
+            candidates=[one, CategoryOneCandidate(6)],
+        )
+        assert advice.speedup_over(one) >= 0.0
+        with pytest.raises(KeyError):
+            advice.speedup_over(CategoryOneCandidate(99))
+
+    def test_empty_candidates_rejected(self):
+        advisor = CategoryOneAdvisor(seed=1, cluster_spec=SMALL_CLUSTER)
+        with pytest.raises(ValueError):
+            advisor.advise(
+                terasort_profile(), DatasetSpec("whatif-d", num_blocks=4), candidates=[]
+            )
+
+    def test_deterministic(self):
+        a1 = CategoryOneAdvisor(seed=3, cluster_spec=SMALL_CLUSTER).advise(
+            terasort_profile(),
+            DatasetSpec("whatif-e", num_blocks=8),
+            candidates=[CategoryOneCandidate(2), CategoryOneCandidate(4)],
+        )
+        a2 = CategoryOneAdvisor(seed=3, cluster_spec=SMALL_CLUSTER).advise(
+            terasort_profile(),
+            DatasetSpec("whatif-e", num_blocks=8),
+            candidates=[CategoryOneCandidate(2), CategoryOneCandidate(4)],
+        )
+        assert a1.best == a2.best
+        assert a1.predicted_duration == a2.predicted_duration

@@ -1,0 +1,47 @@
+"""Tests for experiment memoization and the reporting unit guard."""
+
+import pytest
+
+from repro.core.hill_climbing import HillClimbSettings
+from repro.experiments import expedited
+from repro.experiments.reporting import FigureReport
+from repro.workloads.suite import terasort_case
+
+TINY_HC = HillClimbSettings(m=4, n=3, global_search_limit=1)
+
+
+class TestExpeditedCache:
+    def test_same_case_seed_settings_memoized(self):
+        case = terasort_case(2.0)
+        a = expedited.run_expedited_case(case, seed=11, hill_climb=TINY_HC)
+        b = expedited.run_expedited_case(case, seed=11, hill_climb=TINY_HC)
+        assert a is b  # Figures 4-6 and 7-9 share the same runs
+
+    def test_different_seed_not_shared(self):
+        case = terasort_case(2.0)
+        a = expedited.run_expedited_case(case, seed=12, hill_climb=TINY_HC)
+        b = expedited.run_expedited_case(case, seed=13, hill_climb=TINY_HC)
+        assert a is not b
+
+    def test_different_settings_not_shared(self):
+        case = terasort_case(2.0)
+        other = HillClimbSettings(m=5, n=3, global_search_limit=1)
+        a = expedited.run_expedited_case(case, seed=14, hill_climb=TINY_HC)
+        b = expedited.run_expedited_case(case, seed=14, hill_climb=other)
+        assert a is not b
+
+
+class TestReportingUnitGuard:
+    def test_improvement_line_for_seconds(self):
+        rep = FigureReport("F", "t", ["a"], unit="s")
+        rep.add_series("Default", [100.0])
+        rep.add_series("MRONLINE", [80.0])
+        assert "+20.0%" in rep.render()
+
+    def test_no_improvement_line_for_utilization(self):
+        """"x% better" is wrong for higher-is-better utilization plots."""
+        rep = FigureReport("F", "t", ["a"], unit="frac")
+        rep.add_series("Default", [0.4])
+        rep.add_series("MRONLINE", [0.8])
+        assert "%" not in rep.render().split("\n")[-1] or "frac" in rep.render()
+        assert "vs Default" not in rep.render()

@@ -1,0 +1,106 @@
+"""Tests for the per-figure experiment protocols (scaled down)."""
+
+import pytest
+
+from repro.core.hill_climbing import HillClimbSettings
+from repro.experiments.expedited import (
+    map_side_spills,
+    optimal_spills,
+    run_aggressive_tuning,
+    run_default,
+    run_expedited_case,
+    run_with_config,
+)
+from repro.experiments.jobsize import run_job_size_point, run_sweep
+from repro.experiments.multitenant import ROLES, bbp_case, co_run, terasort_60gb_case
+from repro.experiments.single_run import run_conservative, run_single_run_case
+from repro.workloads.suite import terasort_case
+
+TINY_HC = HillClimbSettings(m=6, n=4, global_search_limit=1)
+
+
+class TestExpeditedProtocol:
+    def test_spill_helpers(self):
+        case = terasort_case(2.0)
+        result = run_default(case, seed=1)
+        spills = map_side_spills(result)
+        optimal = optimal_spills(result)
+        # Default config double-writes Terasort map output.
+        assert spills == pytest.approx(2 * optimal, rel=0.01)
+
+    def test_tuned_rerun_and_result_shape(self):
+        case = terasort_case(4.0)
+        result = run_expedited_case(case, seed=1, hill_climb=TINY_HC)
+        assert result.default_time > 0
+        assert result.offline_time > 0
+        assert result.mronline_time > 0
+        assert result.optimal_spills <= result.default_spills
+        assert result.mronline_spills <= result.default_spills * 1.01
+
+    def test_tuning_run_returns_config(self):
+        case = terasort_case(4.0)
+        _result, config = run_aggressive_tuning(case, seed=1, hill_climb=TINY_HC)
+        from repro.core.configuration import is_feasible
+
+        assert is_feasible(config)
+
+    def test_run_with_config_uses_it(self):
+        from repro.core import parameters as P
+        from repro.core.configuration import Configuration
+        from repro.mapreduce.jobspec import TaskType
+
+        case = terasort_case(2.0)
+        cfg = Configuration({P.IO_SORT_MB: 200})
+        result = run_with_config(case, 1, cfg)
+        assert all(
+            s.config[P.IO_SORT_MB] == 200 for s in result.stats_of(TaskType.MAP)
+        )
+
+
+class TestSingleRunProtocol:
+    def test_outcome_shape(self):
+        case = terasort_case(4.0)
+        outcome = run_single_run_case(case, seed=1)
+        assert outcome.default_time > 0
+        assert outcome.mronline_time > 0
+        assert -0.5 < outcome.improvement < 1.0
+
+    def test_conservative_runner_returns_tuner(self):
+        case = terasort_case(2.0)
+        result, tuner = run_conservative(case, seed=1)
+        assert result.succeeded
+        assert tuner.recommended_config is not None
+
+
+class TestJobSizeProtocol:
+    def test_point_shape(self):
+        point = run_job_size_point(2.0, seed=1, hill_climb=TINY_HC)
+        assert point.num_maps == 16
+        assert point.num_reducers == 4
+        assert point.default_time > 0
+
+    def test_sweep_runs_all_sizes(self):
+        points = run_sweep(seed=1, sizes=(2.0, 4.0), hill_climb=TINY_HC)
+        assert [p.size_gb for p in points] == [2.0, 4.0]
+
+
+class TestMultiTenantProtocol:
+    def test_cases_match_paper(self):
+        ts = terasort_60gb_case()
+        assert ts.num_maps == 448  # Section 8.5: 448 mappers
+        assert ts.num_reducers == 200
+        bbp = bbp_case()
+        assert bbp.num_maps == 100
+        assert bbp.num_reducers == 1
+
+    def test_roles_enumerated(self):
+        assert ROLES == ("Terasort-m", "Terasort-r", "BBP-m", "BBP-r")
+
+    @pytest.mark.slow
+    def test_co_run_produces_utilizations(self):
+        outcome = co_run(seed=1)
+        assert outcome.terasort_time > 0
+        assert outcome.bbp_time > 0
+        for role in ROLES:
+            assert 0 <= outcome.utilization.memory[role] <= 1
+            assert 0 <= outcome.utilization.cpu[role] <= 1

@@ -1,0 +1,75 @@
+"""Tests for the task-timeline trace exporter."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.harness import SimCluster
+from repro.experiments.trace import CSV_FIELDS, save_csv, swimlanes, to_csv
+from repro.workloads.suite import make_job_spec, terasort_case
+
+
+@pytest.fixture(scope="module")
+def result():
+    sc = SimCluster(
+        seed=1, cluster_spec=ClusterSpec(num_slaves=4, racks=(2, 2)),
+        start_monitors=False,
+    )
+    return sc.run_job(make_job_spec(terasort_case(2.0), sc.hdfs))
+
+
+class TestCsv:
+    def test_one_row_per_attempt(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert len(rows) == len(result.task_stats)
+
+    def test_fields_present(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert set(rows[0]) == set(CSV_FIELDS)
+
+    def test_sorted_by_start(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        starts = [float(r["start"]) for r in rows]
+        assert starts == sorted(starts)
+
+    def test_types_roundtrip(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        for row in rows:
+            assert row["type"] in ("map", "reduce")
+            assert float(row["end"]) >= float(row["start"])
+
+    def test_save(self, result, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        save_csv(result, path)
+        with open(path) as fh:
+            assert fh.readline().startswith("task_id,")
+
+
+class TestSwimlanes:
+    def test_one_lane_per_node(self, result):
+        sketch = swimlanes(result)
+        nodes = {s.node_id for s in result.task_stats}
+        assert sketch.count("node") == len(nodes)
+
+    def test_contains_map_and_reduce_glyphs(self, result):
+        sketch = swimlanes(result)
+        assert "m" in sketch
+        assert "r" in sketch or "B" in sketch
+
+    def test_width_respected(self, result):
+        sketch = swimlanes(result, width=40)
+        for line in sketch.splitlines()[1:]:
+            assert len(line) <= 40 + 10  # label + bars
+
+    def test_lane_cap(self, result):
+        sketch = swimlanes(result, max_lanes=2)
+        assert sketch.count("node") == 2
+
+    def test_empty_result(self):
+        from repro.mapreduce.counters import Counters
+        from repro.yarn.app_master import JobResult
+
+        empty = JobResult("j", True, 0.0, 0.0, Counters(), [])
+        assert swimlanes(empty) == "(no tasks)"

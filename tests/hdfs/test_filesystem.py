@@ -1,0 +1,151 @@
+"""Tests for HDFS placement, namespace, and I/O costing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import MB, NodeResources
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.hdfs.block import Block, BlockLocation
+from repro.hdfs.filesystem import DEFAULT_BLOCK_SIZE, HdfsFileSystem
+from repro.sim import Simulator
+
+
+def make_fs(num_slaves=6, racks=(3, 3), replication=3, seed=0):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_slaves=num_slaves, racks=racks))
+    fs = HdfsFileSystem(cluster, replication=replication, rng=np.random.default_rng(seed))
+    return sim, cluster, fs
+
+
+class TestBlock:
+    def test_block_requires_location(self):
+        with pytest.raises(ValueError):
+            Block(100, [])
+
+    def test_block_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            Block(0, [BlockLocation(0, 0)])
+
+    def test_hosted_on(self):
+        b = Block(100, [BlockLocation(1, 0), BlockLocation(4, 1)])
+        assert b.hosted_on(1) and b.hosted_on(4)
+        assert not b.hosted_on(2)
+
+    def test_racks_sorted_unique(self):
+        b = Block(100, [BlockLocation(1, 1), BlockLocation(4, 0), BlockLocation(5, 1)])
+        assert b.racks() == (0, 1)
+
+
+class TestNamespace:
+    def test_create_and_get(self):
+        _sim, _c, fs = make_fs()
+        f = fs.create_file("/data/x", 300 * MB)
+        assert fs.exists("/data/x")
+        assert fs.get("/data/x") is f
+
+    def test_missing_file_raises(self):
+        _sim, _c, fs = make_fs()
+        with pytest.raises(FileNotFoundError):
+            fs.get("/nope")
+
+    def test_duplicate_create_rejected(self):
+        _sim, _c, fs = make_fs()
+        fs.create_file("/x", 10)
+        with pytest.raises(FileExistsError):
+            fs.create_file("/x", 10)
+
+    def test_delete(self):
+        _sim, _c, fs = make_fs()
+        fs.create_file("/x", 10)
+        fs.delete("/x")
+        assert not fs.exists("/x")
+
+    def test_block_count_and_sizes(self):
+        _sim, _c, fs = make_fs()
+        f = fs.create_file("/x", int(2.5 * DEFAULT_BLOCK_SIZE))
+        assert len(f.blocks) == 3
+        assert f.blocks[0].size_bytes == DEFAULT_BLOCK_SIZE
+        assert f.blocks[2].size_bytes == DEFAULT_BLOCK_SIZE // 2
+        assert f.size_bytes == int(2.5 * DEFAULT_BLOCK_SIZE)
+
+    def test_list_files_sorted(self):
+        _sim, _c, fs = make_fs()
+        fs.create_file("/b", 1)
+        fs.create_file("/a", 1)
+        assert fs.list_files() == ["/a", "/b"]
+
+
+class TestPlacement:
+    def test_replica_count(self):
+        _sim, _c, fs = make_fs(replication=3)
+        f = fs.create_file("/x", DEFAULT_BLOCK_SIZE * 10)
+        for b in f.blocks:
+            assert len(b.locations) == 3
+
+    def test_replicas_on_distinct_nodes(self):
+        _sim, _c, fs = make_fs(replication=3)
+        f = fs.create_file("/x", DEFAULT_BLOCK_SIZE * 20)
+        for b in f.blocks:
+            nodes = [loc.node_id for loc in b.locations]
+            assert len(set(nodes)) == len(nodes)
+
+    def test_rack_aware_spread(self):
+        # With 3 replicas across 2 racks, every block must span both racks.
+        _sim, _c, fs = make_fs(replication=3)
+        f = fs.create_file("/x", DEFAULT_BLOCK_SIZE * 20)
+        for b in f.blocks:
+            assert len(b.racks()) == 2
+
+    def test_writer_gets_first_replica(self):
+        _sim, cluster, fs = make_fs()
+        writer = cluster.nodes[2]
+        f = fs.create_file("/x", DEFAULT_BLOCK_SIZE * 5, writer=writer)
+        for b in f.blocks:
+            assert b.locations[0].node_id == writer.node_id
+
+    def test_replication_capped_at_cluster_size(self):
+        _sim, _c, fs = make_fs(num_slaves=2, racks=(1, 1), replication=3)
+        f = fs.create_file("/x", DEFAULT_BLOCK_SIZE)
+        assert len(f.blocks[0].locations) == 2
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_placement_invariants_hold_for_any_seed(self, seed):
+        _sim, _c, fs = make_fs(seed=seed)
+        f = fs.create_file("/x", DEFAULT_BLOCK_SIZE * 4)
+        for b in f.blocks:
+            nodes = [loc.node_id for loc in b.locations]
+            assert len(set(nodes)) == 3
+            assert len(b.racks()) == 2
+
+
+class TestIoCosting:
+    def test_local_read_uses_reader_disk(self):
+        sim, cluster, fs = make_fs()
+        writer = cluster.nodes[0]
+        f = fs.create_file("/x", 110 * MB, writer=writer)
+        done = fs.read_block(f.blocks[0], writer)
+        sim.run_until_complete(done)
+        assert sim.now == pytest.approx(1.0)  # 110 MB at 110 MB/s
+
+    def test_remote_read_charges_network(self):
+        sim, cluster, fs = make_fs()
+        writer = cluster.nodes[0]
+        f = fs.create_file("/x", 117 * MB, writer=writer)
+        block = f.blocks[0]
+        reader = next(
+            n for n in cluster.nodes if not block.hosted_on(n.node_id)
+        )
+        done = fs.read_block(block, reader)
+        sim.run_until_complete(done)
+        assert sim.now > 0.9  # bounded by ~1 Gbps NIC
+
+    def test_write_file_registers_and_costs(self):
+        sim, cluster, fs = make_fs()
+        writer = cluster.nodes[0]
+        done = fs.write_file("/out", 90 * MB, writer)
+        sim.run_until_complete(done)
+        assert fs.exists("/out")
+        assert sim.now >= 1.0  # 90 MB at 90 MB/s local write minimum

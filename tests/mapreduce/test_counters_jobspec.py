@@ -1,0 +1,144 @@
+"""Tests for counters, job specs, and the shuffle catalog."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.counters import Counter, Counters
+from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType, WorkloadProfile
+from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.sim import Simulator
+
+
+def profile(**over):
+    base = dict(name="p", map_output_ratio=1.0, map_output_record_size=100.0)
+    base.update(over)
+    return WorkloadProfile(**base)
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Counters().get(Counter.SPILLED_RECORDS) == 0
+
+    def test_increment(self):
+        c = Counters()
+        c.increment(Counter.SPILLED_RECORDS, 10)
+        c.increment(Counter.SPILLED_RECORDS, 5)
+        assert c[Counter.SPILLED_RECORDS] == 15
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment(Counter.MAP_OUTPUT_RECORDS, 3)
+        b.increment(Counter.MAP_OUTPUT_RECORDS, 4)
+        b.increment(Counter.SPILLED_RECORDS, 1)
+        a.merge(b)
+        assert a[Counter.MAP_OUTPUT_RECORDS] == 7
+        assert a[Counter.SPILLED_RECORDS] == 1
+
+    def test_snapshot_is_string_keyed_and_sorted(self):
+        c = Counters()
+        c.increment(Counter.SPILLED_RECORDS, 2)
+        c.increment(Counter.CPU_MILLISECONDS, 1)
+        snap = c.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["SPILLED_RECORDS"] == 2
+
+    def test_copy_independent(self):
+        a = Counters()
+        a.increment(Counter.SPILLED_RECORDS, 1)
+        b = a.copy()
+        b.increment(Counter.SPILLED_RECORDS, 1)
+        assert a[Counter.SPILLED_RECORDS] == 1
+
+
+class TestJobSpec:
+    def test_task_ids_format(self):
+        spec = JobSpec(name="x", workload=profile(), input_path="/in", num_reducers=2)
+        tid = spec.map_task_id(3)
+        assert str(tid).endswith("_m_000003")
+        assert str(spec.reduce_task_id(0)).endswith("_r_000000")
+
+    def test_job_ids_unique(self):
+        a = JobSpec(name="x", workload=profile(), input_path="/in", num_reducers=1)
+        b = JobSpec(name="x", workload=profile(), input_path="/in", num_reducers=1)
+        assert a.job_id != b.job_id
+
+    def test_output_path_defaulted(self):
+        spec = JobSpec(name="x", workload=profile(), input_path="/in", num_reducers=1)
+        assert spec.output_path.startswith("/out/")
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="x", workload=profile(), input_path="/in", num_reducers=0)
+
+    def test_invalid_slowstart(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="x", workload=profile(), input_path="/in",
+                num_reducers=1, slowstart=1.5,
+            )
+
+    def test_combiner_ratio_requires_combiner(self):
+        with pytest.raises(ValueError):
+            profile(combiner_record_ratio=0.5)
+
+    def test_negative_output_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            profile(map_output_ratio=-1.0)
+
+
+class TestMapOutputCatalog:
+    def make(self, maps=4, reducers=2):
+        sim = Simulator()
+        return sim, MapOutputCatalog(sim, maps, reducers)
+
+    def test_registration_and_cursor(self):
+        _sim, cat = self.make()
+        cat.register_map_output(0, node_id=1, partitions=np.array([10.0, 20.0]))
+        cursor, fresh = cat.new_outputs_since(0)
+        assert fresh == [0]
+        cursor, fresh = cat.new_outputs_since(cursor)
+        assert fresh == []
+
+    def test_double_registration_rejected(self):
+        _sim, cat = self.make()
+        cat.register_map_output(0, 1, np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            cat.register_map_output(0, 1, np.array([1.0, 1.0]))
+
+    def test_wrong_partition_count_rejected(self):
+        _sim, cat = self.make()
+        with pytest.raises(ValueError):
+            cat.register_map_output(0, 1, np.array([1.0]))
+
+    def test_maps_done_after_all_register(self):
+        _sim, cat = self.make(maps=2)
+        cat.register_map_output(0, 1, np.array([1.0, 1.0]))
+        assert not cat.maps_done
+        cat.register_map_output(1, 1, np.array([1.0, 1.0]))
+        assert cat.maps_done
+
+    def test_waiters_woken_on_registration(self):
+        sim, cat = self.make()
+        ev = cat.wait_for_news()
+        cat.register_map_output(0, 1, np.array([1.0, 1.0]))
+        sim.run()
+        assert ev.triggered
+
+    def test_batch_bytes_for_reducer(self):
+        _sim, cat = self.make()
+        cat.register_map_output(0, 1, np.array([10.0, 20.0]))
+        cat.register_map_output(1, 2, np.array([5.0, 5.0]))
+        assert cat.batch_bytes_for_reducer([0, 1], 0) == 15.0
+        assert cat.total_bytes_for_reducer(1) == 25.0
+
+    def test_mark_all_maps_done_wakes(self):
+        sim, cat = self.make()
+        ev = cat.wait_for_news()
+        cat.mark_all_maps_done()
+        sim.run()
+        assert ev.triggered and cat.maps_done
+
+    def test_source_nodes(self):
+        _sim, cat = self.make()
+        cat.register_map_output(0, 7, np.array([1.0, 1.0]))
+        assert cat.source_nodes([0]) == [7]

@@ -1,0 +1,138 @@
+"""Tests for the per-job dataflow model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.hdfs.filesystem import HdfsFileSystem
+from repro.mapreduce.dataflow import JobDataflow
+from repro.mapreduce.jobspec import JobSpec, WorkloadProfile
+from repro.sim import Simulator
+
+MB = 1024**2
+
+
+def make_dataflow(profile=None, blocks=8, num_reducers=4, seed=0):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_slaves=4, racks=(2, 2)))
+    fs = HdfsFileSystem(cluster, rng=np.random.default_rng(1))
+    f = fs.create_file("/in", blocks * fs.block_size)
+    profile = profile or WorkloadProfile(
+        name="t", map_output_ratio=1.0, map_output_record_size=100.0
+    )
+    spec = JobSpec(
+        name="t", workload=profile, input_path="/in", num_reducers=num_reducers
+    )
+    return JobDataflow(spec, f, rng=np.random.default_rng(seed))
+
+
+class TestMapVolumes:
+    def test_num_maps_equals_blocks(self):
+        df = make_dataflow(blocks=8)
+        assert df.num_maps == 8
+
+    def test_map_input_matches_block(self):
+        df = make_dataflow()
+        assert df.map_input_bytes(0) == 128 * MB
+
+    def test_output_ratio_applied(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=0.5, map_output_record_size=100.0,
+            map_output_noise=0.0,
+        )
+        df = make_dataflow(profile)
+        out_bytes, out_records = df.map_output(0)
+        assert out_bytes == pytest.approx(64 * MB)
+        assert out_records == pytest.approx(64 * MB / 100, rel=0.01)
+
+    def test_noise_perturbs_but_preserves_mean(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            map_output_noise=0.2,
+        )
+        df = make_dataflow(profile, blocks=64)
+        outs = df.map_output_bytes
+        assert outs.std() > 0
+        assert outs.mean() == pytest.approx(128 * MB, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = make_dataflow(seed=5)
+        b = make_dataflow(seed=5)
+        assert (a.map_output_bytes == b.map_output_bytes).all()
+        assert (a.partition_weights == b.partition_weights).all()
+
+    def test_different_seeds_differ(self):
+        a = make_dataflow(seed=5)
+        b = make_dataflow(seed=6)
+        assert not (a.map_output_bytes == b.map_output_bytes).all()
+
+
+class TestPartitions:
+    def test_weights_normalized(self):
+        df = make_dataflow(num_reducers=16)
+        assert df.partition_weights.sum() == pytest.approx(1.0)
+        assert (df.partition_weights > 0).all()
+
+    def test_zero_skew_is_uniform(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            partition_skew=0.0,
+        )
+        df = make_dataflow(profile, num_reducers=8)
+        assert np.allclose(df.partition_weights, 1 / 8)
+
+    def test_skew_spreads_weights(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            partition_skew=0.5,
+        )
+        df = make_dataflow(profile, num_reducers=32)
+        assert df.partition_weights.max() > 2 * df.partition_weights.min()
+
+    def test_partitions_sum_to_map_output(self):
+        df = make_dataflow()
+        parts = df.partitions_for_map(0, 100 * MB)
+        assert parts.sum() == pytest.approx(100 * MB)
+
+    @given(skew=st.floats(0.0, 1.0), reducers=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_always_a_distribution(self, skew, reducers):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            partition_skew=skew,
+        )
+        df = make_dataflow(profile, num_reducers=reducers)
+        assert df.partition_weights.sum() == pytest.approx(1.0)
+        assert (df.partition_weights >= 0).all()
+
+
+class TestJobExpectations:
+    def test_total_input(self):
+        df = make_dataflow(blocks=8)
+        assert df.total_input_bytes == 8 * 128 * MB
+
+    def test_expected_shuffle_without_combiner(self):
+        df = make_dataflow()
+        assert df.expected_shuffle_bytes == pytest.approx(
+            df.map_output_bytes.sum()
+        )
+
+    def test_expected_shuffle_with_combiner(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            has_combiner=True, combiner_record_ratio=0.25, combiner_byte_ratio=0.25,
+        )
+        df = make_dataflow(profile)
+        assert df.expected_shuffle_bytes == pytest.approx(
+            df.map_output_bytes.sum() * 0.25
+        )
+
+    def test_reduce_output_applies_ratio(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            reduce_output_ratio=0.3,
+        )
+        df = make_dataflow(profile)
+        assert df.reduce_output_bytes(100.0) == pytest.approx(30.0)

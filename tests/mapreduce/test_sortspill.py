@@ -1,0 +1,232 @@
+"""Tests for the Hadoop sort/spill/merge planning model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.sortspill import (
+    MapSpillPlan,
+    merge_passes,
+    plan_map_spills,
+    plan_reduce_merge,
+)
+
+MB = 1024**2
+
+
+class TestMergePasses:
+    @pytest.mark.parametrize(
+        "segments,fan_in,expected",
+        [
+            (0, 10, 0),
+            (1, 10, 0),
+            (2, 10, 1),
+            (10, 10, 1),
+            (11, 10, 2),
+            (100, 10, 2),
+            (101, 10, 3),
+            (5, 2, 3),
+        ],
+    )
+    def test_cases(self, segments, fan_in, expected):
+        assert merge_passes(segments, fan_in) == expected
+
+    def test_fan_in_validation(self):
+        with pytest.raises(ValueError):
+            merge_passes(5, 1)
+
+
+class TestMapSpills:
+    def test_single_spill_is_optimal(self):
+        """One spill: records hit disk exactly once (the paper's Optimal)."""
+        plan = plan_map_spills(
+            output_records=1000,
+            output_bytes=50 * MB,
+            sort_buffer_bytes=100 * MB,
+            spill_percent=0.8,
+            sort_factor=10,
+        )
+        assert plan.num_spills == 1
+        assert plan.spilled_records == 1000
+        assert plan.merge_rounds == 0
+        assert plan.merge_read_bytes == 0
+
+    def test_default_terasort_split_spills_twice(self):
+        """A 134 MB map output against the default 100 MB buffer at 0.8."""
+        plan = plan_map_spills(
+            output_records=1_340_000,
+            output_bytes=134 * MB,
+            sort_buffer_bytes=100 * MB,
+            spill_percent=0.8,
+            sort_factor=10,
+        )
+        assert plan.num_spills == 2
+        # One merge pass: every record written twice.
+        assert plan.spilled_records == 2 * 1_340_000
+
+    def test_worst_case_three_x(self):
+        """Many tiny spills with a small fan-in: the paper's 3x bound."""
+        plan = plan_map_spills(
+            output_records=1000,
+            output_bytes=100 * MB,
+            sort_buffer_bytes=2 * MB,
+            spill_percent=0.8,
+            sort_factor=10,
+        )
+        assert plan.num_spills > 10
+        assert plan.spilled_records == 3 * 1000
+
+    def test_combiner_reduces_volume(self):
+        plan = plan_map_spills(
+            output_records=1000,
+            output_bytes=50 * MB,
+            sort_buffer_bytes=100 * MB,
+            spill_percent=0.8,
+            sort_factor=10,
+            has_combiner=True,
+            combiner_record_ratio=0.2,
+            combiner_byte_ratio=0.2,
+        )
+        assert plan.output_records == 200
+        assert plan.output_bytes == pytest.approx(10 * MB)
+        assert plan.spilled_records == 200
+
+    def test_zero_output(self):
+        plan = plan_map_spills(0, 0.0, 100 * MB, 0.8, 10)
+        assert plan.spilled_records == 0
+        assert plan.total_disk_write_bytes == 0
+
+    def test_spill_percent_bounds(self):
+        with pytest.raises(ValueError):
+            plan_map_spills(10, 10.0, 100 * MB, 0.0, 10)
+        with pytest.raises(ValueError):
+            plan_map_spills(10, 10.0, 100 * MB, 1.2, 10)
+
+    def test_negative_output_rejected(self):
+        with pytest.raises(ValueError):
+            plan_map_spills(-1, 10.0, 100 * MB, 0.8, 10)
+
+    @given(
+        records=st.integers(1, 10**7),
+        out_mb=st.floats(0.1, 2000),
+        buf_mb=st.floats(1, 2000),
+        spill_pct=st.floats(0.5, 0.99),
+        factor=st.integers(2, 100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_invariants(self, records, out_mb, buf_mb, spill_pct, factor):
+        plan = plan_map_spills(records, out_mb * MB, buf_mb * MB, spill_pct, factor)
+        # Records hit disk at least once and at most (1 + passes) times.
+        assert plan.spilled_records >= plan.output_records
+        assert plan.spilled_records <= plan.output_records * (1 + plan.merge_rounds)
+        # Merge I/O is symmetric and proportional to rounds.
+        assert plan.merge_read_bytes == plan.merge_write_bytes
+        assert plan.output_bytes > 0
+
+    @given(
+        small=st.floats(10, 100),
+        factor=st.integers(2, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_buffer_never_spills_more(self, small, factor):
+        out = 500 * MB
+        p_small = plan_map_spills(1000, out, small * MB, 0.8, factor)
+        p_big = plan_map_spills(1000, out, (small * 4) * MB, 0.8, factor)
+        assert p_big.num_spills <= p_small.num_spills
+        assert p_big.spilled_records <= p_small.spilled_records
+
+
+class TestReduceMerge:
+    def kwargs(self, **over):
+        base = dict(
+            input_bytes=500 * MB,
+            input_records=5_000_000,
+            num_segments=700,
+            heap_bytes=819 * MB,
+            shuffle_input_buffer_percent=0.7,
+            shuffle_merge_percent=0.66,
+            shuffle_memory_limit_percent=0.25,
+            merge_inmem_threshold=1000,
+            reduce_input_buffer_percent=0.0,
+            sort_factor=10,
+        )
+        base.update(over)
+        return base
+
+    def test_default_config_spills(self):
+        plan = plan_reduce_merge(**self.kwargs())
+        assert plan.spilled_records > 0
+        assert plan.total_disk_write_bytes > 0
+
+    def test_generous_buffers_zero_spills(self):
+        plan = plan_reduce_merge(
+            **self.kwargs(
+                heap_bytes=1638 * MB,
+                shuffle_input_buffer_percent=0.85,
+                shuffle_merge_percent=0.85,
+                merge_inmem_threshold=0,
+                reduce_input_buffer_percent=0.8,
+            )
+        )
+        assert plan.spilled_records == 0
+        assert plan.retained_in_memory_bytes == pytest.approx(500 * MB)
+        assert plan.final_read_bytes == 0
+
+    def test_oversized_segments_bypass_memory(self):
+        plan = plan_reduce_merge(
+            **self.kwargs(num_segments=2, shuffle_memory_limit_percent=0.1)
+        )
+        assert plan.direct_to_disk_bytes == pytest.approx(500 * MB)
+
+    def test_zero_input(self):
+        plan = plan_reduce_merge(**self.kwargs(input_bytes=0.0, input_records=0))
+        assert plan.spilled_records == 0
+        assert plan.total_disk_read_bytes == 0
+
+    def test_inmem_threshold_forces_flushes(self):
+        free = plan_reduce_merge(**self.kwargs(merge_inmem_threshold=0))
+        tight = plan_reduce_merge(**self.kwargs(merge_inmem_threshold=10))
+        assert tight.inmem_spill_bytes >= free.inmem_spill_bytes
+
+    def test_reduce_input_buffer_retains(self):
+        none = plan_reduce_merge(**self.kwargs(reduce_input_buffer_percent=0.0))
+        some = plan_reduce_merge(**self.kwargs(reduce_input_buffer_percent=0.5))
+        assert some.retained_in_memory_bytes >= none.retained_in_memory_bytes
+
+    def test_heap_validation(self):
+        with pytest.raises(ValueError):
+            plan_reduce_merge(**self.kwargs(heap_bytes=0))
+
+    @given(
+        input_mb=st.floats(1, 4000),
+        heap_mb=st.floats(100, 4000),
+        ibp=st.floats(0.2, 0.9),
+        merge=st.floats(0.2, 0.9),
+        limit=st.floats(0.1, 0.7),
+        thresh=st.integers(0, 5000),
+        rib=st.floats(0.0, 0.9),
+        segments=st.integers(1, 800),
+        factor=st.integers(2, 100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_invariants(self, input_mb, heap_mb, ibp, merge, limit, thresh, rib, segments, factor):
+        plan = plan_reduce_merge(
+            input_bytes=input_mb * MB,
+            input_records=int(input_mb * 1000),
+            num_segments=segments,
+            heap_bytes=heap_mb * MB,
+            shuffle_input_buffer_percent=ibp,
+            shuffle_merge_percent=min(merge, ibp),
+            shuffle_memory_limit_percent=min(limit, merge, ibp),
+            merge_inmem_threshold=thresh,
+            reduce_input_buffer_percent=rib,
+            sort_factor=factor,
+        )
+        total_in = input_mb * MB
+        # Conservation: retained + disk-landed bytes == input.
+        landed = plan.direct_to_disk_bytes + plan.inmem_spill_bytes
+        assert landed + plan.retained_in_memory_bytes == pytest.approx(total_in, rel=1e-6)
+        # The final merge rereads exactly what landed on disk.
+        assert plan.final_read_bytes == pytest.approx(landed, rel=1e-6)
+        assert plan.spilled_records >= 0
+        assert plan.disk_merge_read_bytes == plan.disk_merge_write_bytes

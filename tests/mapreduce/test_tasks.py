@@ -1,0 +1,190 @@
+"""Integration tests for the map and reduce task processes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.container import Container
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.core import parameters as P
+from repro.core.configuration import Configuration
+from repro.hdfs.filesystem import HdfsFileSystem
+from repro.mapreduce.dataflow import JobDataflow
+from repro.mapreduce.jobspec import JobSpec, TaskType, WorkloadProfile
+from repro.mapreduce.map_task import run_map_task
+from repro.mapreduce.reduce_task import run_reduce_task
+from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.mapreduce.task_context import (
+    CONTAINER_LAUNCH_OVERHEAD,
+    TaskContext,
+    allocated_cores,
+    effective_core_cap,
+)
+from repro.sim import Simulator
+
+MB = 1024**2
+GB = 1024**3
+
+
+def build(profile=None, blocks=2, reducers=2):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_slaves=4, racks=(2, 2)))
+    fs = HdfsFileSystem(cluster, rng=np.random.default_rng(1))
+    f = fs.create_file("/in", blocks * fs.block_size)
+    profile = profile or WorkloadProfile(
+        name="t",
+        map_output_ratio=1.0,
+        map_output_record_size=100.0,
+        map_output_noise=0.0,
+        partition_skew=0.0,
+        map_fixed_mem_bytes=150 * MB,
+        reduce_fixed_mem_bytes=200 * MB,
+    )
+    spec = JobSpec(name="t", workload=profile, input_path="/in", num_reducers=reducers)
+    df = JobDataflow(spec, f, rng=np.random.default_rng(0))
+    cat = MapOutputCatalog(sim, df.num_maps, df.num_reducers)
+    ctx = TaskContext(sim, cluster, fs, spec, df, cat)
+    return ctx, f
+
+
+def run_map(ctx, f, config=None, map_index=0):
+    config = config or Configuration()
+    node = ctx.cluster.nodes[0]
+    container = Container(node, config.map_memory_bytes, 1, "app")
+    proc = ctx.sim.process(
+        run_map_task(ctx, map_index, f.blocks[map_index], container, config)
+    )
+    return ctx.sim.run_until_complete(proc)
+
+
+class TestMapTask:
+    def test_successful_map_stats(self):
+        ctx, f = build()
+        stats = run_map(ctx, f)
+        assert not stats.failed
+        assert stats.task_type is TaskType.MAP
+        assert stats.duration > CONTAINER_LAUNCH_OVERHEAD
+        assert stats.map_output_bytes == pytest.approx(128 * MB)
+        assert stats.cpu_seconds > 0
+        assert 0 < stats.memory_utilization <= 1
+
+    def test_output_registered_in_catalog(self):
+        ctx, f = build()
+        run_map(ctx, f)
+        assert ctx.catalog.completed_maps == 1
+        assert ctx.catalog.total_bytes_for_reducer(0) > 0
+
+    def test_default_buffer_spills_twice(self):
+        ctx, f = build()
+        stats = run_map(ctx, f)
+        # 128 MB output vs 100 MB buffer at 0.8: two spills, 2x records.
+        assert stats.spilled_records == pytest.approx(2 * stats.map_output_records)
+
+    def test_big_buffer_single_spill(self):
+        ctx, f = build()
+        cfg = Configuration({P.MAP_MEMORY_MB: 1024, P.IO_SORT_MB: 160, P.SORT_SPILL_PERCENT: 0.99})
+        stats = run_map(ctx, f, cfg)
+        assert stats.spilled_records == stats.map_output_records
+
+    def test_oom_when_buffer_exceeds_heap(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            map_fixed_mem_bytes=700 * MB, map_output_noise=0.0,
+        )
+        ctx, f = build(profile)
+        cfg = Configuration({P.MAP_MEMORY_MB: 1024, P.IO_SORT_MB: 300})
+        stats = run_map(ctx, f, cfg)
+        assert stats.failed
+        assert "OutOfMemory" in stats.failure_reason
+        # A failed map must not publish output.
+        assert ctx.catalog.completed_maps == 0
+
+    def test_compute_bound_profile_dominated_by_cpu(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=0.001, map_output_record_size=100.0,
+            map_cpu_fixed_sec=60.0, map_output_noise=0.0, partition_skew=0.0,
+        )
+        ctx, f = build(profile)
+        stats = run_map(ctx, f)
+        assert stats.duration > 55.0
+        assert stats.cpu_utilization > 0.9
+
+
+class TestReduceTask:
+    def run_reduce(self, ctx, config=None, reduce_index=0):
+        config = config or Configuration()
+        node = ctx.cluster.nodes[1]
+        container = Container(node, config.reduce_memory_bytes, 1, "app")
+        proc = ctx.sim.process(
+            run_reduce_task(ctx, reduce_index, container, config)
+        )
+        return proc
+
+    def test_reduce_waits_for_maps_then_finishes(self):
+        ctx, f = build()
+        proc = self.run_reduce(ctx)
+        # Run the maps afterwards: the reducer must consume both outputs.
+        for i in range(2):
+            run_map(ctx, f, map_index=i)
+        stats = ctx.sim.run_until_complete(proc)
+        assert not stats.failed
+        assert stats.shuffled_bytes == pytest.approx(128 * MB, rel=0.01)
+
+    def test_reduce_output_written_to_hdfs(self):
+        ctx, f = build()
+        proc = self.run_reduce(ctx)
+        for i in range(2):
+            run_map(ctx, f, map_index=i)
+        ctx.sim.run_until_complete(proc)
+        out = f"{ctx.spec.output_path}/part-00000"
+        assert ctx.hdfs.exists(out)
+
+    def test_generous_buffers_no_reduce_spills(self):
+        ctx, f = build()
+        cfg = Configuration(
+            {
+                P.REDUCE_MEMORY_MB: 1024,
+                P.SHUFFLE_INPUT_BUFFER_PERCENT: 0.85,
+                P.SHUFFLE_MERGE_PERCENT: 0.85,
+                P.REDUCE_INPUT_BUFFER_PERCENT: 0.6,
+                P.MERGE_INMEM_THRESHOLD: 0,
+            }
+        )
+        proc = self.run_reduce(ctx, cfg)
+        for i in range(2):
+            run_map(ctx, f, map_index=i)
+        stats = ctx.sim.run_until_complete(proc)
+        assert stats.spilled_records == 0
+
+    def test_reduce_oom_on_excessive_retention(self):
+        profile = WorkloadProfile(
+            name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+            reduce_fixed_mem_bytes=800 * MB, map_output_noise=0.0,
+            partition_skew=0.0,
+        )
+        ctx, f = build(profile)
+        cfg = Configuration(
+            {
+                P.REDUCE_MEMORY_MB: 1024,
+                P.SHUFFLE_INPUT_BUFFER_PERCENT: 0.9,
+                P.SHUFFLE_MERGE_PERCENT: 0.9,
+                P.REDUCE_INPUT_BUFFER_PERCENT: 0.9,
+                P.MERGE_INMEM_THRESHOLD: 0,
+            }
+        )
+        proc = self.run_reduce(ctx, cfg)
+        for i in range(2):
+            run_map(ctx, f, map_index=i)
+        stats = ctx.sim.run_until_complete(proc)
+        assert stats.failed
+        assert "OutOfMemory" in stats.failure_reason
+
+
+class TestCoreHelpers:
+    def test_allocated_cores_with_burst(self):
+        # 1 vcore at 0.25 cores/vcore with 4x burst = 1 core entitlement.
+        assert allocated_cores(0.25, 1) == pytest.approx(1.0)
+        assert allocated_cores(0.25, 4) == pytest.approx(4.0)
+
+    def test_effective_cap_limited_by_parallelism(self):
+        assert effective_core_cap(0.25, 8, parallelism=1.0) == pytest.approx(1.0)
+        assert effective_core_cap(0.25, 2, parallelism=4.0) == pytest.approx(2.0)

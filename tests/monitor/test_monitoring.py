@@ -1,0 +1,155 @@
+"""Tests for the monitoring stack."""
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.mapreduce.jobspec import TaskId, TaskType
+from repro.monitor.central_monitor import CentralMonitor
+from repro.monitor.slave_monitor import SlaveMonitor
+from repro.monitor.statistics import NodeStats, TaskStats, UtilizationTimeline
+from repro.sim import Simulator
+from repro.yarn.node_manager import NodeManager
+
+MB = 1024**2
+
+
+def stats(job="j1", task_type=TaskType.MAP, index=0, **over):
+    base = dict(
+        task_id=TaskId(job, task_type, index),
+        task_type=task_type,
+        node_id=0,
+        attempt=1,
+        config={},
+        start_time=0.0,
+        end_time=10.0,
+        cpu_seconds=5.0,
+        allocated_cores=1.0,
+        working_set_bytes=512 * MB,
+        container_memory_bytes=1024 * MB,
+        spilled_records=100,
+        map_output_records=100,
+    )
+    base.update(over)
+    return TaskStats(**base)
+
+
+class TestTaskStats:
+    def test_duration(self):
+        assert stats(start_time=2.0, end_time=12.0).duration == 10.0
+
+    def test_memory_utilization_capped(self):
+        s = stats(working_set_bytes=2048 * MB)
+        assert s.memory_utilization == 1.0
+
+    def test_cpu_utilization(self):
+        assert stats().cpu_utilization == pytest.approx(0.5)
+
+    def test_cpu_utilization_zero_duration(self):
+        assert stats(end_time=0.0).cpu_utilization == 0.0
+
+    def test_spill_ratio_map_prefers_combine_records(self):
+        s = stats(spilled_records=200, map_output_records=400, combine_output_records=100)
+        assert s.spill_ratio == pytest.approx(2.0)
+
+    def test_spill_ratio_zero_denominator(self):
+        assert stats(map_output_records=0, spilled_records=0).spill_ratio == 0.0
+        assert stats(map_output_records=0, spilled_records=5).spill_ratio == 1.0
+
+
+class TestTimeline:
+    def test_time_weighted_mean(self):
+        tl = UtilizationTimeline()
+        tl.add(0.0, 0.0)
+        tl.add(10.0, 1.0)  # value 0 held for 10s
+        tl.add(20.0, 1.0)  # value 1 held for 10s
+        assert tl.mean() == pytest.approx(0.5)
+
+    def test_since_filter(self):
+        tl = UtilizationTimeline()
+        tl.add(0.0, 0.0)
+        tl.add(10.0, 1.0)
+        tl.add(20.0, 1.0)
+        assert tl.mean(since=10.0) == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        tl = UtilizationTimeline()
+        tl.add(5.0, 0.7)
+        assert tl.mean() == 0.7
+
+    def test_empty(self):
+        assert UtilizationTimeline().mean() == 0.0
+        assert UtilizationTimeline().latest() is None
+
+
+class TestCentralMonitor:
+    def test_task_stats_routing(self):
+        mon = CentralMonitor(Simulator())
+        mon.on_task_stats(stats(job="a"))
+        mon.on_task_stats(stats(job="b", task_type=TaskType.REDUCE, reduce_input_records=5))
+        assert len(mon.stats_for_job("a")) == 1
+        assert len(mon.stats_for_job("b", TaskType.REDUCE)) == 1
+        assert mon.stats_for_job("b", TaskType.MAP) == []
+
+    def test_listeners_notified(self):
+        mon = CentralMonitor(Simulator())
+        seen = []
+        mon.task_listeners.append(seen.append)
+        s = stats()
+        mon.on_task_stats(s)
+        assert seen == [s]
+
+    def test_node_utilization_means(self):
+        mon = CentralMonitor(Simulator())
+        mon.on_node_stats(NodeStats(0, 0.0, cpu_utilization=0.2, memory_utilization=0.4, running_containers=1))
+        mon.on_node_stats(NodeStats(0, 10.0, cpu_utilization=0.2, memory_utilization=0.4, running_containers=1))
+        assert mon.mean_cpu_utilization() == pytest.approx(0.2)
+        assert mon.mean_memory_utilization() == pytest.approx(0.4)
+
+    def test_hot_nodes(self):
+        mon = CentralMonitor(Simulator())
+        mon.on_node_stats(NodeStats(3, 0.0, 0.95, 0.5, 2))
+        mon.on_node_stats(NodeStats(4, 0.0, 0.10, 0.5, 2))
+        assert mon.hot_nodes() == [3]
+
+
+class TestSlaveMonitor:
+    def test_periodic_sampling(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_slaves=1, racks=(1,)))
+        nm = NodeManager(sim, cluster.nodes[0])
+        samples = []
+        mon = SlaveMonitor(sim, nm, samples.append, interval=2.0, network=cluster.network)
+        mon.start()
+        sim.run(until=7.0)
+        assert len(samples) == 4  # t = 0, 2, 4, 6
+        assert all(s.node_id == 0 for s in samples)
+
+    def test_stop_ends_loop(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_slaves=1, racks=(1,)))
+        nm = NodeManager(sim, cluster.nodes[0])
+        samples = []
+        mon = SlaveMonitor(sim, nm, samples.append, interval=2.0)
+        mon.start()
+        sim.run(until=3.0)
+        mon.stop()
+        sim.run(until=20.0)
+        assert len(samples) <= 3
+
+    def test_invalid_interval(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_slaves=1, racks=(1,)))
+        nm = NodeManager(sim, cluster.nodes[0])
+        with pytest.raises(ValueError):
+            SlaveMonitor(sim, nm, lambda s: None, interval=0.0)
+
+    def test_sample_reflects_cpu_load(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_slaves=1, racks=(1,)))
+        node = cluster.nodes[0]
+        nm = NodeManager(sim, node)
+        node.compute(10_000.0, max_cores=4.0)
+        sim.run(until=0.1)
+        mon = SlaveMonitor(sim, nm, lambda s: None, network=cluster.network)
+        s = mon.sample()
+        assert s.cpu_utilization == pytest.approx(0.5)

@@ -1,0 +1,130 @@
+"""Property-based tests for max-min fair allocation.
+
+These check the defining properties of max-min fairness on randomly
+generated link/flow topologies:
+
+1. feasibility -- no link is oversubscribed, no cap exceeded;
+2. work conservation -- every flow is either at its cap or crosses a
+   saturated link (nobody can be sped up for free);
+3. max-min optimality (pairwise) -- increasing one flow's rate would
+   require decreasing a flow with an equal-or-smaller rate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.resources import Flow, Link, maxmin_rates
+
+EPS = 1e-6
+
+
+@st.composite
+def topologies(draw):
+    n_links = draw(st.integers(1, 6))
+    links = [
+        Link(f"l{i}", draw(st.floats(1.0, 1000.0))) for i in range(n_links)
+    ]
+    n_flows = draw(st.integers(1, 12))
+    flows = []
+    for i in range(n_flows):
+        k = draw(st.integers(1, n_links))
+        idx = draw(
+            st.lists(
+                st.integers(0, n_links - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        cap = draw(
+            st.one_of(st.none(), st.floats(0.5, 500.0))
+        )
+        flows.append(Flow([links[j] for j in idx], 100.0, event=None, cap=cap))
+    return links, flows
+
+
+def link_usage(link, flows, rates):
+    return sum(r for f, r in rates.items() if link in f.links)
+
+
+@given(topologies())
+@settings(max_examples=200, deadline=None)
+def test_feasibility(topo):
+    links, flows = topo
+    rates = maxmin_rates(flows)
+    assert set(rates) == set(flows)
+    for link in links:
+        assert link_usage(link, flows, rates) <= link.capacity * (1 + EPS)
+    for f in flows:
+        assert rates[f] <= f.cap * (1 + EPS)
+        assert rates[f] >= 0
+
+
+@given(topologies())
+@settings(max_examples=200, deadline=None)
+def test_work_conservation(topo):
+    """Every flow is blocked by its cap or by a saturated link."""
+    links, flows = topo
+    rates = maxmin_rates(flows)
+    for f in flows:
+        at_cap = rates[f] >= f.cap * (1 - EPS)
+        crosses_saturated = any(
+            link_usage(l, flows, rates) >= l.capacity * (1 - EPS) for l in f.links
+        )
+        assert at_cap or crosses_saturated, f"flow {f} has free headroom"
+
+
+@given(topologies())
+@settings(max_examples=150, deadline=None)
+def test_maxmin_optimality_pairwise(topo):
+    """A flow below its cap is blocked only by links where it already
+    receives at least as much as every other flow could give up --
+    i.e. raising it would hurt someone no better off."""
+    links, flows = topo
+    rates = maxmin_rates(flows)
+    for f in flows:
+        if rates[f] >= f.cap * (1 - EPS):
+            continue
+        saturated = [
+            l
+            for l in f.links
+            if link_usage(l, flows, rates) >= l.capacity * (1 - EPS)
+        ]
+        assert saturated
+        # On some saturated link, no coexisting flow has a higher rate
+        # it could cede without becoming worse off than f.
+        ok = False
+        for l in saturated:
+            sharers = [g for g in flows if l in g.links and g is not f]
+            if all(rates[g] <= rates[f] * (1 + 1e-3) for g in sharers):
+                ok = True
+                break
+        assert ok, f"{f} could be raised at the expense of better-off flows"
+
+
+@given(
+    capacity=st.floats(10.0, 1000.0),
+    n=st.integers(1, 20),
+)
+@settings(max_examples=100, deadline=None)
+def test_single_link_equal_split(capacity, n):
+    link = Link("l", capacity)
+    flows = [Flow([link], 1.0, event=None) for _ in range(n)]
+    rates = maxmin_rates(flows)
+    for f in flows:
+        assert rates[f] == pytest.approx(capacity / n, rel=1e-6)
+
+
+@given(
+    capacity=st.floats(10.0, 100.0),
+    caps=st.lists(st.floats(0.1, 50.0), min_size=2, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_total_throughput_never_exceeds_demand_or_capacity(capacity, caps):
+    link = Link("l", capacity)
+    flows = [Flow([link], 1.0, event=None, cap=c) for c in caps]
+    rates = maxmin_rates(flows)
+    total = sum(rates.values())
+    assert total <= capacity * (1 + EPS)
+    assert total <= sum(caps) * (1 + EPS)
+    # Work conserving: total equals the binding constraint.
+    assert total == pytest.approx(min(capacity, sum(caps)), rel=1e-5)

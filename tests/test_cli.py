@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["expedited"])
+        assert args.seed == 1
+        assert args.replicas == 1
+        assert args.case == "terasort"
+
+    def test_jobsize_sizes(self):
+        args = build_parser().parse_args(["jobsize", "--sizes", "2,10"])
+        assert args.sizes == "2,10"
+
+    def test_invalid_replicas(self):
+        assert main(["--replicas", "0", "list"]) == 2
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "terasort" in out
+        assert "bbp" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "bigram-wikipedia" in out
+        assert "676" in out
+
+    def test_single_run_small_case(self, capsys):
+        # 2 GB Terasort keeps this end-to-end test quick.
+        from repro.workloads import suite
+
+        original = suite.case_by_name
+
+        def patched(name):
+            if name == "tiny":
+                return suite.terasort_case(2.0)
+            return original(name)
+
+        suite.case_by_name = patched
+        try:
+            assert main(["single-run", "--case", "tiny"]) == 0
+        finally:
+            suite.case_by_name = original
+        out = capsys.readouterr().out
+        assert "MRONLINE" in out
+
+    def test_whatif_small(self, capsys):
+        assert main(["whatif", "--size-gb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out

@@ -1,0 +1,155 @@
+"""Cross-module integration tests (moderate-scale cluster runs)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core import parameters as P
+from repro.core.configuration import Configuration
+from repro.core.hill_climbing import HillClimbSettings
+from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+from repro.experiments.harness import SimCluster
+from repro.mapreduce.counters import Counter
+from repro.mapreduce.jobspec import TaskType
+from repro.workloads.suite import case_by_name, make_job_spec, terasort_case
+
+
+class TestPhysicalSanity:
+    """The simulated cluster must respect conservation laws."""
+
+    def test_shuffled_bytes_equal_map_outputs(self):
+        sc = SimCluster(seed=2, start_monitors=False)
+        result = sc.run_job(make_job_spec(terasort_case(4.0), sc.hdfs))
+        c = result.counters
+        assert c[Counter.SHUFFLED_BYTES] == pytest.approx(
+            c[Counter.MAP_OUTPUT_BYTES], rel=0.01
+        )
+
+    def test_no_node_memory_oversubscription(self):
+        sc = SimCluster(seed=2, start_monitors=False)
+        am = sc.submit(make_job_spec(terasort_case(4.0), sc.hdfs))
+        while not am.completion.triggered:
+            sc.sim.step()
+            for node in sc.cluster.nodes:
+                assert node.yarn_memory_used <= node.yarn_memory_total
+                assert node.yarn_vcores_used <= node.yarn_vcores_total
+
+    def test_all_containers_released_at_job_end(self):
+        sc = SimCluster(seed=2, start_monitors=False)
+        sc.run_job(make_job_spec(terasort_case(4.0), sc.hdfs))
+        assert sc.rm.live_container_count == 0
+        for node in sc.cluster.nodes:
+            assert node.yarn_memory_used == 0
+
+    def test_task_counts_match_spec(self):
+        case = terasort_case(4.0)
+        sc = SimCluster(seed=2, start_monitors=False)
+        result = sc.run_job(make_job_spec(case, sc.hdfs))
+        ok_maps = [s for s in result.stats_of(TaskType.MAP) if not s.failed]
+        ok_reds = [s for s in result.stats_of(TaskType.REDUCE) if not s.failed]
+        assert len(ok_maps) == case.num_maps
+        assert len(ok_reds) == case.num_reducers
+
+    def test_map_locality_mostly_local(self):
+        """With 3-way replication on 18 nodes, most maps run data-local,
+        so cluster-wide HDFS read traffic stays near the input size."""
+        sc = SimCluster(seed=2)
+        case = terasort_case(10.0)
+        result = sc.run_job(make_job_spec(case, sc.hdfs))
+        local = 0
+        f = sc.hdfs.get(f"/data/{case.dataset.name}")
+        for s in result.stats_of(TaskType.MAP):
+            block = f.blocks[s.task_id.index]
+            if block.hosted_on(s.node_id):
+                local += 1
+        assert local / case.num_maps > 0.8
+
+
+class TestTuningEndToEnd:
+    def test_aggressive_beats_default_on_medium_terasort(self):
+        case = terasort_case(20.0)
+        sc_d = SimCluster(seed=5)
+        default = sc_d.run_job(make_job_spec(case, sc_d.hdfs))
+
+        sc_t = SimCluster(seed=5)
+        spec = make_job_spec(case, sc_t.hdfs)
+        tuner = OnlineTuner(
+            TuningStrategy.AGGRESSIVE,
+            settings=TunerSettings(use_knowledge_base=False),
+            rng=np.random.default_rng(5),
+        )
+        am = tuner.submit(sc_t, spec)
+        sc_t.sim.run_until_complete(am.completion)
+        best = tuner.recommended_config(spec.job_id)
+
+        sc_b = SimCluster(seed=5)
+        tuned = sc_b.run_job(make_job_spec(case, sc_b.hdfs, base_config=best))
+        assert tuned.duration < default.duration
+
+    def test_knowledge_base_transfers_across_runs(self):
+        """A second tuning session warm-started from the knowledge base
+        must start from (at least) the previous session's quality."""
+        case = terasort_case(10.0)
+        tuner = OnlineTuner(
+            TuningStrategy.AGGRESSIVE,
+            settings=TunerSettings(
+                hill_climb=HillClimbSettings(m=8, n=6, global_search_limit=2)
+            ),
+            rng=np.random.default_rng(3),
+        )
+        sc1 = SimCluster(seed=3)
+        spec1 = make_job_spec(case, sc1.hdfs)
+        am1 = tuner.submit(sc1, spec1)
+        sc1.sim.run_until_complete(am1.completion)
+        first_cfg = tuner.finalize_job(spec1.job_id)
+
+        sc2 = SimCluster(seed=3)
+        spec2 = make_job_spec(case, sc2.hdfs)
+        am2 = tuner.submit(sc2, spec2)
+        result2 = sc2.sim.run_until_complete(am2.completion)
+        # The warm-start configuration was evaluated in run 2.
+        tried = {
+            (s.config[P.IO_SORT_MB], s.config[P.MAP_MEMORY_MB])
+            for s in result2.stats_of(TaskType.MAP)
+        }
+        assert (first_cfg[P.IO_SORT_MB], first_cfg[P.MAP_MEMORY_MB]) in tried
+
+    def test_conservative_spills_drop_within_the_run(self):
+        """Later tasks of a conservatively tuned run spill less than the
+        first (default-configured) wave -- tuning is visibly *online*."""
+        case = case_by_name("wordcount-wikipedia")
+        sc = SimCluster(seed=4)
+        spec = make_job_spec(case, sc.hdfs)
+        tuner = OnlineTuner(
+            TuningStrategy.CONSERVATIVE, rng=np.random.default_rng(4)
+        )
+        am = tuner.submit(sc, spec)
+        result = sc.sim.run_until_complete(am.completion)
+        maps = sorted(result.stats_of(TaskType.MAP), key=lambda s: s.start_time)
+        early = maps[: len(maps) // 4]
+        late = maps[-len(maps) // 4 :]
+        early_ratio = np.mean([s.spill_ratio for s in early])
+        late_ratio = np.mean([s.spill_ratio for s in late])
+        assert late_ratio < early_ratio
+
+    def test_tuned_configs_differ_across_workloads(self):
+        """Grep needs less sort space than Terasort (the paper's intro
+        example): the tuner's recommendations must reflect that."""
+        settings = TunerSettings(use_knowledge_base=False)
+        recommendations = {}
+        for name in ("terasort", "text-search-wikipedia"):
+            case = case_by_name(name)
+            sc = SimCluster(seed=6)
+            spec = make_job_spec(case, sc.hdfs)
+            tuner = OnlineTuner(
+                TuningStrategy.AGGRESSIVE,
+                settings=settings,
+                rng=np.random.default_rng(6),
+            )
+            am = tuner.submit(sc, spec)
+            sc.sim.run_until_complete(am.completion)
+            recommendations[name] = tuner.recommended_config(spec.job_id)
+        assert (
+            recommendations["text-search-wikipedia"][P.IO_SORT_MB]
+            < recommendations["terasort"][P.IO_SORT_MB]
+        )

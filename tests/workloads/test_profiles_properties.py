@@ -1,0 +1,103 @@
+"""Property-style tests over the workload profiles and datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.harness import SimCluster
+from repro.mapreduce.dataflow import JobDataflow
+from repro.mapreduce.jobspec import JobSpec
+from repro.workloads.datasets import teragen_dataset
+from repro.workloads.suite import make_job_spec, table3_cases, terasort_case
+
+GB = 1024**3
+
+
+class TestProfileInvariants:
+    @pytest.mark.parametrize("case", table3_cases(), ids=lambda c: c.name)
+    def test_combiner_never_inflates(self, case):
+        p = case.profile
+        assert p.combiner_byte_ratio <= 1.0
+        assert p.combiner_record_ratio <= 1.0
+
+    @pytest.mark.parametrize("case", table3_cases(), ids=lambda c: c.name)
+    def test_cpu_costs_nonnegative(self, case):
+        p = case.profile
+        assert p.map_cpu_per_mb >= 0
+        assert p.reduce_cpu_per_mb >= 0
+        assert p.map_cpu_fixed_sec >= 0
+
+    @pytest.mark.parametrize("case", table3_cases(), ids=lambda c: c.name)
+    def test_memory_footprints_fit_default_container(self, case):
+        # Every Table-3 app must be runnable under the default 1 GB
+        # containers (the paper's baseline runs them all).
+        p = case.profile
+        heap = 1024 * 0.8 * 1024**2
+        assert p.map_fixed_mem_bytes + 100 * 1024**2 <= heap
+        assert p.reduce_fixed_mem_bytes < heap
+
+    def test_shuffle_intensity_ordering(self):
+        """Table 3's classification: bigram shuffles more per input byte
+        than word count, which shuffles more than text search."""
+        by_name = {c.name: c for c in table3_cases()}
+        for ds in ("wikipedia", "freebase"):
+            bigram = by_name[f"bigram-{ds}"]
+            wc = by_name[f"wordcount-{ds}"]
+            grep = by_name[f"text-search-{ds}"]
+            assert (
+                bigram.expected_shuffle_bytes
+                > wc.expected_shuffle_bytes
+                > grep.expected_shuffle_bytes
+            )
+
+
+class TestDataflowConservation:
+    @given(
+        blocks=st.integers(1, 40),
+        reducers=st.integers(1, 32),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partitions_conserve_map_output(self, blocks, reducers, seed):
+        sc = SimCluster(seed=0, start_monitors=False)
+        case = terasort_case(max(1, blocks // 8) or 1)
+        # Build a dataflow directly over an ad-hoc file.
+        path = f"/prop-{blocks}-{reducers}-{seed}"
+        f = sc.hdfs.create_file(path, blocks * sc.hdfs.block_size)
+        spec = JobSpec(
+            name="prop",
+            workload=case.profile,
+            input_path=path,
+            num_reducers=reducers,
+        )
+        df = JobDataflow(spec, f, rng=np.random.default_rng(seed))
+        for m in range(min(df.num_maps, 5)):
+            out_bytes, _records = df.map_output(m)
+            parts = df.partitions_for_map(m, out_bytes)
+            assert parts.sum() == pytest.approx(out_bytes, rel=1e-9)
+
+    def test_measured_job_conserves_shuffle(self):
+        """End-to-end: bytes registered by maps == bytes fetched by reduces."""
+        sc = SimCluster(seed=3, start_monitors=False)
+        result = sc.run_job(make_job_spec(terasort_case(4.0), sc.hdfs))
+        from repro.mapreduce.jobspec import TaskType
+
+        map_out = sum(s.map_output_bytes for s in result.stats_of(TaskType.MAP))
+        shuffled = sum(s.shuffled_bytes for s in result.stats_of(TaskType.REDUCE))
+        assert shuffled == pytest.approx(map_out, rel=1e-6)
+
+
+class TestDatasetScaling:
+    @given(size=st.floats(0.5, 200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_teragen_block_math(self, size):
+        ds = teragen_dataset(size)
+        assert ds.num_blocks >= 1
+        assert ds.size_bytes == ds.num_blocks * ds.block_size
+
+    def test_terasort_case_scaling_monotone(self):
+        small = terasort_case(2.0)
+        big = terasort_case(60.0)
+        assert big.num_maps > small.num_maps
+        assert big.num_reducers > small.num_reducers

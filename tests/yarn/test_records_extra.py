@@ -1,0 +1,54 @@
+"""Additional coverage: containers, records, and scheduler accounting."""
+
+import pytest
+
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.node import GB, Node, NodeResources
+from repro.sim import Simulator
+from repro.yarn.records import ContainerRequest, Resource
+
+
+@pytest.fixture
+def node():
+    return Node(Simulator(), 0, 0, NodeResources())
+
+
+class TestContainer:
+    def test_ids_unique_and_monotone(self, node):
+        a = Container(node, 1 * GB, 1, "app")
+        b = Container(node, 1 * GB, 1, "app")
+        assert b.container_id > a.container_id
+
+    def test_initial_state(self, node):
+        c = Container(node, 1 * GB, 2, "app")
+        assert c.state is ContainerState.ALLOCATED
+        assert c.app_id == "app"
+
+    def test_max_cores_follows_vcores(self, node):
+        one = Container(node, 1 * GB, 1, "app")
+        four = Container(node, 1 * GB, 4, "app")
+        assert four.max_cores == pytest.approx(4 * one.max_cores)
+
+    def test_quarter_core_per_vcore(self, node):
+        c = Container(node, 1 * GB, 4, "app")
+        assert c.max_cores == pytest.approx(1.0)  # 4 vcores x 0.25
+
+
+class TestResourceRecords:
+    def test_of_mb(self):
+        r = Resource.of_mb(1536, 2)
+        assert r.memory_bytes == 1536 * 1024**2
+        assert r.vcores == 2
+
+    def test_resources_hashable_for_size_map(self):
+        # The paper's hash map of requested sizes requires hashability.
+        sizes = {Resource.of_mb(1024, 1): 3, Resource.of_mb(2048, 2): 1}
+        assert sizes[Resource.of_mb(1024, 1)] == 3
+
+    def test_request_repr_mentions_size(self):
+        req = ContainerRequest(app_id="a", resource=Resource.of_mb(1024, 1))
+        assert "1024MB/1vc" in repr(req)
+
+    def test_preferred_nodes_default_empty(self):
+        req = ContainerRequest(app_id="a", resource=Resource.of_mb(512, 1))
+        assert req.preferred_nodes == ()
