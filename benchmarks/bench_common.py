@@ -11,6 +11,10 @@ Environment knobs:
 * ``REPRO_REPLICAS`` -- seed replicas per measurement (default 2; the
   paper averages 4 runs -- raise it when wall time permits).
 * ``REPRO_BASE_SEED`` -- first replica seed (default 1).
+* ``REPRO_WORKERS`` -- worker processes for seed fan-out (default: the
+  CPU count; ``1`` forces the exact legacy in-process serial path).
+  Replicas are independently seeded, so parallel results are
+  bit-identical to serial ones.
 
 We do not expect absolute seconds to match the authors' testbed; the
 assertions in these benchmarks check the *shape*: who wins, by roughly
@@ -46,8 +50,19 @@ def mean(values: Sequence[float]) -> float:
     return statistics.fmean(values)
 
 
+def map_over_seeds(fn: Callable[[int], object]) -> List:
+    """Run picklable ``fn(seed)`` per replica seed, pool-backed.
+
+    Results come back in seed order; with ``REPRO_WORKERS=1`` this is
+    exactly the legacy ``[fn(seed) for seed in seeds()]`` loop.
+    """
+    from repro.experiments.parallel import map_seeds
+
+    return map_seeds(fn, seeds())
+
+
 def mean_over_seeds(fn: Callable[[int], float]) -> float:
-    return mean([fn(seed) for seed in seeds()])
+    return mean([float(v) for v in map_over_seeds(fn)])
 
 
 def emit(report: FigureReport) -> str:

@@ -6,15 +6,13 @@ no prior test runs needed.
 
 from benchmarks.bench_common import emit, mean, run_once, seeds
 from repro.experiments.reporting import FigureReport
-from repro.experiments.single_run import run_single_run_case
+from repro.experiments.single_run import run_single_run_over_seeds
 from repro.workloads.suite import case_by_name
 
 
 def test_fig10_terasort_single_run(benchmark):
     def experiment():
-        return [
-            run_single_run_case(case_by_name("terasort"), seed) for seed in seeds()
-        ]
+        return run_single_run_over_seeds(case_by_name("terasort"), seeds())
 
     results = run_once(benchmark, experiment)
     report = FigureReport("Fig 10", "Terasort, fast single run", ["Terasort"])

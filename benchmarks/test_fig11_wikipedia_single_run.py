@@ -5,7 +5,7 @@ Paper shape: 8% (word count) to ~19% improvement, every app positive.
 
 from benchmarks.bench_common import emit, mean, run_once, seeds
 from repro.experiments.reporting import FigureReport
-from repro.experiments.single_run import run_single_run_case
+from repro.experiments.single_run import run_single_run_over_seeds
 from repro.workloads.suite import case_by_name
 
 APPS = [
@@ -19,7 +19,7 @@ APPS = [
 def test_fig11_wikipedia_single_run(benchmark):
     def experiment():
         return {
-            name: [run_single_run_case(case_by_name(name), seed) for seed in seeds()]
+            name: run_single_run_over_seeds(case_by_name(name), seeds())
             for name, _label in APPS
         }
 

@@ -7,13 +7,13 @@ effective around 20 GB (~21%), and stays in the ~20% band at 60 and
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.jobsize import PAPER_SIZES_GB, run_sweep
+from repro.experiments.jobsize import PAPER_SIZES_GB, run_sweep_over_seeds
 from repro.experiments.reporting import FigureReport
 
 
 def test_fig13_job_size_sweep(benchmark):
     def experiment():
-        return [run_sweep(seed, PAPER_SIZES_GB, PAPER_HILL_CLIMB) for seed in seeds()]
+        return run_sweep_over_seeds(seeds(), PAPER_SIZES_GB, PAPER_HILL_CLIMB)
 
     per_seed = run_once(benchmark, experiment)
     labels = [f"{int(s)}GB" for s in PAPER_SIZES_GB]

@@ -6,13 +6,13 @@ testbed), and Terasort's map spill records drop roughly 3x.
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.multitenant import run_multitenant_experiment
+from repro.experiments.multitenant import run_multitenant_over_seeds
 from repro.experiments.reporting import FigureReport
 
 
 def test_fig14_multitenant_exec(benchmark):
     def experiment():
-        return [run_multitenant_experiment(seed, PAPER_HILL_CLIMB) for seed in seeds()]
+        return run_multitenant_over_seeds(seeds(), PAPER_HILL_CLIMB)
 
     outcomes = run_once(benchmark, experiment)
     report = FigureReport(

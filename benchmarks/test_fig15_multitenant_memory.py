@@ -6,13 +6,13 @@ above ~80%.
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.multitenant import ROLES, run_multitenant_experiment
+from repro.experiments.multitenant import ROLES, run_multitenant_over_seeds
 from repro.experiments.reporting import FigureReport
 
 
 def test_fig15_multitenant_memory(benchmark):
     def experiment():
-        return [run_multitenant_experiment(seed, PAPER_HILL_CLIMB) for seed in seeds()]
+        return run_multitenant_over_seeds(seeds(), PAPER_HILL_CLIMB)
 
     outcomes = run_once(benchmark, experiment)
     report = FigureReport(

@@ -7,13 +7,13 @@ leaner grants elsewhere).
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.multitenant import ROLES, run_multitenant_experiment
+from repro.experiments.multitenant import ROLES, run_multitenant_over_seeds
 from repro.experiments.reporting import FigureReport
 
 
 def test_fig16_multitenant_cpu(benchmark):
     def experiment():
-        return [run_multitenant_experiment(seed, PAPER_HILL_CLIMB) for seed in seeds()]
+        return run_multitenant_over_seeds(seeds(), PAPER_HILL_CLIMB)
 
     outcomes = run_once(benchmark, experiment)
     report = FigureReport(

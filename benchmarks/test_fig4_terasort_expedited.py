@@ -6,17 +6,16 @@ then re-run with the recommended configuration).  Paper shape: MRONLINE
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.expedited import run_expedited_case
+from repro.experiments.expedited import run_expedited_over_seeds
 from repro.experiments.reporting import FigureReport
 from repro.workloads.suite import case_by_name
 
 
 def test_fig4_terasort_expedited(benchmark):
     def experiment():
-        return [
-            run_expedited_case(case_by_name("terasort"), seed, PAPER_HILL_CLIMB)
-            for seed in seeds()
-        ]
+        return run_expedited_over_seeds(
+            case_by_name("terasort"), seeds(), PAPER_HILL_CLIMB
+        )
 
     results = run_once(benchmark, experiment)
     report = FigureReport(

@@ -7,7 +7,7 @@ tuning closely.
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.expedited import run_expedited_case
+from repro.experiments.expedited import run_expedited_over_seeds
 from repro.experiments.reporting import FigureReport
 from repro.workloads.suite import case_by_name
 
@@ -21,13 +21,10 @@ APPS = [
 
 def test_fig5_wikipedia_expedited(benchmark):
     def experiment():
-        out = {}
-        for name, _label in APPS:
-            out[name] = [
-                run_expedited_case(case_by_name(name), seed, PAPER_HILL_CLIMB)
-                for seed in seeds()
-            ]
-        return out
+        return {
+            name: run_expedited_over_seeds(case_by_name(name), seeds(), PAPER_HILL_CLIMB)
+            for name, _label in APPS
+        }
 
     results = run_once(benchmark, experiment)
     report = FigureReport(

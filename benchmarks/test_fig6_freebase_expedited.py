@@ -5,7 +5,7 @@ bigram / inverted index / word count / text search.
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.expedited import run_expedited_case
+from repro.experiments.expedited import run_expedited_over_seeds
 from repro.experiments.reporting import FigureReport
 from repro.workloads.suite import case_by_name
 
@@ -20,10 +20,7 @@ APPS = [
 def test_fig6_freebase_expedited(benchmark):
     def experiment():
         return {
-            name: [
-                run_expedited_case(case_by_name(name), seed, PAPER_HILL_CLIMB)
-                for seed in seeds()
-            ]
+            name: run_expedited_over_seeds(case_by_name(name), seeds(), PAPER_HILL_CLIMB)
             for name, _label in APPS
         }
 

@@ -6,17 +6,16 @@ optimal; both offline tuning and MRONLINE reduce spills to ~optimal.
 """
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.expedited import run_expedited_case
+from repro.experiments.expedited import run_expedited_over_seeds
 from repro.experiments.reporting import FigureReport
 from repro.workloads.suite import case_by_name
 
 
 def test_fig7_terasort_spills(benchmark):
     def experiment():
-        return [
-            run_expedited_case(case_by_name("terasort"), seed, PAPER_HILL_CLIMB)
-            for seed in seeds()
-        ]
+        return run_expedited_over_seeds(
+            case_by_name("terasort"), seeds(), PAPER_HILL_CLIMB
+        )
 
     results = run_once(benchmark, experiment)
     report = FigureReport(

@@ -1,7 +1,7 @@
 """Figure 8: Wikipedia applications' map spill records, expedited case."""
 
 from benchmarks.bench_common import PAPER_HILL_CLIMB, emit, mean, run_once, seeds
-from repro.experiments.expedited import run_expedited_case
+from repro.experiments.expedited import run_expedited_over_seeds
 from repro.experiments.reporting import FigureReport
 from repro.workloads.suite import case_by_name
 
@@ -16,10 +16,7 @@ APPS = [
 def test_fig8_wikipedia_spills(benchmark):
     def experiment():
         return {
-            name: [
-                run_expedited_case(case_by_name(name), seed, PAPER_HILL_CLIMB)
-                for seed in seeds()
-            ]
+            name: run_expedited_over_seeds(case_by_name(name), seeds(), PAPER_HILL_CLIMB)
             for name, _label in APPS
         }
 

@@ -8,9 +8,9 @@ actually running the job and comparing its counters.
 import numpy as np
 import pytest
 
-from benchmarks.bench_common import BASE_SEED, emit, run_once
+from benchmarks.bench_common import BASE_SEED, run_once
 from repro.experiments.harness import SimCluster
-from repro.experiments.reporting import FigureReport, format_table
+from repro.experiments.reporting import format_table
 from repro.mapreduce.counters import Counter
 from repro.mapreduce.dataflow import JobDataflow
 from repro.workloads.suite import case_by_name, make_job_spec, table3_cases

@@ -8,10 +8,16 @@ Examples::
     python -m repro jobsize --sizes 2,20,60
     python -m repro multitenant
     python -m repro whatif --size-gb 20
+    python -m repro digest --workers 4
 
 Each subcommand prints the same rows/series the corresponding paper
 figure plots.  ``--replicas`` controls seed averaging (the paper uses
-4 runs).
+4 runs).  ``--workers`` fans replica runs out over a process pool
+(default: the ``REPRO_WORKERS`` environment knob, then the CPU count;
+``1`` = the exact serial path) -- replicas are independently seeded,
+so results are bit-identical either way.  ``digest`` prints a stable
+hash over a small fixed experiment; the CI determinism gate runs it
+serial and parallel and fails on any mismatch.
 """
 
 from __future__ import annotations
@@ -68,11 +74,11 @@ def cmd_table3(args) -> int:
 
 
 def cmd_expedited(args) -> int:
-    from repro.experiments.expedited import run_expedited_case
+    from repro.experiments.expedited import run_expedited_over_seeds
     from repro.workloads.suite import case_by_name
 
     case = case_by_name(args.case)
-    results = [run_expedited_case(case, seed) for seed in _seeds(args)]
+    results = run_expedited_over_seeds(case, _seeds(args), max_workers=args.workers)
     default = _mean([r.default_time for r in results])
     offline = _mean([r.offline_time for r in results])
     mronline = _mean([r.mronline_time for r in results])
@@ -90,11 +96,11 @@ def cmd_expedited(args) -> int:
 
 
 def cmd_single_run(args) -> int:
-    from repro.experiments.single_run import run_single_run_case
+    from repro.experiments.single_run import run_single_run_over_seeds
     from repro.workloads.suite import case_by_name
 
     case = case_by_name(args.case)
-    results = [run_single_run_case(case, seed) for seed in _seeds(args)]
+    results = run_single_run_over_seeds(case, _seeds(args), max_workers=args.workers)
     default = _mean([r.default_time for r in results])
     mronline = _mean([r.mronline_time for r in results])
     print(f"case: {case.name}  ({len(results)} replicas)")
@@ -104,10 +110,10 @@ def cmd_single_run(args) -> int:
 
 
 def cmd_jobsize(args) -> int:
-    from repro.experiments.jobsize import run_sweep
+    from repro.experiments.jobsize import run_sweep_over_seeds
 
     sizes = [float(s) for s in args.sizes.split(",")]
-    per_seed = [run_sweep(seed, sizes) for seed in _seeds(args)]
+    per_seed = run_sweep_over_seeds(_seeds(args), sizes, max_workers=args.workers)
     print(f"{'size':>7s} {'default':>9s} {'MRONLINE':>9s} {'gain':>7s}")
     for i, size in enumerate(sizes):
         d = _mean([run[i].default_time for run in per_seed])
@@ -117,9 +123,9 @@ def cmd_jobsize(args) -> int:
 
 
 def cmd_multitenant(args) -> int:
-    from repro.experiments.multitenant import ROLES, run_multitenant_experiment
+    from repro.experiments.multitenant import ROLES, run_multitenant_over_seeds
 
-    outcomes = [run_multitenant_experiment(seed) for seed in _seeds(args)]
+    outcomes = run_multitenant_over_seeds(_seeds(args), max_workers=args.workers)
     ts_d = _mean([d.terasort_time for d, _t in outcomes])
     ts_t = _mean([t.terasort_time for _d, t in outcomes])
     bbp_d = _mean([d.bbp_time for d, _t in outcomes])
@@ -135,7 +141,7 @@ def cmd_multitenant(args) -> int:
 
 
 def cmd_whatif(args) -> int:
-    from repro.core.whatif import CategoryOneAdvisor, default_candidates
+    from repro.core.whatif import CategoryOneAdvisor
     from repro.workloads.datasets import teragen_dataset
     from repro.workloads.terasort import terasort_profile
 
@@ -152,13 +158,47 @@ def cmd_whatif(args) -> int:
     return 0
 
 
+#: The digest subcommand's fixed experiment: one shrunk instance of
+#: every workload profile family, so the determinism gate exercises the
+#: map-heavy, shuffle-heavy, and compute-heavy paths alike while
+#: staying cheap enough to run twice in CI.
+DIGEST_CASES = (
+    ("terasort", 8, 4),
+    ("wordcount-wikipedia", 6, 3),
+    ("bigram-freebase", 6, 3),
+    ("bbp", 4, 1),
+)
+
+
+def cmd_digest(args) -> int:
+    from repro.experiments.parallel import RunRequest, combined_digest, run_requests
+
+    requests = [
+        RunRequest(case_name=name, seed=seed, num_blocks=blocks, num_reducers=reducers)
+        for name, blocks, reducers in DIGEST_CASES
+        for seed in _seeds(args)
+    ]
+    outcomes = run_requests(requests, max_workers=args.workers)
+    for outcome in outcomes:
+        req = outcome.request
+        print(
+            f"  {req.case_name:24s} seed={req.seed}  "
+            f"t={outcome.job_time:9.2f}s  {outcome.digest()[:16]}"
+        )
+    print(f"digest: {combined_digest(outcomes)}")
+    return 0
+
+
 def cmd_list(args) -> int:
     from repro.workloads.suite import table3_cases
 
     print("benchmark cases (Table 3):")
     for case in table3_cases():
         print(f"  {case.name}")
-    print("\nsubcommands: table3, expedited, single-run, jobsize, multitenant, whatif")
+    print(
+        "\nsubcommands: table3, expedited, single-run, jobsize, "
+        "multitenant, whatif, digest"
+    )
     return 0
 
 
@@ -173,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1, help="base replica seed")
     parser.add_argument(
         "--replicas", type=int, default=1, help="seed replicas to average (paper: 4)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for replica fan-out (default: REPRO_WORKERS, "
+        "then CPU count; 1 = exact serial path)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -192,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("whatif", help="category-1 what-if advisor (Terasort)")
     p.add_argument("--size-gb", type=float, default=20.0)
+
+    sub.add_parser(
+        "digest",
+        help="stable hash of a small fixed experiment (CI determinism gate)",
+    )
     return parser
 
 
@@ -203,6 +255,7 @@ _COMMANDS = {
     "jobsize": cmd_jobsize,
     "multitenant": cmd_multitenant,
     "whatif": cmd_whatif,
+    "digest": cmd_digest,
 }
 
 
@@ -210,6 +263,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.replicas < 1:
         print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
         return 2
     return _COMMANDS[args.command](args)
 

@@ -7,8 +7,8 @@ SATA disk, and a 1 Gbps NIC.
 """
 
 from repro.cluster.container import Container, ContainerState
-from repro.cluster.node import Node, NodeResources
 from repro.cluster.network import Network
+from repro.cluster.node import Node, NodeResources
 from repro.cluster.topology import Cluster, ClusterSpec, build_cluster, paper_cluster_spec
 
 __all__ = [

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.cluster.node import Node
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.sim.resources import FlowScheduler, Link
-
-from repro.cluster.node import Node
 
 
 class Network:
@@ -51,7 +50,7 @@ class Network:
         # Aggregate fabric capacity for scatter-style fetches (shuffle):
         # sources are spread across the cluster, so the constraint is the
         # sum of uplink capacities rather than any single path.
-        core_bw = max(sum(l.capacity for l in self._uplink.values()), 1.0)
+        core_bw = max(sum(lnk.capacity for lnk in self._uplink.values()), 1.0)
         self._core = Link("fabric.core", core_bw)
 
     def transfer(

@@ -13,8 +13,8 @@ pool; the pool never oversubscribes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
 
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event
@@ -69,7 +69,9 @@ class Node:
         self.resources = resources
         self.hostname = f"node{node_id:02d}"
 
-        self.cpu_link = Link(f"{self.hostname}.cpu", resources.physical_cores * resources.core_speed)
+        self.cpu_link = Link(
+            f"{self.hostname}.cpu", resources.physical_cores * resources.core_speed
+        )
         self.cpu = FlowScheduler(sim, name=f"{self.hostname}.cpu")
         self.disk_read_link = Link(f"{self.hostname}.disk.rd", resources.disk_read_bw)
         self.disk_write_link = Link(f"{self.hostname}.disk.wr", resources.disk_write_bw)

@@ -5,10 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.sim.engine import Simulator
-
 from repro.cluster.network import Network
 from repro.cluster.node import Node, NodeResources
+from repro.sim.engine import Simulator
 
 
 @dataclass(frozen=True)

@@ -111,7 +111,10 @@ class Configuration:
         return int(self[P.IO_SORT_MB]) * self.MB
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        inner = ", ".join(f"{k.split('.')[-2]}.{k.split('.')[-1]}={v}" for k, v in sorted(self._values.items()))
+        inner = ", ".join(
+            f"{k.split('.')[-2]}.{k.split('.')[-1]}={v}"
+            for k, v in sorted(self._values.items())
+        )
         return f"Configuration({inner})"
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -277,3 +277,32 @@ class GrayBoxHillClimber:
         if self.neighborhood.size <= st.neighborhood_threshold:
             # Local optimum found; try another global round (line 18-20).
             self.phase = SearchPhase.GLOBAL
+
+def drive_search(
+    climber: "GrayBoxHillClimber",
+    evaluate_batch: Callable[[Sequence[np.ndarray]], Sequence[float]],
+) -> Optional[np.ndarray]:
+    """Run an asynchronous climber to completion with a batch evaluator.
+
+    The climber hands out whole waves (:meth:`GrayBoxHillClimber.propose`)
+    whose samples are mutually independent, so *evaluate_batch* may
+    price them concurrently -- e.g. one full simulated run per
+    candidate fanned out over a process pool
+    (:func:`repro.experiments.parallel.offline_candidate_search`).
+    Costs are fed back in proposal order regardless of completion
+    order, so the search trajectory is identical for any degree of
+    parallelism.  Samples wanting several replicas are re-presented
+    until fully observed.
+    """
+    while not climber.finished:
+        if not climber.propose():
+            break
+        pending = climber.pending_samples()
+        costs = evaluate_batch([s.point for s in pending])
+        if len(costs) != len(pending):
+            raise ValueError(
+                f"evaluator returned {len(costs)} costs for {len(pending)} samples"
+            )
+        for sample, cost in zip(pending, costs):
+            climber.observe(sample.sample_id, float(cost))
+    return climber.best_point()

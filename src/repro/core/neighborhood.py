@@ -9,7 +9,7 @@ bound to the 80th percentile of sampled values", Section 6.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -14,8 +14,8 @@ decode through this module, so adding a parameter is a one-line change.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence
 
 import numpy as np
 
@@ -158,14 +158,20 @@ def build_parameter_space(
     """
     return ParameterSpace(
         [
-            ParamSpec(MAP_MEMORY_MB, 1024, 512, max_container_mb, kind="int", log_scale=True, step=64),
-            ParamSpec(REDUCE_MEMORY_MB, 1024, 512, max_container_mb, kind="int", log_scale=True, step=64),
+            ParamSpec(
+                MAP_MEMORY_MB, 1024, 512, max_container_mb, kind="int", log_scale=True, step=64
+            ),
+            ParamSpec(
+                REDUCE_MEMORY_MB, 1024, 512, max_container_mb, kind="int", log_scale=True, step=64
+            ),
             ParamSpec(IO_SORT_MB, 100, 50, 1600, kind="int", log_scale=True, step=10),
             ParamSpec(SORT_SPILL_PERCENT, 0.8, 0.5, 0.99, hot_swappable=True),
             ParamSpec(SHUFFLE_INPUT_BUFFER_PERCENT, 0.7, 0.2, 0.9),
             ParamSpec(SHUFFLE_MERGE_PERCENT, 0.66, 0.2, 0.9, hot_swappable=True),
             ParamSpec(SHUFFLE_MEMORY_LIMIT_PERCENT, 0.25, 0.1, 0.7),
-            ParamSpec(MERGE_INMEM_THRESHOLD, 1000, 0, 10000, kind="int", hot_swappable=True, step=100),
+            ParamSpec(
+                MERGE_INMEM_THRESHOLD, 1000, 0, 10000, kind="int", hot_swappable=True, step=100
+            ),
             ParamSpec(REDUCE_INPUT_BUFFER_PERCENT, 0.0, 0.0, 0.9),
             ParamSpec(MAP_CPU_VCORES, 1, 1, max_vcores, kind="int"),
             ParamSpec(REDUCE_CPU_VCORES, 1, 1, max_vcores, kind="int"),

@@ -10,7 +10,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.neighborhood import Bounds
 from repro.core.parameters import ParameterSpace
-from repro.mapreduce.jobspec import TaskType, WorkloadProfile
+from repro.mapreduce.jobspec import TaskType
 from repro.monitor.statistics import TaskStats
 
 MB = 1024 * 1024

@@ -21,11 +21,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core import parameters as P
-from repro.core.configuration import (
-    HEAP_FRACTION,
-    MAX_SORT_BUFFER_HEAP_FRACTION,
-    Configuration,
-)
+from repro.core.configuration import HEAP_FRACTION, Configuration
 from repro.core.rules.base import MB, RuleContext, TuningRule
 from repro.mapreduce.jobspec import TaskType
 

@@ -14,7 +14,7 @@ against the combiner-output "Optimal".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -128,6 +128,36 @@ def run_expedited_case(
         mronline_spills=map_side_spills(mronline_result),
     )
     return result
+
+
+def run_expedited_over_seeds(
+    case: BenchmarkCase,
+    seeds: List[int],
+    hill_climb: Optional[HillClimbSettings] = None,
+    max_workers: Optional[int] = None,
+) -> List[ExpeditedCaseResult]:
+    """The expedited protocol for every seed, pool-backed.
+
+    Seeds already memoized in this process are served from the cache;
+    the rest fan out over the process pool (``max_workers`` resolves
+    through ``REPRO_WORKERS``; ``1`` = the exact legacy serial loop).
+    Fresh results are written back into the cache so the spill figures
+    (7-9) keep sharing runs with the execution-time figures (4-6).
+    """
+    from functools import partial
+
+    from repro.experiments.parallel import map_seeds
+
+    missing = [s for s in seeds if (case.name, s, hill_climb) not in _case_cache]
+    if missing:
+        computed = map_seeds(
+            partial(run_expedited_case, case, hill_climb=hill_climb),
+            missing,
+            max_workers=max_workers,
+        )
+        for seed, result in zip(missing, computed):
+            _case_cache[(case.name, seed, hill_climb)] = result
+    return [_case_cache[(case.name, s, hill_climb)] for s in seeds]
 
 
 def aggregate(results: List[ExpeditedCaseResult], attr: str) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.topology import Cluster, ClusterSpec, build_cluster
 from repro.core.configuration import Configuration
@@ -138,8 +138,45 @@ class RepeatedMeasurement:
         return statistics.stdev(self.values) if len(self.values) > 1 else 0.0
 
 
+def _validate_case(case: Union[BenchmarkCase, str]) -> BenchmarkCase:
+    """Resolve and sanity-check a case *before* any simulation starts.
+
+    Accepts the case object or its Table-3 name.  An unknown name, an
+    empty dataset, or a non-positive reducer count raises here, in the
+    submitting process, instead of surfacing as a crash deep inside the
+    first (possibly pooled) replica run.
+    """
+    if isinstance(case, str):
+        from repro.workloads.suite import case_by_name
+
+        case = case_by_name(case)  # raises KeyError on unknown names
+    if case.num_reducers < 1:
+        raise ValueError(f"case {case.name!r}: num_reducers must be >= 1")
+    if case.dataset.num_blocks < 1:
+        raise ValueError(f"case {case.name!r}: dataset has no blocks")
+    return case
+
+
+def _run_case_replica(
+    case: BenchmarkCase,
+    seed: int,
+    base_config: Optional[Configuration],
+    scheduler: str,
+) -> JobResult:
+    """Top-level (hence picklable) worker for one run_case replica."""
+    sc = SimCluster(seed=seed, scheduler=scheduler)
+    spec = make_job_spec(case, sc.hdfs, base_config=base_config)
+    return sc.run_job(spec)
+
+
 class ExperimentRunner:
-    """Repeats a measurement over seeds, paper-style (4 runs, mean)."""
+    """Repeats a measurement over seeds, paper-style (4 runs, mean).
+
+    ``parallel=True`` fans the replica runs out over a process pool
+    (``max_workers`` defaults to the ``REPRO_WORKERS`` environment knob
+    and then to the CPU count); replicas are independently seeded, so
+    results are bit-identical to the serial path.
+    """
 
     def __init__(self, replicas: int = 4, base_seed: int = 1) -> None:
         if replicas < 1:
@@ -150,21 +187,64 @@ class ExperimentRunner:
     def seeds(self) -> List[int]:
         return [self.base_seed + i for i in range(self.replicas)]
 
-    def measure(self, fn: Callable[[int], float]) -> RepeatedMeasurement:
-        """Run ``fn(seed)`` for each replica seed and aggregate."""
+    def measure(
+        self,
+        fn: Callable[[int], float],
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> RepeatedMeasurement:
+        """Run ``fn(seed)`` for each replica seed and aggregate.
+
+        The parallel path requires *fn* to be picklable (a top-level
+        function or a :func:`functools.partial` over one).
+        """
+        if parallel:
+            from repro.experiments.parallel import map_seeds
+
+            values = map_seeds(fn, self.seeds(), max_workers=max_workers)
+            return RepeatedMeasurement([float(v) for v in values])
         return RepeatedMeasurement([float(fn(seed)) for seed in self.seeds()])
 
     def run_case(
         self,
-        case: BenchmarkCase,
+        case: Union[BenchmarkCase, str],
         base_config: Optional[Configuration] = None,
         scheduler: str = "fifo",
         config_provider_factory: Optional[
             Callable[[SimCluster, JobSpec], ConfigProvider]
         ] = None,
         gate_factory: Optional[Callable[[SimCluster, JobSpec], LaunchGate]] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> List[JobResult]:
-        """Run one benchmark case once per seed; returns all results."""
+        """Run one benchmark case once per seed; returns all results.
+
+        *case* may be a :class:`BenchmarkCase` or a Table-3 case name;
+        either way it is validated up front, before the first cluster is
+        built.  Provider/gate factories close over live cluster state,
+        so they are incompatible with the process-pool path.
+        """
+        case = _validate_case(case)
+        if parallel:
+            if config_provider_factory or gate_factory:
+                raise ValueError(
+                    "provider/gate factories bind to live cluster state and "
+                    "cannot cross the process boundary; use parallel=False"
+                )
+            from functools import partial
+
+            from repro.experiments.parallel import map_seeds
+
+            return map_seeds(
+                partial(
+                    _run_case_replica,
+                    case,
+                    base_config=base_config,
+                    scheduler=scheduler,
+                ),
+                self.seeds(),
+                max_workers=max_workers,
+            )
         results = []
         for seed in self.seeds():
             sc = SimCluster(seed=seed, scheduler=scheduler)

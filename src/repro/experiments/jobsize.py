@@ -65,3 +65,21 @@ def run_sweep(
     hill_climb: Optional[HillClimbSettings] = None,
 ) -> List[JobSizePoint]:
     return [run_job_size_point(size, seed, hill_climb) for size in sizes]
+
+
+def run_sweep_over_seeds(
+    seeds: Sequence[int],
+    sizes: Sequence[float] = PAPER_SIZES_GB,
+    hill_climb: Optional[HillClimbSettings] = None,
+    max_workers: Optional[int] = None,
+) -> List[List[JobSizePoint]]:
+    """One full sweep per seed, seeds fanned over the process pool."""
+    from functools import partial
+
+    from repro.experiments.parallel import map_seeds
+
+    return map_seeds(
+        partial(run_sweep, sizes=tuple(sizes), hill_climb=hill_climb),
+        list(seeds),
+        max_workers=max_workers,
+    )

@@ -137,3 +137,30 @@ def run_multitenant_experiment(
         tuned_outcome = co_run(seed, ts_cfg, bbp_cfg)
         _experiment_cache[key] = (default_outcome, tuned_outcome)
     return _experiment_cache[key]
+
+
+def run_multitenant_over_seeds(
+    seeds: List[int],
+    hill_climb: Optional[HillClimbSettings] = None,
+    max_workers: Optional[int] = None,
+) -> List[Tuple[MultiTenantOutcome, MultiTenantOutcome]]:
+    """The multi-tenant experiment for every seed, pool-backed.
+
+    Fresh seeds fan out over the process pool; results are written back
+    into the memoization cache so Figures 14, 15, and 16 keep sharing
+    one pair of co-runs per seed.
+    """
+    from functools import partial
+
+    from repro.experiments.parallel import map_seeds
+
+    missing = [s for s in seeds if (s, hill_climb) not in _experiment_cache]
+    if missing:
+        computed = map_seeds(
+            partial(run_multitenant_experiment, hill_climb=hill_climb),
+            missing,
+            max_workers=max_workers,
+        )
+        for seed, outcome in zip(missing, computed):
+            _experiment_cache[(seed, hill_climb)] = outcome
+    return [_experiment_cache[(s, hill_climb)] for s in seeds]

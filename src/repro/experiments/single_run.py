@@ -9,7 +9,7 @@ execution-time A/B (Section 8.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -68,4 +68,22 @@ def run_single_run_case(
         default_time=default_result.duration,
         mronline_time=mronline_result.duration,
         failed_attempts=mronline_result.counters.get(Counter.FAILED_TASK_ATTEMPTS),
+    )
+
+
+def run_single_run_over_seeds(
+    case: BenchmarkCase,
+    seeds: List[int],
+    settings: Optional[TunerSettings] = None,
+    max_workers: Optional[int] = None,
+) -> List[SingleRunResult]:
+    """The single-run A/B for every seed, fanned over the process pool."""
+    from functools import partial
+
+    from repro.experiments.parallel import map_seeds
+
+    return map_seeds(
+        partial(run_single_run_case, case, settings=settings),
+        seeds,
+        max_workers=max_workers,
     )

@@ -12,7 +12,6 @@ import io
 from typing import List, Optional
 
 from repro.mapreduce.jobspec import TaskType
-from repro.monitor.statistics import TaskStats
 from repro.yarn.app_master import JobResult
 
 CSV_FIELDS = [

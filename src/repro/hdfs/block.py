@@ -38,5 +38,5 @@ class Block:
         return tuple(sorted({loc.rack for loc in self.locations}))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        hosts = ",".join(str(l.node_id) for l in self.locations)
+        hosts = ",".join(str(loc.node_id) for loc in self.locations)
         return f"<Block #{self.block_id} {self.size_bytes}B on [{hosts}]>"

@@ -14,7 +14,7 @@ hash partitioner behaves on a skewed key distribution.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ which is exactly why the parameter is worth tuning (S6.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

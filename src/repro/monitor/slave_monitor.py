@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, List, Optional
+from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.monitor.statistics import NodeStats
 from repro.sim.engine import Simulator

@@ -20,7 +20,7 @@ repository are kept node-local (per-disk, per-CPU) or cluster-global
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event
@@ -112,7 +112,7 @@ def maxmin_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
                 for link, n in counts.items()
                 if n > 0 and cap_left[link] / n <= water + _EPS
             }
-            frozen = [f for f in active if any(l in bottlenecks for l in f.links)]
+            frozen = [f for f in active if any(lnk in bottlenecks for lnk in f.links)]
             frozen_rates = {f: water for f in frozen}
         for f in frozen:
             r = frozen_rates[f]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.core.configuration import Configuration
 from repro.hdfs.filesystem import HdfsFileSystem

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List
 
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.node import Node

@@ -9,7 +9,7 @@ heartbeat latency so allocation never reenters the caller.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.topology import Cluster

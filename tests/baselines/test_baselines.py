@@ -9,7 +9,6 @@ from repro.baselines.offline_guide import offline_guide_config
 from repro.baselines.random_search import random_configurations, random_points
 from repro.core import parameters as P
 from repro.core.configuration import is_feasible
-from repro.core.parameters import PARAMETER_SPACE
 from repro.workloads.suite import case_by_name, table3_cases
 
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.cluster.network import Network
-from repro.cluster.node import MB, Node, NodeResources
+from repro.cluster.node import MB, NodeResources
 from repro.cluster.topology import Cluster, ClusterSpec, build_cluster, paper_cluster_spec
 from repro.sim import Simulator
 

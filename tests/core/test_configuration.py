@@ -1,6 +1,5 @@
 """Tests for configurations and dependency clamps."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the tuning knowledge base."""
 
-import pytest
 
 from repro.core import parameters as P
 from repro.core.configuration import Configuration

@@ -7,7 +7,6 @@ other subsystems).
 """
 
 import numpy as np
-import pytest
 
 from repro.cluster.topology import ClusterSpec
 from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
@@ -62,6 +61,6 @@ class TestReplay:
         sc_b = SimCluster(seed=2, cluster_spec=SMALL, start_monitors=False)
         fa = sc_a.hdfs.create_file("/x", 10 * sc_a.hdfs.block_size)
         fb = sc_b.hdfs.create_file("/x", 10 * sc_b.hdfs.block_size)
-        locs_a = [tuple(l.node_id for l in blk.locations) for blk in fa.blocks]
-        locs_b = [tuple(l.node_id for l in blk.locations) for blk in fb.blocks]
+        locs_a = [tuple(loc.node_id for loc in blk.locations) for blk in fa.blocks]
+        locs_b = [tuple(loc.node_id for loc in blk.locations) for blk in fb.blocks]
         assert locs_a != locs_b

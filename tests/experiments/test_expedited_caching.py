@@ -1,6 +1,5 @@
 """Tests for experiment memoization and the reporting unit guard."""
 
-import pytest
 
 from repro.core.hill_climbing import HillClimbSettings
 from repro.experiments import expedited

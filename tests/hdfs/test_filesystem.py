@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.node import MB, NodeResources
+from repro.cluster.node import MB
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.hdfs.block import Block, BlockLocation
 from repro.hdfs.filesystem import DEFAULT_BLOCK_SIZE, HdfsFileSystem

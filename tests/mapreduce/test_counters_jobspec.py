@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mapreduce.counters import Counter, Counters
-from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType, WorkloadProfile
+from repro.mapreduce.jobspec import JobSpec, WorkloadProfile
 from repro.mapreduce.shuffle import MapOutputCatalog
 from repro.sim import Simulator
 

@@ -4,12 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mapreduce.sortspill import (
-    MapSpillPlan,
-    merge_passes,
-    plan_map_spills,
-    plan_reduce_merge,
-)
+from repro.mapreduce.sortspill import merge_passes, plan_map_spills, plan_reduce_merge
 
 MB = 1024**2
 

@@ -100,8 +100,12 @@ class TestCentralMonitor:
 
     def test_node_utilization_means(self):
         mon = CentralMonitor(Simulator())
-        mon.on_node_stats(NodeStats(0, 0.0, cpu_utilization=0.2, memory_utilization=0.4, running_containers=1))
-        mon.on_node_stats(NodeStats(0, 10.0, cpu_utilization=0.2, memory_utilization=0.4, running_containers=1))
+        mon.on_node_stats(
+            NodeStats(0, 0.0, cpu_utilization=0.2, memory_utilization=0.4, running_containers=1)
+        )
+        mon.on_node_stats(
+            NodeStats(0, 10.0, cpu_utilization=0.2, memory_utilization=0.4, running_containers=1)
+        )
         assert mon.mean_cpu_utilization() == pytest.approx(0.2)
         assert mon.mean_memory_utilization() == pytest.approx(0.4)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, Event, Simulator, Timeout
+from repro.sim import AllOf, Simulator
 from repro.sim.engine import SimulationError
 
 

@@ -10,7 +10,6 @@ generated link/flow topologies:
    require decreasing a flow with an equal-or-smaller rate.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -68,7 +67,7 @@ def test_work_conservation(topo):
     for f in flows:
         at_cap = rates[f] >= f.cap * (1 - EPS)
         crosses_saturated = any(
-            link_usage(l, flows, rates) >= l.capacity * (1 - EPS) for l in f.links
+            link_usage(lnk, flows, rates) >= lnk.capacity * (1 - EPS) for lnk in f.links
         )
         assert at_cap or crosses_saturated, f"flow {f} has free headroom"
 
@@ -85,16 +84,16 @@ def test_maxmin_optimality_pairwise(topo):
         if rates[f] >= f.cap * (1 - EPS):
             continue
         saturated = [
-            l
-            for l in f.links
-            if link_usage(l, flows, rates) >= l.capacity * (1 - EPS)
+            lnk
+            for lnk in f.links
+            if link_usage(lnk, flows, rates) >= lnk.capacity * (1 - EPS)
         ]
         assert saturated
         # On some saturated link, no coexisting flow has a higher rate
         # it could cede without becoming worse off than f.
         ok = False
-        for l in saturated:
-            sharers = [g for g in flows if l in g.links and g is not f]
+        for lnk in saturated:
+            sharers = [g for g in flows if lnk in g.links and g is not f]
             if all(rates[g] <= rates[f] * (1 + 1e-3) for g in sharers):
                 ok = True
                 break

@@ -1,6 +1,5 @@
 """Tests for generator-based processes."""
 
-import pytest
 
 from repro.sim import AllOf, AnyOf, Interrupt, Simulator
 

@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.topology import ClusterSpec
 from repro.core import parameters as P
-from repro.core.configuration import Configuration
 from repro.core.hill_climbing import HillClimbSettings
 from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
 from repro.experiments.harness import SimCluster

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments.harness import SimCluster
-from repro.hdfs.filesystem import HdfsFileSystem
 from repro.mapreduce.dataflow import JobDataflow
 from repro.workloads.datasets import (
     bbp_dataset,
@@ -12,14 +11,7 @@ from repro.workloads.datasets import (
     teragen_dataset,
     wikipedia_dataset,
 )
-from repro.workloads.suite import (
-    BenchmarkCase,
-    JobType,
-    case_by_name,
-    make_job_spec,
-    table3_cases,
-    terasort_case,
-)
+from repro.workloads.suite import JobType, case_by_name, make_job_spec, table3_cases, terasort_case
 
 GB = 1024**3
 

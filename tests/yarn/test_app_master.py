@@ -1,12 +1,11 @@
 """Tests for the MR app master: end-to-end jobs on a small cluster."""
 
-import numpy as np
 import pytest
 
+from repro.cluster.topology import ClusterSpec
 from repro.core import parameters as P
 from repro.core.configuration import Configuration
 from repro.experiments.harness import SimCluster
-from repro.cluster.topology import ClusterSpec
 from repro.mapreduce.counters import Counter
 from repro.mapreduce.jobspec import JobSpec, TaskType, WorkloadProfile
 from repro.workloads.datasets import DatasetSpec

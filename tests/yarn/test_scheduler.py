@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.node import GB, NodeResources
+from repro.cluster.node import GB
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.sim import Simulator
 from repro.yarn.fair_scheduler import FairScheduler
