@@ -1,0 +1,39 @@
+"""Resilience under injected faults: recovery keeps jobs successful and
+the tuner's gain does not collapse when nodes crash and straggle.
+
+Not a paper figure -- MRONLINE ran on a real testbed whose failures the
+paper never isolates -- but the protocol mirrors the evaluation style:
+fault-free baseline vs injected fault levels, default vs tuned arms.
+"""
+
+from benchmarks.bench_common import BASE_SEED, emit, run_once
+from repro.experiments.faults import run_fault_experiment
+from repro.experiments.reporting import FigureReport
+
+
+def test_faults_resilience(benchmark):
+    def experiment():
+        return run_fault_experiment(
+            case_name="terasort",
+            seed=BASE_SEED,
+            levels=("none", "low", "high"),
+            tuning="conservative",
+        )
+
+    report_data = run_once(benchmark, experiment)
+    levels = [row.level for row in report_data.rows]
+    report = FigureReport("Resilience", "Terasort under injected faults", levels)
+    report.add_series("Default", [row.default.job_time for row in report_data.rows])
+    report.add_series("MRONLINE", [row.tuned.job_time for row in report_data.rows])
+    emit(report)
+
+    for row in report_data.rows:
+        # Re-execution and speculation must keep every arm successful.
+        assert row.default.succeeded, f"default run failed at level {row.level}"
+        assert row.tuned.succeeded, f"tuned run failed at level {row.level}"
+    high = report_data.rows[-1]
+    assert high.default.killed_attempts >= 1, "faults never destroyed an attempt"
+    # Faults cost time but not an order of magnitude (recovery works).
+    assert high.default.job_time < 2.0 * report_data.baseline.job_time
+    # The tuner still helps under the heaviest fault level.
+    assert high.tuner_gain > 0.0

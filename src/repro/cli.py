@@ -9,6 +9,7 @@ Examples::
     python -m repro multitenant
     python -m repro whatif --size-gb 20
     python -m repro digest --workers 4
+    python -m repro faults --case terasort
 
 Each subcommand prints the same rows/series the corresponding paper
 figure plots.  ``--replicas`` controls seed averaging (the paper uses
@@ -17,7 +18,10 @@ figure plots.  ``--replicas`` controls seed averaging (the paper uses
 ``1`` = the exact serial path) -- replicas are independently seeded,
 so results are bit-identical either way.  ``digest`` prints a stable
 hash over a small fixed experiment; the CI determinism gate runs it
-serial and parallel and fails on any mismatch.
+serial and parallel and fails on any mismatch.  ``faults`` runs the
+resilience report: job time and tuner gain at fault levels none/low/
+high (node crashes, container kills, degraded nodes) against the
+fault-free baseline, ending in its own determinism-gated digest.
 """
 
 from __future__ import annotations
@@ -184,8 +188,51 @@ def cmd_digest(args) -> int:
         print(
             f"  {req.case_name:24s} seed={req.seed}  "
             f"t={outcome.job_time:9.2f}s  {outcome.digest()[:16]}"
+            f"{_failure_marker(outcome)}"
         )
     print(f"digest: {combined_digest(outcomes)}")
+    return 0
+
+
+def _failure_marker(outcome) -> str:
+    """A loud suffix for unsuccessful runs (never average these away)."""
+    if outcome.succeeded:
+        return ""
+    reasons = ", ".join(f"{kind} x{n}" for kind, n in outcome.failure_reasons)
+    return f"  FAILED ({reasons or 'unknown'})"
+
+
+def cmd_faults(args) -> int:
+    from repro.experiments.faults import run_fault_experiment
+
+    report = run_fault_experiment(
+        case_name=args.case,
+        seed=args.seed,
+        levels=tuple(args.levels.split(",")),
+        tuning=args.tuning,
+        num_blocks=args.blocks,
+        num_reducers=args.reducers,
+        max_workers=args.workers,
+    )
+    print(f"case: {report.case_name}  seed={report.seed}  tuning={report.tuning}")
+    print(f"fault-free baseline: {report.baseline.job_time:.1f} s")
+    for row in report.rows:
+        print(f"\nfault level '{row.level}':")
+        for line in row.tuned.injected_faults:
+            print(f"    {line}")
+        for label, outcome in (("default", row.default), (report.tuning, row.tuned)):
+            status = "ok" if outcome.succeeded else "FAILED"
+            reasons = ", ".join(f"{k} x{n:.0f}" for k, n in outcome.failure_reasons)
+            print(
+                f"  {label:12s}: {outcome.job_time:8.1f} s  [{status}]"
+                f"  killed={outcome.killed_attempts:.0f}"
+                + (f"  ({reasons})" if reasons else "")
+            )
+        print(
+            f"  slowdown vs fault-free: {100 * row.slowdown_vs(report.baseline):+.1f}%"
+            f"   tuner gain: {100 * row.tuner_gain:+.1f}%"
+        )
+    print(f"\nfault digest: {report.digest}")
     return 0
 
 
@@ -197,7 +244,7 @@ def cmd_list(args) -> int:
         print(f"  {case.name}")
     print(
         "\nsubcommands: table3, expedited, single-run, jobsize, "
-        "multitenant, whatif, digest"
+        "multitenant, whatif, digest, faults"
     )
     return 0
 
@@ -205,45 +252,93 @@ def cmd_list(args) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Define the flags every subcommand understands.
+
+    They are declared twice -- on the root parser with real defaults,
+    and on each subparser with ``SUPPRESS`` defaults -- so both
+    ``repro --workers 4 faults`` and ``repro faults --workers 4`` work
+    (the subparser only overrides when the flag is actually given).
+    """
+    d = argparse.SUPPRESS
+    parser.add_argument(
+        "--seed", type=int, default=d if suppress else 1, help="base replica seed"
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=d if suppress else 1,
+        help="seed replicas to average (paper: 4)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=d if suppress else None,
+        help="worker processes for replica fan-out (default: REPRO_WORKERS, "
+        "then CPU count; 1 = exact serial path)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce MRONLINE (HPDC'14) experiments on the simulated cluster.",
     )
-    parser.add_argument("--seed", type=int, default=1, help="base replica seed")
-    parser.add_argument(
-        "--replicas", type=int, default=1, help="seed replicas to average (paper: 4)"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for replica fan-out (default: REPRO_WORKERS, "
-        "then CPU count; 1 = exact serial path)",
-    )
+    _add_shared_options(parser, suppress=False)
+    shared = argparse.ArgumentParser(add_help=False)
+    _add_shared_options(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmark cases and subcommands")
-    sub.add_parser("table3", help="print Table 3 (benchmark characteristics)")
+    sub.add_parser("list", help="list benchmark cases and subcommands", parents=[shared])
+    sub.add_parser(
+        "table3", help="print Table 3 (benchmark characteristics)", parents=[shared]
+    )
 
-    p = sub.add_parser("expedited", help="Figures 4-9 protocol for one case")
+    p = sub.add_parser(
+        "expedited", help="Figures 4-9 protocol for one case", parents=[shared]
+    )
     p.add_argument("--case", default="terasort")
 
-    p = sub.add_parser("single-run", help="Figures 10-12 protocol for one case")
+    p = sub.add_parser(
+        "single-run", help="Figures 10-12 protocol for one case", parents=[shared]
+    )
     p.add_argument("--case", default="terasort")
 
-    p = sub.add_parser("jobsize", help="Figure 13 sweep")
+    p = sub.add_parser("jobsize", help="Figure 13 sweep", parents=[shared])
     p.add_argument("--sizes", default="2,6,10,20,60,100", help="comma-separated GB")
 
-    sub.add_parser("multitenant", help="Figures 14-16 protocol")
+    sub.add_parser("multitenant", help="Figures 14-16 protocol", parents=[shared])
 
-    p = sub.add_parser("whatif", help="category-1 what-if advisor (Terasort)")
+    p = sub.add_parser(
+        "whatif", help="category-1 what-if advisor (Terasort)", parents=[shared]
+    )
     p.add_argument("--size-gb", type=float, default=20.0)
 
     sub.add_parser(
         "digest",
         help="stable hash of a small fixed experiment (CI determinism gate)",
+        parents=[shared],
     )
+
+    p = sub.add_parser(
+        "faults",
+        help="resilience report: job time and tuner gain under injected faults",
+        parents=[shared],
+    )
+    p.add_argument("--case", default="terasort")
+    p.add_argument(
+        "--levels",
+        default="none,low,high",
+        help="comma-separated fault levels (subset of none,low,high)",
+    )
+    p.add_argument(
+        "--tuning",
+        default="conservative",
+        choices=("conservative", "aggressive"),
+        help="tuning strategy for the tuned arm of each level",
+    )
+    p.add_argument("--blocks", type=int, default=None, help="shrink the dataset (blocks)")
+    p.add_argument("--reducers", type=int, default=None, help="override reducer count")
     return parser
 
 
@@ -256,6 +351,7 @@ _COMMANDS = {
     "multitenant": cmd_multitenant,
     "whatif": cmd_whatif,
     "digest": cmd_digest,
+    "faults": cmd_faults,
 }
 
 

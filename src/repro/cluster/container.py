@@ -28,15 +28,25 @@ class ContainerState(enum.Enum):
 class Container:
     """A memory/vcore grant on a node, owned by one application."""
 
-    __slots__ = ("container_id", "node", "memory_bytes", "vcores", "app_id", "state")
+    __slots__ = ("container_id", "node", "memory_bytes", "vcores", "app_id", "state", "tag")
 
-    def __init__(self, node: "Node", memory_bytes: int, vcores: int, app_id: str) -> None:
+    def __init__(
+        self,
+        node: "Node",
+        memory_bytes: int,
+        vcores: int,
+        app_id: str,
+        tag: object = None,
+    ) -> None:
         self.container_id = next(_container_ids)
         self.node = node
         self.memory_bytes = memory_bytes
         self.vcores = vcores
         self.app_id = app_id
         self.state = ContainerState.ALLOCATED
+        #: The workload this grant runs (typically a TaskId); used to
+        #: cancel the task's labelled flows when the container is killed.
+        self.tag = tag
 
     @property
     def max_cores(self) -> float:

@@ -26,6 +26,12 @@ if TYPE_CHECKING:  # pragma: no cover
 MB = 1024 * 1024
 GB = 1024 * MB
 
+#: Capacity a crashed node's links are frozen at.  It must stay positive
+#: (the flow scheduler rejects zero-capacity links), but is small enough
+#: that any in-flight work effectively never finishes: the failure is
+#: noticed through heartbeat expiry, not through task completion.
+FROZEN_CAPACITY = 1e-9
+
 
 @dataclass(frozen=True)
 class NodeResources:
@@ -86,6 +92,68 @@ class Node:
         self.yarn_vcores_used = 0
 
         self.containers: Dict[int, "Container"] = {}
+
+        #: Liveness and health (driven by the fault injector).
+        self.alive = True
+        self.cpu_slowdown = 1.0
+        self.disk_slowdown = 1.0
+        self._base_cpu_capacity = self.cpu_link.capacity
+        self._base_disk_read_capacity = self.disk_read_link.capacity
+        self._base_disk_write_capacity = self.disk_write_link.capacity
+
+    # ------------------------------------------------------------------
+    # Fault model (crash / degrade / recover)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the node: freeze its links so in-flight work stalls.
+
+        The node is *not* cleaned up here -- detection happens through
+        heartbeat expiry at the resource manager, exactly as on a real
+        cluster where a dead NodeManager simply goes silent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.cpu.set_link_capacity(self.cpu_link, FROZEN_CAPACITY)
+        self.disk.set_link_capacity(self.disk_read_link, FROZEN_CAPACITY)
+        self.disk.set_link_capacity(self.disk_write_link, FROZEN_CAPACITY)
+
+    def degrade(self, cpu_factor: float = 1.0, disk_factor: float = 1.0) -> None:
+        """Slow the node down: remaining work proceeds at a fraction of
+        the hardware's base throughput (a straggler, not a crash)."""
+        if not (0.0 < cpu_factor <= 1.0) or not (0.0 < disk_factor <= 1.0):
+            raise SimulationError(
+                f"slowdown factors must be in (0, 1], got {cpu_factor}/{disk_factor}"
+            )
+        if not self.alive:
+            return
+        self.cpu_slowdown = cpu_factor
+        self.disk_slowdown = disk_factor
+        self._apply_capacities()
+
+    def restore(self) -> None:
+        """Recover a degraded node to full speed (crashes are permanent)."""
+        if not self.alive:
+            return
+        self.cpu_slowdown = 1.0
+        self.disk_slowdown = 1.0
+        self._apply_capacities()
+
+    def _apply_capacities(self) -> None:
+        self.cpu.set_link_capacity(
+            self.cpu_link, self._base_cpu_capacity * self.cpu_slowdown
+        )
+        self.disk.set_link_capacity(
+            self.disk_read_link, self._base_disk_read_capacity * self.disk_slowdown
+        )
+        self.disk.set_link_capacity(
+            self.disk_write_link, self._base_disk_write_capacity * self.disk_slowdown
+        )
+
+    def cancel_task_flows(self, prefix: str) -> int:
+        """Drop this node's CPU and disk flows labelled with *prefix*
+        (a killed task's compute/spill work stops consuming bandwidth)."""
+        return self.cpu.cancel_prefix(prefix) + self.disk.cancel_prefix(prefix)
 
     # ------------------------------------------------------------------
     # Resource accounting (used by the YARN scheduler)

@@ -17,14 +17,25 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.mapreduce.jobspec import TaskType
 from repro.monitor.statistics import TaskStats
 
-#: Cost assigned to a failed task attempt.  The worst feasible cost is
-#: ~4 (all four terms at 1); failures must dominate that.
+#: Cost assigned to a config-induced failure (OOM).  The worst feasible
+#: cost is ~4 (all four terms at 1); failures must dominate that.
 FAILURE_COST = 8.0
+
+#: Gentler penalty for attempts the *environment* killed (preemption,
+#: node loss, a faster speculative twin).  The configuration is not to
+#: blame, but the lost work is real, so the sample is discouraged
+#: without being branded infeasible.
+ENV_FAILURE_COST = 5.0
+
+#: Failure kinds charged at :data:`ENV_FAILURE_COST`.
+_ENVIRONMENTAL_KINDS = frozenset({"preempted", "node_lost", "speculation"})
 
 
 def task_cost(stats: TaskStats, t_max: float) -> float:
     """Equation 1 for one task, given the job's max task time so far."""
     if stats.failed:
+        if stats.failure_kind in _ENVIRONMENTAL_KINDS:
+            return ENV_FAILURE_COST
         return FAILURE_COST
     t_term = stats.duration / t_max if t_max > 0 else 1.0
     return (

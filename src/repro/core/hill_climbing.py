@@ -66,6 +66,13 @@ class HillClimbSettings:
             raise ValueError("replicas must be >= 1")
 
 
+#: Chebyshev radius (in the unit cube) of the region around an
+#: OOM-observed point that is treated as infeasible.  Small enough not
+#: to wall off viable space, large enough to stop re-sampling the
+#: immediate vicinity of a known failure.
+INFEASIBLE_RADIUS = 0.06
+
+
 class SearchPhase(enum.Enum):
     GLOBAL = "global"
     LOCAL = "local"
@@ -128,6 +135,10 @@ class GrayBoxHillClimber:
         self._seed_point = seed_point
         #: Total samples handed out (diagnostics).
         self.samples_proposed = 0
+        #: Centers of regions observed to be infeasible (OOM-prone).
+        self._infeasible_points: List[np.ndarray] = []
+        #: Total infeasibility marks received (diagnostics).
+        self.infeasible_marks = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,6 +200,38 @@ class GrayBoxHillClimber:
         sample.costs.append(float(cost))
         if not self.pending_samples() and self._batch:
             self._advance()
+
+    # ------------------------------------------------------------------
+    # Infeasible regions
+    # ------------------------------------------------------------------
+    def mark_infeasible(self, sample_id: int) -> None:
+        """Remember *sample_id*'s point as the center of a bad region.
+
+        A configuration that OOMs is not merely expensive -- every point
+        near it will OOM too.  Marked regions are consulted through
+        :meth:`is_infeasible`, letting the caller auto-fail future
+        samples that land there instead of burning task attempts on
+        re-discovering the same wall.
+        """
+        sample = self._by_id.get(sample_id)
+        if sample is None:
+            raise KeyError(f"unknown sample id {sample_id}")
+        self.infeasible_marks += 1
+        for known in self._infeasible_points:
+            if np.array_equal(known, sample.point):
+                return
+        self._infeasible_points.append(sample.point.copy())
+
+    def is_infeasible(self, point: np.ndarray) -> bool:
+        """True when *point* lies inside a known-infeasible region."""
+        for known in self._infeasible_points:
+            if float(np.max(np.abs(point - known))) <= INFEASIBLE_RADIUS:
+                return True
+        return False
+
+    @property
+    def infeasible_regions(self) -> int:
+        return len(self._infeasible_points)
 
     # ------------------------------------------------------------------
     # Algorithm 1 state transitions

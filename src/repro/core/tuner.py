@@ -26,7 +26,7 @@ import numpy as np
 from repro.core import parameters as P
 from repro.core.configuration import Configuration, enforce_dependencies
 from repro.core.configurator import DynamicConfigurator
-from repro.core.cost import CostModel, task_cost
+from repro.core.cost import FAILURE_COST, CostModel, task_cost
 from repro.core.hill_climbing import GrayBoxHillClimber, HillClimbSettings
 from repro.core.knowledge_base import TuningKnowledgeBase
 from repro.core.parameters import PARAMETER_SPACE
@@ -148,6 +148,15 @@ class _TunerGate(LaunchGate):
     def task_completed(self, task_type: TaskType) -> None:
         pass  # replenishment happens per batch, on statistics arrival
 
+    def retract(self, task_type: TaskType, admit_event: Event) -> None:
+        state = self.job.search_states[task_type]
+        if admit_event in state.admission_queue:
+            state.admission_queue.remove(admit_event)
+            # The killed attempt still reports synthesized statistics
+            # (which bumps stats_seen); count it admitted so the starved-
+            # batch detector's admitted/stats_seen balance holds.
+            state.admitted += 1
+
 
 class _JobTuning:
     """Everything the tuner tracks for one attached job."""
@@ -246,6 +255,13 @@ class OnlineTuner:
         job = self._jobs.get(stats.task_id.job_id)
         if job is None:
             return
+        if stats.speculative:
+            # Backup attempts bypass the gate and reuse the primary's
+            # configuration; folding them in would double-count samples
+            # and corrupt the admitted/stats_seen balance.  Crucially,
+            # the *primary* may still be running, so its live config
+            # entry must not be cleared either.
+            return
         self.configurator.task_finished(stats.task_id)
         if self.strategy is TuningStrategy.AGGRESSIVE:
             self._on_stats_aggressive(job, stats)
@@ -254,16 +270,35 @@ class OnlineTuner:
 
     # -- aggressive path ----------------------------------------------------
     def _open_batch(self, job: _JobTuning, state: _SearchState) -> None:
-        samples = state.climber.propose()
-        if not samples:
-            self._finish_search(job, state)
-            return
+        want = self.settings.hill_climb.replicas
+        while True:
+            samples = state.climber.propose()
+            if not samples:
+                self._finish_search(job, state)
+                return
+            # Samples landing in a known-infeasible (OOM-observed) region
+            # are priced at FAILURE_COST immediately instead of burning
+            # real task attempts on them.  The incumbent is exempt: its
+            # cost must stay freshly measured for the improvement test.
+            infeasible = [
+                s
+                for s in state.climber.pending_samples()
+                if not s.incumbent and state.climber.is_infeasible(s.point)
+            ]
+            for sample in infeasible:
+                for _ in range(want - len(sample.costs)):
+                    state.climber.observe(sample.sample_id, FAILURE_COST)
+            pending = state.climber.pending_samples()
+            if pending:
+                break
+            # The entire batch was auto-priced; the climber has advanced
+            # (or finished) -- propose the next batch.
         base = job.spec.base_config
         configs: List[Tuple[Configuration, object]] = []
-        for sample in samples:
+        for sample in pending:
             decoded = state.space.decode(sample.point)
             config = enforce_dependencies(base.updated(decoded))
-            for _ in range(self.settings.hill_climb.replicas):
+            for _ in range(want - len(sample.costs)):
                 configs.append((config, sample.sample_id))
         self.configurator.push_wave_configs(job.spec.job_id, state.task_type, configs)
         state.slots += len(configs)
@@ -298,6 +333,11 @@ class OnlineTuner:
         if sample_id is None or state.climber.finished:
             self._maybe_finish_starved(job, state)
             return
+        if stats.failed and stats.failure_kind == "oom":
+            # Config-induced failure: the sampled point (and its
+            # vicinity) is infeasible, not merely expensive.  Later
+            # batches auto-fail samples landing there (_open_batch).
+            state.climber.mark_infeasible(sample_id)
         state.result_buffer.append((sample_id, stats))
         # A wave's costs are computed together, once every sample in the
         # batch has its required replica evaluations: normalizing the

@@ -23,7 +23,7 @@ from repro.baselines.offline_guide import offline_guide_config
 from repro.core.configuration import Configuration
 from repro.core.hill_climbing import HillClimbSettings
 from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
-from repro.experiments.harness import SimCluster
+from repro.experiments.harness import SimCluster, checked_duration
 from repro.mapreduce.jobspec import TaskType
 from repro.sim.rng import derive_seed
 from repro.workloads.suite import BenchmarkCase, make_job_spec
@@ -117,10 +117,10 @@ def run_expedited_case(
     _case_cache[key] = result = ExpeditedCaseResult(
         case=case.name,
         seed=seed,
-        default_time=default_result.duration,
-        offline_time=offline_result.duration,
-        mronline_time=mronline_result.duration,
-        tuning_run_time=tuning_result.duration,
+        default_time=checked_duration(default_result),
+        offline_time=checked_duration(offline_result),
+        mronline_time=checked_duration(mronline_result),
+        tuning_run_time=checked_duration(tuning_result),
         recommended=recommended,
         optimal_spills=optimal_spills(default_result),
         default_spills=map_side_spills(default_result),

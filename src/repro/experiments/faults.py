@@ -1,0 +1,132 @@
+"""The resilience experiment: job performance under injected faults.
+
+Protocol: one fault-free run with the default configuration fixes the
+*baseline* and the fault plan's time horizon.  Then, for each fault
+level (``none``, ``low``, ``high``), the same job runs twice under the
+injected scenario -- once with the default configuration and once
+co-executed with the online tuner -- and the report compares job time,
+recovery outcome (did re-execution/speculation keep the job
+successful?), and the tuner's gain against the fault-free baseline.
+
+Every run is described declaratively by a :class:`RunRequest`, so the
+level pairs fan out over the process pool, and the report's combined
+digest is bit-identical for any worker count (the CI gate's fault
+case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import (
+    RunOutcome,
+    RunRequest,
+    combined_digest,
+    execute_request,
+    run_requests,
+)
+
+#: Fault-scenario knobs per level (fed to ``generate_fault_plan``; the
+#: ``horizon`` knob is added at run time from the measured baseline).
+FAULT_LEVELS: Dict[str, Dict[str, float]] = {
+    "none": {},
+    "low": {"container_kills": 2, "degraded": 1},
+    "high": {"crashes": 1, "container_kills": 4, "degraded": 2},
+}
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """Default-vs-tuned outcomes for one fault level."""
+
+    level: str
+    default: RunOutcome
+    tuned: RunOutcome
+
+    @property
+    def tuner_gain(self) -> float:
+        """Fractional job-time gain of the tuned run at this fault level."""
+        if self.default.job_time <= 0:
+            return 0.0
+        return (self.default.job_time - self.tuned.job_time) / self.default.job_time
+
+    def slowdown_vs(self, baseline: RunOutcome) -> float:
+        """Fault-induced slowdown of the default run vs the fault-free one."""
+        if baseline.job_time <= 0:
+            return 0.0
+        return (self.default.job_time - baseline.job_time) / baseline.job_time
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Everything the ``faults`` subcommand prints."""
+
+    case_name: str
+    seed: int
+    tuning: str
+    baseline: RunOutcome
+    rows: Tuple[ResilienceRow, ...]
+    digest: str
+
+
+def run_fault_experiment(
+    case_name: str = "terasort",
+    seed: int = 1,
+    levels: Tuple[str, ...] = ("none", "low", "high"),
+    tuning: str = "conservative",
+    num_blocks: Optional[int] = None,
+    num_reducers: Optional[int] = None,
+    max_workers: Optional[int] = None,
+) -> ResilienceReport:
+    """Run the full resilience protocol for one case and seed."""
+    unknown = [lv for lv in levels if lv not in FAULT_LEVELS]
+    if unknown:
+        raise ValueError(
+            f"unknown fault level(s) {unknown}, want a subset of {sorted(FAULT_LEVELS)}"
+        )
+
+    def request(tuning_mode: str, level: str) -> RunRequest:
+        knobs = FAULT_LEVELS[level]
+        return RunRequest.build(
+            case_name,
+            seed,
+            tuning=tuning_mode,
+            num_blocks=num_blocks,
+            num_reducers=num_reducers,
+            faults={**knobs, "horizon": horizon} if knobs else None,
+        )
+
+    # The fault-free default run doubles as the baseline and as the
+    # "none" level's default arm; its duration sets the plan horizon.
+    horizon = 1.0  # placeholder so request() can close over it
+    baseline = execute_request(request("none", "none"))
+    horizon = max(baseline.job_time, 1.0)
+
+    requests: List[RunRequest] = []
+    for level in levels:
+        if level != "none":
+            requests.append(request("none", level))
+        requests.append(request(tuning, level))
+    outcomes = run_requests(requests, max_workers=max_workers)
+
+    rows: List[ResilienceRow] = []
+    cursor = 0
+    for level in levels:
+        if level == "none":
+            default = baseline
+        else:
+            default = outcomes[cursor]
+            cursor += 1
+        tuned = outcomes[cursor]
+        cursor += 1
+        rows.append(ResilienceRow(level=level, default=default, tuned=tuned))
+
+    return ResilienceReport(
+        case_name=case_name,
+        seed=seed,
+        tuning=tuning,
+        baseline=baseline,
+        rows=tuple(rows),
+        digest=combined_digest([baseline] + list(outcomes)),
+    )

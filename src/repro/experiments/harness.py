@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.topology import Cluster, ClusterSpec, build_cluster
 from repro.core.configuration import Configuration
+from repro.faults import FaultInjector, FaultPlan, generate_fault_plan
 from repro.hdfs.filesystem import HdfsFileSystem
 from repro.mapreduce.jobspec import JobSpec
 from repro.monitor.central_monitor import CentralMonitor
@@ -23,7 +24,13 @@ from repro.sim.engine import Simulator
 from repro.sim.events import AllOf
 from repro.sim.rng import RngRegistry
 from repro.workloads.suite import BenchmarkCase, make_job_spec
-from repro.yarn.app_master import ConfigProvider, JobResult, LaunchGate, MRAppMaster
+from repro.yarn.app_master import (
+    ConfigProvider,
+    FaultToleranceSettings,
+    JobResult,
+    LaunchGate,
+    MRAppMaster,
+)
 from repro.yarn.fair_scheduler import FairScheduler
 from repro.yarn.node_manager import NodeManager
 from repro.yarn.resource_manager import ResourceManager
@@ -40,6 +47,7 @@ class SimCluster:
         scheduler: str = "fifo",
         monitor_interval: float = 5.0,
         start_monitors: bool = True,
+        fault_tolerance: Optional["FaultToleranceSettings"] = None,
     ) -> None:
         self.seed = seed
         self.rngs = RngRegistry(seed)
@@ -51,7 +59,8 @@ class SimCluster:
         self.scheduler: SchedulerBase = self._make_scheduler(scheduler)
         self.rm = ResourceManager(self.sim, self.cluster, self.scheduler)
         self.node_managers: Dict[int, NodeManager] = {
-            node.node_id: NodeManager(self.sim, node) for node in self.cluster.nodes
+            node.node_id: NodeManager(self.sim, node, network=self.cluster.network)
+            for node in self.cluster.nodes
         }
         self.monitor = CentralMonitor(self.sim)
         self.slave_monitors: List[SlaveMonitor] = [
@@ -67,7 +76,45 @@ class SimCluster:
         if start_monitors:
             for sm in self.slave_monitors:
                 sm.start()
+        #: Retry/blacklist/speculation policy handed to every app master
+        #: (``None`` = defaults: retries on, speculation off).
+        self.fault_tolerance = fault_tolerance
+        #: Armed by :meth:`inject_faults`; ``None`` in fault-free runs.
+        self.fault_injector: Optional[FaultInjector] = None
         self._submissions = 0
+
+    def inject_faults(
+        self,
+        plan: Optional[FaultPlan] = None,
+        crashes: int = 0,
+        container_kills: int = 0,
+        degraded: int = 0,
+        horizon: float = 0.0,
+    ) -> FaultPlan:
+        """Arm fault injection, from an explicit *plan* or generated knobs.
+
+        Without *plan*, a scenario is drawn from the dedicated
+        ``("faults", "plan")`` RNG stream -- fault-free runs never touch
+        that stream, so arming faults cannot perturb any other random
+        draw, and the same seed always produces the same scenario.
+        Must be called before the simulation is driven.
+        """
+        if self.fault_injector is not None:
+            raise RuntimeError("faults already injected for this cluster")
+        if plan is None:
+            plan = generate_fault_plan(
+                self.rngs.stream("faults", "plan"),
+                num_nodes=len(self.cluster.nodes),
+                horizon=horizon,
+                crashes=crashes,
+                container_kills=container_kills,
+                degraded=degraded,
+            )
+        self.fault_injector = FaultInjector(
+            self.sim, self.cluster, self.node_managers, self.rm, plan
+        )
+        self.fault_injector.start()
+        return plan
 
     def _make_scheduler(self, kind: str) -> SchedulerBase:
         if kind == "fifo":
@@ -102,6 +149,7 @@ class SimCluster:
             gate=gate,
             rng=self.rngs.stream("dataflow", spec.name, self._submissions),
             app_weight=weight,
+            fault_tolerance=self.fault_tolerance,
         )
         am.stats_listeners.append(self.monitor.on_task_stats)
         am.start()
@@ -121,6 +169,22 @@ class SimCluster:
         """Run until every submitted job completes."""
         done = AllOf(self.sim, [am.completion for am in ams])
         return list(self.sim.run_until_complete(done))
+
+
+class JobFailedError(RuntimeError):
+    """A measured job did not complete successfully."""
+
+
+def checked_duration(result: JobResult) -> float:
+    """Duration of a *successful* job.
+
+    Every figure protocol extracts durations through here: a job that
+    exhausted its retries raises -- naming the failed tasks' reasons --
+    instead of leaking a partial-run duration into an average.
+    """
+    if not result.succeeded:
+        raise JobFailedError(f"job did not succeed: {result.failure_summary()}")
+    return result.duration
 
 
 @dataclass

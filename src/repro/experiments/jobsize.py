@@ -20,6 +20,7 @@ from repro.experiments.expedited import (
     run_default,
     run_with_config,
 )
+from repro.experiments.harness import checked_duration
 from repro.workloads.suite import terasort_case
 
 #: The x-axis of Figure 13.
@@ -54,8 +55,8 @@ def run_job_size_point(
         size_gb=size_gb,
         num_maps=case.num_maps,
         num_reducers=case.num_reducers,
-        default_time=default_result.duration,
-        mronline_time=mronline_result.duration,
+        default_time=checked_duration(default_result),
+        mronline_time=checked_duration(mronline_result),
     )
 
 

@@ -19,7 +19,7 @@ from repro.core.configuration import Configuration
 from repro.core.hill_climbing import HillClimbSettings
 from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
 from repro.experiments.expedited import map_side_spills
-from repro.experiments.harness import SimCluster
+from repro.experiments.harness import SimCluster, checked_duration
 from repro.mapreduce.jobspec import TaskType
 from repro.sim.rng import derive_seed
 from repro.workloads.bbp import bbp_profile
@@ -92,8 +92,8 @@ def co_run(
             util.memory[label] = 0.0
             util.cpu[label] = 0.0
     return MultiTenantOutcome(
-        terasort_time=ts_result.duration,
-        bbp_time=bbp_result.duration,
+        terasort_time=checked_duration(ts_result),
+        bbp_time=checked_duration(bbp_result),
         utilization=util,
         terasort_map_spills=map_side_spills(ts_result),
     )

@@ -105,6 +105,13 @@ class RunRequest:
     tuning: str = "none"
     num_blocks: Optional[int] = None
     num_reducers: Optional[int] = None
+    #: Fault-scenario knobs as sorted ``(name, value)`` pairs -- the
+    #: declarative input to :func:`repro.faults.generate_fault_plan`
+    #: (``crashes``, ``container_kills``, ``degraded``, ``horizon``).
+    #: The plan itself is drawn worker-side from the run's own seeded
+    #: ``("faults", "plan")`` stream, so the same request always yields
+    #: the same scenario.  ``None`` = fault-free.
+    faults: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.tuning not in TUNING_MODES:
@@ -113,6 +120,13 @@ class RunRequest:
             raise ValueError("num_blocks override must be >= 1")
         if self.num_reducers is not None and self.num_reducers < 1:
             raise ValueError("num_reducers override must be >= 1")
+        if self.faults is not None:
+            known = {"crashes", "container_kills", "degraded", "horizon"}
+            bad = [name for name, _v in self.faults if name not in known]
+            if bad:
+                raise ValueError(f"unknown fault knob(s) {bad}, want a subset of {sorted(known)}")
+            if dict(self.faults).get("horizon", 0.0) <= 0.0:
+                raise ValueError("fault scenarios need a positive 'horizon' knob")
 
     @classmethod
     def build(
@@ -124,6 +138,7 @@ class RunRequest:
         tuning: str = "none",
         num_blocks: Optional[int] = None,
         num_reducers: Optional[int] = None,
+        faults: Optional[Dict[str, float]] = None,
     ) -> "RunRequest":
         """Build a request, serializing *config* into override pairs."""
         return cls(
@@ -134,6 +149,7 @@ class RunRequest:
             tuning=tuning,
             num_blocks=num_blocks,
             num_reducers=num_reducers,
+            faults=tuple(sorted(faults.items())) if faults else None,
         )
 
     def config(self) -> Optional[Configuration]:
@@ -204,6 +220,13 @@ class RunOutcome:
     node_memory_utilization: float
     #: Aggressive tuning only: the recommended configuration overrides.
     recommended: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: Attempts killed for environmental reasons (faults, speculation).
+    killed_attempts: float = 0.0
+    #: Aggregated failed/killed attempt counts by failure kind, e.g.
+    #: ``(("node_lost", 3), ("oom", 1))`` -- empty for a clean run.
+    failure_reasons: Tuple[Tuple[str, int], ...] = ()
+    #: The injected fault scenario, one description line per fault.
+    injected_faults: Tuple[str, ...] = ()
 
     def digest(self) -> str:
         return run_digest(self)
@@ -256,7 +279,27 @@ def execute_request(request: RunRequest) -> RunOutcome:
     from repro.workloads.suite import make_job_spec
 
     case = resolve_case(request)
-    sc = SimCluster(seed=request.seed, scheduler=request.scheduler)
+    fault_tolerance = None
+    if request.faults is not None:
+        from repro.yarn.app_master import FaultToleranceSettings, SpeculationSettings
+
+        # Faulted runs fight stragglers with LATE speculation; fault-free
+        # runs keep it off so their digests stay bit-identical.
+        fault_tolerance = FaultToleranceSettings(speculation=SpeculationSettings())
+    sc = SimCluster(
+        seed=request.seed,
+        scheduler=request.scheduler,
+        fault_tolerance=fault_tolerance,
+    )
+    plan = None
+    if request.faults is not None:
+        knobs = dict(request.faults)
+        plan = sc.inject_faults(
+            crashes=int(knobs.get("crashes", 0)),
+            container_kills=int(knobs.get("container_kills", 0)),
+            degraded=int(knobs.get("degraded", 0)),
+            horizon=float(knobs["horizon"]),
+        )
     spec = make_job_spec(case, sc.hdfs, base_config=request.config())
     recommended = None
     if request.tuning == "none":
@@ -291,6 +334,9 @@ def execute_request(request: RunRequest) -> RunOutcome:
         node_cpu_utilization=sc.monitor.mean_cpu_utilization(),
         node_memory_utilization=sc.monitor.mean_memory_utilization(),
         recommended=recommended,
+        killed_attempts=result.counters.get(Counter.KILLED_TASK_ATTEMPTS),
+        failure_reasons=tuple(sorted(result.failure_reasons.items())),
+        injected_faults=tuple(plan.describe()) if plan is not None else (),
     )
 
 

@@ -14,7 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
-from repro.experiments.harness import SimCluster
+from repro.experiments.harness import SimCluster, checked_duration
 from repro.sim.rng import derive_seed
 from repro.workloads.suite import BenchmarkCase, make_job_spec
 from repro.yarn.app_master import JobResult
@@ -65,8 +65,8 @@ def run_single_run_case(
     return SingleRunResult(
         case=case.name,
         seed=seed,
-        default_time=default_result.duration,
-        mronline_time=mronline_result.duration,
+        default_time=checked_duration(default_result),
+        mronline_time=checked_duration(mronline_result),
         failed_attempts=mronline_result.counters.get(Counter.FAILED_TASK_ATTEMPTS),
     )
 

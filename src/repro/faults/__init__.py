@@ -1,0 +1,12 @@
+"""Fault injection: declarative plans applied to the live simulation."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, Fault, FaultPlan, generate_fault_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "generate_fault_plan",
+]

@@ -1,0 +1,91 @@
+"""The fault injector: applies a :class:`FaultPlan` to a live cluster.
+
+Arming the injector is the single switch that turns on the whole
+failure-handling machinery: it starts the RM's heartbeat tracking and
+liveness sweep (off by default, so fault-free runs keep a finite
+calendar and bit-identical digests) and schedules one callback per
+planned fault.
+
+Faults act through the same surfaces real hardware does:
+
+* a crash freezes the node's CPU/disk links and silences its
+  heartbeats -- detection happens at the RM after the liveness expiry,
+  not instantaneously;
+* a container kill preempts through the node manager, exactly like a
+  scheduler preemption would;
+* a degradation rescales link capacities mid-flight, so running tasks
+  slow down rather than restart.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.faults.plan import Fault, FaultPlan
+from repro.yarn.node_manager import KillReason, NodeManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import Cluster
+    from repro.sim.engine import Simulator
+    from repro.yarn.resource_manager import ResourceManager
+
+
+class FaultInjector:
+    """Schedules and applies the faults of one plan."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "Cluster",
+        node_managers: Dict[int, NodeManager],
+        rm: "ResourceManager",
+        plan: FaultPlan,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.node_managers = node_managers
+        self.rm = rm
+        self.plan = plan
+        #: ``(time, description)`` log of faults actually applied.
+        self.applied: List[Tuple[float, str]] = []
+        #: Planned faults skipped because their target was already dead.
+        self.skipped: List[Tuple[float, str]] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Arm failure detection and schedule every planned fault."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self._started = True
+        if not self.plan.faults:
+            return
+        ordered = [self.node_managers[nid] for nid in sorted(self.node_managers)]
+        self.rm.start_failure_detection(ordered)
+        for fault in self.plan.faults:
+            self.sim.call_at(fault.time, lambda f=fault: self._apply(f))
+
+    def _apply(self, fault: Fault) -> None:
+        node = self.cluster.node(fault.node_id)
+        nm = self.node_managers[fault.node_id]
+        if fault.kind == "node_crash":
+            if not node.alive:
+                self.skipped.append((self.sim.now, fault.describe()))
+                return
+            node.fail()
+            self.applied.append((self.sim.now, fault.describe()))
+            return
+        if not node.alive or nm.decommissioned:
+            # The target died before this fault's time arrived.
+            self.skipped.append((self.sim.now, fault.describe()))
+            return
+        if fault.kind == "degrade":
+            node.degrade(cpu_factor=fault.cpu_factor, disk_factor=fault.disk_factor)
+            self.applied.append((self.sim.now, fault.describe()))
+        else:  # container_kill
+            killed = nm.kill_some(
+                fault.count,
+                KillReason("preempted", f"injected container kill on {node.hostname}"),
+            )
+            self.applied.append(
+                (self.sim.now, f"{fault.describe()} -> {killed} killed")
+            )

@@ -1,0 +1,156 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an immutable, time-sorted list of
+:class:`Fault` records -- pure data, picklable, and cheap to compare.
+Plans are either built explicitly (tests pin exact scenarios) or drawn
+from a dedicated RNG stream by :func:`generate_fault_plan` so the same
+seed always yields the same scenario, independently of every other
+random draw in the simulation (HDFS placement, dataflow noise, tuner
+sampling all keep their own streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+#: The fault kinds the injector understands.
+FAULT_KINDS = ("node_crash", "container_kill", "degrade")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault event.
+
+    ``node_crash``
+        The node dies permanently at ``time``: its CPU and disks freeze
+        and it stops heartbeating; the RM declares it lost after the
+        liveness expiry and every container on it is killed.
+    ``container_kill``
+        ``count`` running containers on the node are killed (transient
+        preemption); the node itself stays healthy.
+    ``degrade``
+        The node's CPU and/or disks are slowed to ``cpu_factor`` /
+        ``disk_factor`` of nominal capacity -- a straggler, not a
+        failure.
+    """
+
+    time: float
+    kind: str
+    node_id: int
+    cpu_factor: float = 1.0
+    disk_factor: float = 1.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}, want one of {FAULT_KINDS}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.node_id < 0:
+            raise ValueError(f"node id must be >= 0, got {self.node_id}")
+        if not (0.0 < self.cpu_factor <= 1.0 and 0.0 < self.disk_factor <= 1.0):
+            raise ValueError("slowdown factors must be in (0, 1]")
+        if self.count < 1:
+            raise ValueError("container_kill count must be >= 1")
+
+    def describe(self) -> str:
+        if self.kind == "node_crash":
+            return f"t={self.time:.1f}s crash node {self.node_id}"
+        if self.kind == "container_kill":
+            return f"t={self.time:.1f}s kill {self.count} container(s) on node {self.node_id}"
+        return (
+            f"t={self.time:.1f}s degrade node {self.node_id} "
+            f"(cpu x{self.cpu_factor:.2f}, disk x{self.disk_factor:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults, sorted by (time, node, kind)."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.faults, key=lambda f: (f.time, f.node_id, f.kind))
+        )
+        object.__setattr__(self, "faults", ordered)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    @property
+    def crashed_nodes(self) -> List[int]:
+        return sorted({f.node_id for f in self.faults if f.kind == "node_crash"})
+
+    @property
+    def degraded_nodes(self) -> List[int]:
+        return sorted({f.node_id for f in self.faults if f.kind == "degrade"})
+
+    def describe(self) -> List[str]:
+        return [f.describe() for f in self.faults]
+
+
+def generate_fault_plan(
+    rng: np.random.Generator,
+    num_nodes: int,
+    horizon: float,
+    crashes: int = 0,
+    container_kills: int = 0,
+    degraded: int = 0,
+    degrade_span: Tuple[float, float] = (0.35, 0.75),
+) -> FaultPlan:
+    """Draw a random fault scenario from *rng*.
+
+    *horizon* is the expected fault-free job duration; crash times land
+    in [15%, 60%] of it (late enough to destroy real work, early enough
+    that recovery happens within the run), degradations start early
+    ([5%, 30%]) so stragglers shape whole waves, and container kills
+    spread over [20%, 80%].  Crashed and degraded node sets are
+    disjoint, and at least one node is left fully healthy.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if crashes < 0 or container_kills < 0 or degraded < 0:
+        raise ValueError("fault counts must be >= 0")
+    if crashes + degraded >= num_nodes:
+        raise ValueError(
+            f"{crashes} crash(es) + {degraded} degraded node(s) needs at least "
+            f"{crashes + degraded + 1} nodes, have {num_nodes}"
+        )
+    lo, hi = degrade_span
+    if not (0.0 < lo <= hi <= 1.0):
+        raise ValueError(f"degrade_span must satisfy 0 < lo <= hi <= 1, got {degrade_span}")
+
+    faults: List[Fault] = []
+    picked = rng.choice(num_nodes, size=crashes + degraded, replace=False)
+    crash_nodes = sorted(int(n) for n in picked[:crashes])
+    degrade_nodes = sorted(int(n) for n in picked[crashes:])
+    for node_id in crash_nodes:
+        t = float(rng.uniform(0.15, 0.60)) * horizon
+        faults.append(Fault(time=t, kind="node_crash", node_id=node_id))
+    for node_id in degrade_nodes:
+        t = float(rng.uniform(0.05, 0.30)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="degrade",
+                node_id=node_id,
+                cpu_factor=float(rng.uniform(lo, hi)),
+                disk_factor=float(rng.uniform(lo, hi)),
+            )
+        )
+    healthy = [n for n in range(num_nodes) if n not in crash_nodes]
+    for _ in range(container_kills):
+        node_id = int(healthy[int(rng.integers(len(healthy)))])
+        t = float(rng.uniform(0.20, 0.80)) * horizon
+        faults.append(Fault(time=t, kind="container_kill", node_id=node_id))
+    return FaultPlan(tuple(faults))

@@ -69,14 +69,46 @@ class HdfsFileSystem:
     def delete(self, path: str) -> None:
         self._files.pop(path, None)
 
+    def delete_prefix(self, prefix: str) -> int:
+        """Delete every path under *prefix* (a directory-tree remove).
+
+        Used to discard a killed or failed attempt's temporary output.
+        Returns the number of files removed.
+        """
+        doomed = [p for p in self._files if p.startswith(prefix)]
+        for p in doomed:
+            del self._files[p]
+        return len(doomed)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move *src* to *dst* (HDFS renames are metadata-only).
+
+        This is the commit primitive: attempts write to a temporary path
+        and the winner renames into place.  Fails if *dst* exists -- the
+        caller lost the commit race and must clean up its own output.
+        """
+        if src not in self._files:
+            raise FileNotFoundError(src)
+        if dst in self._files:
+            raise FileExistsError(dst)
+        f = self._files.pop(src)
+        f.path = dst
+        self._files[dst] = f
+
     def list_files(self) -> List[str]:
         return sorted(self._files)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
 
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
     def _choose_locations(self, writer: Optional[Node]) -> List[BlockLocation]:
-        nodes = self.cluster.nodes
+        # Dead nodes take no new replicas (the NameNode stops placing on
+        # datanodes that miss heartbeats).  Filtering only kicks in once a
+        # node has actually died, so fault-free RNG draws are unchanged.
+        nodes = [n for n in self.cluster.nodes if n.alive] or self.cluster.nodes
         first = writer if writer is not None else nodes[self.rng.integers(len(nodes))]
         chosen: List[Node] = [first]
         if self.replication >= 2:
@@ -130,11 +162,17 @@ class HdfsFileSystem:
         hidden by) the network transfer; we charge the network path plus
         the reader-side buffer drain, which dominates in practice.
         """
-        if block.hosted_on(reader.node_id):
+        if block.hosted_on(reader.node_id) and reader.alive:
             return reader.disk_read(block.size_bytes, label=f"hdfs.rd.b{block.block_id}")
-        # Prefer a rack-local replica.
+        # Prefer a rack-local replica, skipping dead datanodes.  If every
+        # replica host is dead we fall back to the full list (the read
+        # stalls on the frozen node -- data loss is out of scope; fault
+        # plans never crash more nodes than the replication factor).
+        live = [
+            loc for loc in block.locations if self.cluster.node(loc.node_id).alive
+        ] or list(block.locations)
         candidates = sorted(
-            block.locations, key=lambda loc: (loc.rack != reader.rack, loc.node_id)
+            live, key=lambda loc: (loc.rack != reader.rack, loc.node_id)
         )
         src = self.cluster.node(candidates[0].node_id)
         src.disk_read(block.size_bytes, label=f"hdfs.serve.b{block.block_id}")

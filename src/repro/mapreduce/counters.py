@@ -31,6 +31,11 @@ class Counter(enum.Enum):
     HDFS_BYTES_WRITTEN = "HDFS_BYTES_WRITTEN"
     CPU_MILLISECONDS = "CPU_MILLISECONDS"
     FAILED_TASK_ATTEMPTS = "FAILED_TASK_ATTEMPTS"
+    #: Attempts killed for environmental reasons (preemption, node loss,
+    #: speculation losers); Hadoop reports these as KILLED, not FAILED.
+    KILLED_TASK_ATTEMPTS = "KILLED_TASK_ATTEMPTS"
+    #: Backup attempts launched by speculative execution.
+    SPECULATIVE_TASK_ATTEMPTS = "SPECULATIVE_TASK_ATTEMPTS"
     MERGE_PASSES = "MERGE_PASSES"
 
 

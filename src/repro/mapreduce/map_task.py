@@ -93,6 +93,7 @@ def run_map_task(
         stats.cpu_seconds = burn
         stats.end_time = sim.now
         stats.failed = True
+        stats.failure_kind = "oom"
         stats.failure_reason = (
             f"OutOfMemory: sort buffer {sort_buffer // MB} MB + user code "
             f"{profile.map_fixed_mem_bytes // MB} MB exceeds heap {heap // MB} MB"
@@ -111,6 +112,8 @@ def run_map_task(
     cpu_ev = node.compute(cpu_work, cores_cap, label=f"{task_id}.map")
     yield AllOf(sim, [read_ev, cpu_ev])
     stats.cpu_seconds += cpu_work
+    if ctx.progress is not None:
+        ctx.progress.update(task_id, attempt, 0.70)
 
     # ------------------------------------------------------------------
     # Phase 2: spills and merges.  spill.percent is category-3 (hot
@@ -129,6 +132,8 @@ def run_map_task(
     )
     if plan.spill_write_bytes > 0:
         yield node.disk_write(plan.spill_write_bytes, label=f"{task_id}.spill")
+    if ctx.progress is not None:
+        ctx.progress.update(task_id, attempt, 0.85)
     if plan.merge_rounds > 0:
         merge_cpu = tc.MERGE_CPU_PER_MB * plan.merge_write_bytes / MB
         yield AllOf(
@@ -141,9 +146,13 @@ def run_map_task(
         )
         stats.cpu_seconds += merge_cpu
 
+    if ctx.progress is not None:
+        ctx.progress.update(task_id, attempt, 0.95)
     yield sim.timeout(tc.TASK_COMMIT_OVERHEAD)
 
-    # Publish the output so reducers can fetch it.
+    # Publish the output so reducers can fetch it.  With speculation a
+    # backup attempt may have registered first; first wins, and this
+    # attempt's output is simply not served.
     partitions = ctx.dataflow.partitions_for_map(map_index, plan.output_bytes)
     ctx.catalog.register_map_output(map_index, node.node_id, partitions)
 

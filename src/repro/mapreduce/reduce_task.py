@@ -33,6 +33,11 @@ MB = 1024 * 1024
 SHUFFLE_POLL_INTERVAL = 5.0
 
 
+def attempt_output_dir(output_path: str, task_id: object, attempt: int) -> str:
+    """Temporary output directory of one reduce attempt (pre-commit)."""
+    return f"{output_path}/_temporary/{task_id}_att{attempt}"
+
+
 def run_reduce_task(
     ctx: TaskContext,
     reduce_index: int,
@@ -96,6 +101,10 @@ def run_reduce_task(
                     node, batch, extra_links=[copier_link], label=f"{task_id}.shuffle"
                 )
                 fetched_bytes += batch
+            if ctx.progress is not None:
+                ctx.progress.update(
+                    task_id, attempt, 0.33 * cursor / max(1, ctx.catalog.num_maps)
+                )
         elif ctx.catalog.maps_done:
             break
         else:
@@ -141,6 +150,7 @@ def run_reduce_task(
         # exceed the heap.
         stats.end_time = sim.now
         stats.failed = True
+        stats.failure_kind = "oom"
         stats.failure_reason = (
             f"OutOfMemory: retained {retained / MB:.0f} MB + user code "
             f"{profile.reduce_fixed_mem_bytes // MB} MB exceeds heap {heap // MB} MB"
@@ -161,6 +171,8 @@ def run_reduce_task(
             ],
         )
         stats.cpu_seconds += merge_cpu
+    if ctx.progress is not None:
+        ctx.progress.update(task_id, attempt, 0.66)
 
     # ------------------------------------------------------------------
     # Phase 3: the reduce function, streaming the final merge from disk.
@@ -173,16 +185,29 @@ def run_reduce_task(
         waits.append(node.disk_read(plan.final_read_bytes, label=f"{task_id}.final.rd"))
     yield AllOf(sim, waits)
     stats.cpu_seconds += cpu_work
+    if ctx.progress is not None:
+        ctx.progress.update(task_id, attempt, 0.90)
 
     # ------------------------------------------------------------------
-    # Phase 4: write the replicated output partition.
+    # Phase 4: write the partition to an attempt-scoped temporary path,
+    # then commit with an atomic rename (Hadoop's OutputCommitter).  A
+    # killed attempt leaves only temp files, which the app master sweeps;
+    # a speculative loser that finishes sees the winner's committed file
+    # and discards its own output.
     # ------------------------------------------------------------------
     output_bytes = ctx.dataflow.reduce_output_bytes(fetched_bytes)
     if output_bytes > 0:
-        path = f"{ctx.spec.output_path}/part-{reduce_index:05d}"
-        if ctx.hdfs.exists(path):
-            ctx.hdfs.delete(path)  # earlier failed attempt's partial output
-        yield ctx.hdfs.write_file(path, int(output_bytes), node)
+        final_path = f"{ctx.spec.output_path}/part-{reduce_index:05d}"
+        tmp_path = attempt_output_dir(ctx.spec.output_path, task_id, attempt) + (
+            f"/part-{reduce_index:05d}"
+        )
+        if ctx.hdfs.exists(tmp_path):
+            ctx.hdfs.delete(tmp_path)  # stale leftovers from this attempt
+        yield ctx.hdfs.write_file(tmp_path, int(output_bytes), node)
+        if ctx.hdfs.exists(final_path):
+            ctx.hdfs.delete(tmp_path)  # lost the commit race to a backup
+        else:
+            ctx.hdfs.rename(tmp_path, final_path)
 
     yield sim.timeout(tc.TASK_COMMIT_OVERHEAD)
 

@@ -44,9 +44,16 @@ class MapOutputCatalog:
     # -- producer side -----------------------------------------------------
     def register_map_output(
         self, map_index: int, node_id: int, partitions: np.ndarray
-    ) -> None:
+    ) -> bool:
+        """Publish a finished map's output; returns False for a duplicate.
+
+        With speculative execution two attempts of the same map can both
+        finish; the first registration wins and the loser's output is
+        ignored (reducers have already fetched, or will fetch, the
+        winner's segments).
+        """
         if map_index in self._outputs:
-            raise ValueError(f"map {map_index} registered twice")
+            return False
         if len(partitions) != self.num_reducers:
             raise ValueError(
                 f"partition vector has {len(partitions)} entries, "
@@ -57,6 +64,7 @@ class MapOutputCatalog:
         if len(self._outputs) >= self.num_maps:
             self.maps_done = True
         self._wake()
+        return True
 
     def mark_all_maps_done(self) -> None:
         """Called by the app master when no further map outputs will appear."""

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.topology import Cluster
 from repro.hdfs.filesystem import HdfsFileSystem
 from repro.mapreduce.dataflow import JobDataflow
 from repro.mapreduce.jobspec import JobSpec
 from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.monitor.statistics import ProgressBoard
 from repro.sim.engine import Simulator
 
 # Timing constants shared by both task types (seconds).
@@ -36,6 +38,8 @@ class TaskContext:
     spec: JobSpec
     dataflow: JobDataflow
     catalog: MapOutputCatalog
+    #: Live attempt-progress reporting (feeds speculative execution).
+    progress: Optional[ProgressBoard] = None
 
 
 def allocated_cores(node_cores_per_vcore: float, vcores: int) -> float:

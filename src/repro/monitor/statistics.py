@@ -39,6 +39,14 @@ class TaskStats:
     reduce_input_records: int = 0
     failed: bool = False
     failure_reason: str = ""
+    #: Classifies a failure for the tuner: ``"oom"`` is config-induced
+    #: (the sampled point is infeasible), while ``"preempted"``,
+    #: ``"node_lost"`` and ``"speculation"`` are environmental -- the
+    #: config is not to blame and is penalized more gently.
+    failure_kind: str = ""
+    #: True for backup attempts launched by speculative execution; their
+    #: stats bypass the tuner's wave accounting entirely.
+    speculative: bool = False
     #: Wave index assigned by the launch gate (aggressive tuning).
     wave: int = -1
 
@@ -74,6 +82,69 @@ class TaskStats:
         if denom <= 0:
             return 0.0 if self.spilled_records == 0 else 1.0
         return self.spilled_records / denom
+
+
+@dataclass
+class AttemptProgress:
+    """A running attempt's live progress (feeds LATE-style speculation)."""
+
+    task_id: TaskId
+    task_type: TaskType
+    attempt: int
+    node_id: int
+    start_time: float
+    fraction: float = 0.0  # 0..1, updated at phase boundaries
+
+    def progress_rate(self, now: float) -> float:
+        """Progress per second since launch (LATE's scoring metric)."""
+        elapsed = now - self.start_time
+        if elapsed <= 0:
+            return float("inf")
+        return self.fraction / elapsed
+
+    def estimated_remaining(self, now: float) -> float:
+        """Time left at the observed rate; infinite while rate is ~zero."""
+        rate = self.progress_rate(now)
+        if rate <= 1e-12:
+            return float("inf")
+        return (1.0 - self.fraction) / rate
+
+
+class ProgressBoard:
+    """Tracks per-attempt progress fractions for one job.
+
+    Task models report coarse fractions at phase boundaries (read, sort,
+    shuffle, merge, reduce); the app master's speculator reads the board
+    to find stragglers.  This mirrors what Hadoop's AM learns from task
+    heartbeats, not an omniscient view.
+    """
+
+    def __init__(self) -> None:
+        self._running: Dict[tuple, AttemptProgress] = {}
+
+    def start(self, task_id: TaskId, attempt: int, task_type: TaskType,
+              node_id: int, now: float) -> None:
+        key = (str(task_id), attempt)
+        self._running[key] = AttemptProgress(
+            task_id=task_id, task_type=task_type, attempt=attempt,
+            node_id=node_id, start_time=now,
+        )
+
+    def update(self, task_id: TaskId, attempt: int, fraction: float) -> None:
+        entry = self._running.get((str(task_id), attempt))
+        if entry is not None:
+            entry.fraction = max(entry.fraction, min(1.0, fraction))
+
+    def finish(self, task_id: TaskId, attempt: int) -> None:
+        self._running.pop((str(task_id), attempt), None)
+
+    def running(self) -> List[AttemptProgress]:
+        """All live attempts, in deterministic (task, attempt) order."""
+        return [self._running[k] for k in sorted(self._running)]
+
+    def attempts_of(self, task_id: TaskId) -> List[AttemptProgress]:
+        tid = str(task_id)
+        return [p for (t, _a), p in sorted(self._running.items()) if t == tid]
 
 
 @dataclass

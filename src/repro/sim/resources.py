@@ -166,6 +166,37 @@ class FlowScheduler:
     def active_flows(self) -> int:
         return len(self._flows)
 
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Change *link*'s capacity mid-flight (degraded / recovered hardware).
+
+        In-flight flows keep the progress they made at the old rates; the
+        allocation is recomputed from the new capacity.
+        """
+        if capacity <= 0:
+            raise SimulationError(
+                f"link {link.name!r} needs positive capacity, got {capacity}"
+            )
+        self._advance()
+        link.capacity = float(capacity)
+        self._reschedule()
+
+    def cancel_prefix(self, prefix: str) -> int:
+        """Drop every flow whose label starts with *prefix*.
+
+        The cancelled flows' completion events never fire -- callers are
+        expected to be interrupted out of their waits separately.  Returns
+        the number of flows dropped.
+        """
+        if not prefix:
+            return 0
+        self._advance()
+        dropped = [f for f in self._flows if f.label.startswith(prefix)]
+        if not dropped:
+            return 0
+        self._flows = [f for f in self._flows if not f.label.startswith(prefix)]
+        self._reschedule()
+        return len(dropped)
+
     def utilization(self, link: Link) -> float:
         """Fraction of *link* capacity currently allocated."""
         self._advance_rates_only()
@@ -257,6 +288,18 @@ class Semaphore:
         if self.in_use < 0:
             raise SimulationError(f"semaphore {self.name!r} over-released")
         self._drain()
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a not-yet-granted acquire; returns False if granted.
+
+        A granted acquire (even one whose event has not fired yet) holds
+        permits: the caller must :meth:`release` those instead.
+        """
+        for i, (_count, ev) in enumerate(self._waiters):
+            if ev is event:
+                del self._waiters[i]
+                return True
+        return False
 
     def _drain(self) -> None:
         while self._waiters:

@@ -1,0 +1,17 @@
+"""Assertion helpers shared by the test suites and benchmarks."""
+
+from __future__ import annotations
+
+from repro.hdfs.filesystem import HdfsFileSystem
+
+
+def assert_no_output_leaks(hdfs: HdfsFileSystem) -> None:
+    """Assert every attempt-temporary HDFS file was committed or deleted.
+
+    Reduce attempts write under ``{output}/_temporary/{task}_att{n}/``
+    and either rename into place (the winner) or are swept by the app
+    master (failed, killed, and superseded attempts).  Anything still
+    under a ``_temporary`` directory after a job is a cleanup leak.
+    """
+    stale = [path for path in hdfs.list_files() if "/_temporary/" in path]
+    assert not stale, f"leaked attempt-temporary HDFS files: {stale}"

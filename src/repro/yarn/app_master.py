@@ -14,15 +14,24 @@ Two seams let MRONLINE plug in without the AM knowing about tuning:
   gate admits immediately (conservative tuning "does not interrupt the
   application task scheduling sequence"); the :class:`WaveGate`
   implements aggressive tuning's hold-the-next-wave behaviour.
+
+Fault tolerance mirrors Hadoop's MRAppMaster: attempts lost to a dead
+node or a preemption are re-executed (with their own retry budget,
+separate from the config-failure ladder that ends at the safe fallback
+configuration), nodes that repeatedly kill attempts are blacklisted for
+the application, and -- when enabled -- a LATE-style speculator launches
+backup attempts for stragglers; the first finisher wins and the loser is
+killed and its partial output swept.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Protocol
+from typing import Callable, Dict, Generator, List, Optional, Protocol, Set, Tuple
 
 import numpy as np
 
+from repro.cluster.container import Container, ContainerState
 from repro.cluster.topology import Cluster
 from repro.core import parameters as P
 from repro.core.configuration import Configuration, enforce_dependencies
@@ -31,14 +40,14 @@ from repro.mapreduce.counters import Counter, Counters
 from repro.mapreduce.dataflow import JobDataflow
 from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType
 from repro.mapreduce.map_task import run_map_task
-from repro.mapreduce.reduce_task import run_reduce_task
+from repro.mapreduce.reduce_task import attempt_output_dir, run_reduce_task
 from repro.mapreduce.shuffle import MapOutputCatalog
 from repro.mapreduce.task_context import TaskContext
-from repro.monitor.statistics import TaskStats
+from repro.monitor.statistics import ProgressBoard, TaskStats
 from repro.sim.engine import Simulator
-from repro.sim.events import Event
+from repro.sim.events import Event, Interrupt, Process
 from repro.sim.resources import Semaphore
-from repro.yarn.node_manager import NodeManager
+from repro.yarn.node_manager import KillReason, NodeManager
 from repro.yarn.records import ContainerRequest, Priority, Resource
 from repro.yarn.resource_manager import ResourceManager
 
@@ -46,6 +55,40 @@ MAX_TASK_ATTEMPTS = 2
 #: Fraction of cluster memory reduce containers may occupy while maps
 #: are still pending (MRAppMaster's reduce ramp-up limit).
 REDUCE_RAMPUP_LIMIT = 0.5
+
+#: Failure kinds the environment (not the configuration) is to blame
+#: for; they consume the re-execution budget, never the config ladder.
+ENVIRONMENTAL_KINDS = frozenset({"preempted", "node_lost", "speculation"})
+
+
+@dataclass(frozen=True)
+class SpeculationSettings:
+    """LATE-style speculative execution knobs."""
+
+    #: How often the speculator scans the progress board.
+    interval: float = 15.0
+    #: An attempt is a straggler candidate once it has been running
+    #: longer than this multiple of the mean completed-task duration.
+    slowness_factor: float = 1.5
+    #: Completed tasks (per type) needed before estimates are trusted.
+    min_completed: int = 1
+    #: Cluster-wide cap on concurrently running backup attempts.
+    max_concurrent: int = 4
+
+
+@dataclass(frozen=True)
+class FaultToleranceSettings:
+    """Retry, blacklist, and speculation policy for one job."""
+
+    #: Config-failure ladder: tuned/task config, then the safe fallback.
+    max_attempts: int = MAX_TASK_ATTEMPTS
+    #: Re-executions after kills (preemption, node loss) per task.
+    max_env_retries: int = 4
+    #: Environmental failures on one node before it is blacklisted.
+    blacklist_threshold: int = 3
+    #: None disables speculative execution (the default: a fault-free
+    #: run must stay bit-identical to earlier versions of itself).
+    speculation: Optional[SpeculationSettings] = None
 
 
 class ConfigProvider(Protocol):
@@ -71,6 +114,9 @@ class LaunchGate:
 
     def task_completed(self, task_type: TaskType) -> None:
         pass
+
+    def retract(self, task_type: TaskType, admit_event: Event) -> None:
+        """Undo an admission whose attempt was killed before launch."""
 
 
 @dataclass
@@ -122,8 +168,20 @@ class WaveGate(LaunchGate):
                 st.outstanding += 1
                 ev.succeed(st.wave)
 
+    def retract(self, task_type: TaskType, admit_event: Event) -> None:
+        st = self._states[task_type]
+        if admit_event in st.queue:
+            st.queue.remove(admit_event)
+            return
+        # Already admitted (the event fired, or is about to): the wave
+        # slot it occupies must be released like a completed task.
+        self.task_completed(task_type)
+
     def current_wave(self, task_type: TaskType) -> int:
         return self._states[task_type].wave
+
+    def outstanding(self, task_type: TaskType) -> int:
+        return self._states[task_type].outstanding
 
 
 @dataclass
@@ -136,6 +194,11 @@ class JobResult:
     end_time: float
     counters: Counters
     task_stats: List[TaskStats]
+    #: Failed/killed attempt counts keyed by failure kind (``"oom"``,
+    #: ``"preempted"``, ``"node_lost"``, ``"speculation"``) -- empty for
+    #: a clean run.  A job can succeed with a non-empty map (attempts
+    #: were lost but re-execution recovered them).
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -143,6 +206,76 @@ class JobResult:
 
     def stats_of(self, task_type: TaskType) -> List[TaskStats]:
         return [s for s in self.task_stats if s.task_type is task_type]
+
+    def failure_summary(self) -> str:
+        """Human-readable aggregation, e.g. ``"oom x3, node_lost x1"``."""
+        if not self.failure_reasons:
+            return ""
+        return ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(self.failure_reasons.items())
+        )
+
+
+class _Attempt:
+    """One container-level execution attempt of a task."""
+
+    __slots__ = (
+        "number", "speculative", "tier", "wave", "config",
+        "container", "process", "runner", "avoid_nodes", "settled",
+    )
+
+    def __init__(
+        self,
+        number: int,
+        speculative: bool,
+        tier: int,
+        config: Optional[Configuration] = None,
+        avoid_nodes: Tuple[int, ...] = (),
+    ) -> None:
+        self.number = number
+        self.speculative = speculative
+        #: 1 = the task's assigned configuration, 2 = the safe fallback.
+        self.tier = tier
+        self.wave = -1
+        self.config = config
+        self.container: Optional[Container] = None
+        self.process: Optional[Process] = None
+        self.runner: Optional[Process] = None
+        self.avoid_nodes = avoid_nodes
+        self.settled = False
+
+
+class _TaskRun:
+    """Tracker for one logical task across all of its attempts."""
+
+    __slots__ = (
+        "task_id", "task_type", "index", "attempt_counter", "running",
+        "winner", "last_failure", "config_failures", "env_failures",
+        "permanent", "done", "tier1_config", "inbox", "waiter",
+    )
+
+    def __init__(self, task_id: TaskId, task_type: TaskType, index: int) -> None:
+        self.task_id = task_id
+        self.task_type = task_type
+        self.index = index
+        self.attempt_counter = 0
+        self.running: List[_Attempt] = []
+        self.winner: Optional[TaskStats] = None
+        self.last_failure: Optional[TaskStats] = None
+        self.config_failures = 0
+        self.env_failures = 0
+        self.permanent = False
+        self.done = False
+        #: The provider-assigned configuration, resolved once; environmental
+        #: retries re-evaluate it rather than popping a fresh one.
+        self.tier1_config: Optional[Configuration] = None
+        self.inbox: List[Tuple[_Attempt, TaskStats]] = []
+        self.waiter: Optional[Event] = None
+
+
+def _reraise_runner_failure(ev: Event) -> None:
+    if ev.exception is not None:
+        raise ev.exception
 
 
 class MRAppMaster:
@@ -160,6 +293,7 @@ class MRAppMaster:
         gate: Optional[LaunchGate] = None,
         rng: Optional[np.random.Generator] = None,
         app_weight: float = 1.0,
+        fault_tolerance: Optional[FaultToleranceSettings] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -170,13 +304,18 @@ class MRAppMaster:
         self.provider: ConfigProvider = config_provider or BaseConfigProvider()
         self.gate = gate or LaunchGate()
         self.app_weight = app_weight
+        self.ft = fault_tolerance or FaultToleranceSettings()
 
         input_file = hdfs.get(spec.input_path)
         self.dataflow = JobDataflow(spec, input_file, rng=rng)
         self.catalog = MapOutputCatalog(
             sim, self.dataflow.num_maps, self.dataflow.num_reducers
         )
-        self.ctx = TaskContext(sim, cluster, hdfs, spec, self.dataflow, self.catalog)
+        self.progress = ProgressBoard()
+        self.ctx = TaskContext(
+            sim, cluster, hdfs, spec, self.dataflow, self.catalog,
+            progress=self.progress,
+        )
         self._input_file = input_file
 
         self.completion: Event = sim.event()
@@ -185,6 +324,7 @@ class MRAppMaster:
         self.stats_listeners: List[Callable[[TaskStats], None]] = []
 
         self._start_time: float = 0.0
+        self._runs: Dict[str, _TaskRun] = {}
         self._completed_maps = 0
         self._map_lifecycles_done = 0
         self._completed_reduces = 0
@@ -194,6 +334,14 @@ class MRAppMaster:
         self._reduce_mem_outstanding = 0
         self._headroom_waiters: List[Event] = []
         self._started = False
+        #: Per-node environmental failure counts and the resulting
+        #: application-level blacklist (Hadoop's AM blacklisting).
+        self._node_failures: Dict[int, int] = {}
+        self._blacklisted_nodes: Set[int] = set()
+        #: Mean-duration inputs for the speculator, per task type.
+        self._completed_durations: Dict[TaskType, List[float]] = {
+            TaskType.MAP: [], TaskType.REDUCE: [],
+        }
         # Keep at most ~half a wave of container requests outstanding per
         # task type.  Configurations are resolved at request time, so a
         # bounded pipeline is what makes category-2 parameters (container
@@ -218,17 +366,33 @@ class MRAppMaster:
         self._start_time = self.sim.now
         self.rm.register_app(self.spec.job_id, weight=self.app_weight)
         for index in range(self.dataflow.num_maps):
+            run = self._make_run(TaskType.MAP, index)
             self.sim.process(
-                self._map_lifecycle(index), name=f"{self.spec.job_id}-m{index}"
+                self._task_lifecycle(run), name=f"{self.spec.job_id}-m{index}"
             )
         if self._slowstart_threshold() == 0:
             self._start_reduces()
+        if self.ft.speculation is not None:
+            self.sim.process(
+                self._speculator_loop(self.ft.speculation),
+                name=f"{self.spec.job_id}-speculator",
+            )
         return self.completion
 
     def _slowstart_threshold(self) -> int:
         import math
 
         return math.ceil(self.spec.slowstart * self.dataflow.num_maps)
+
+    def _make_run(self, task_type: TaskType, index: int) -> _TaskRun:
+        task_id = (
+            self.spec.map_task_id(index)
+            if task_type is TaskType.MAP
+            else self.spec.reduce_task_id(index)
+        )
+        run = _TaskRun(task_id, task_type, index)
+        self._runs[str(task_id)] = run
+        return run
 
     # ------------------------------------------------------------------
     # Task configuration
@@ -252,65 +416,349 @@ class MRAppMaster:
         return refresh(self.spec, task_id, requested)
 
     def _fallback_config(self, task_id: TaskId) -> Configuration:
-        """Second attempts run the job's base configuration, clamped."""
+        """Escalation target: the job's base configuration, clamped."""
         return enforce_dependencies(self.spec.base_config)
 
+    def _resolve_config(self, run: _TaskRun, attempt: _Attempt) -> Configuration:
+        if attempt.config is not None:
+            # Speculative backups reuse the primary's exact configuration
+            # (consulting the provider again would pop a fresh sample).
+            return attempt.config
+        if attempt.tier >= 2:
+            return self._fallback_config(run.task_id)
+        if run.tier1_config is None:
+            run.tier1_config = self._task_config(run.task_id)
+        return run.tier1_config
+
     # ------------------------------------------------------------------
-    # Map tasks
+    # Attempt execution
     # ------------------------------------------------------------------
-    def _map_lifecycle(self, index: int) -> Generator[Event, object, None]:
-        task_id = self.spec.map_task_id(index)
-        block = self._input_file.blocks[index]
+    def _spawn_attempt(
+        self,
+        run: _TaskRun,
+        speculative: bool = False,
+        tier: int = 1,
+        config: Optional[Configuration] = None,
+        avoid_nodes: Tuple[int, ...] = (),
+    ) -> _Attempt:
+        run.attempt_counter += 1
+        attempt = _Attempt(
+            run.attempt_counter, speculative, tier,
+            config=config, avoid_nodes=avoid_nodes,
+        )
+        run.running.append(attempt)
+        attempt.runner = self.sim.process(
+            self._attempt_runner(run, attempt),
+            name=f"{run.task_id}-a{attempt.number}",
+        )
+        # Nothing yields on runner processes, so a bug in the rollback
+        # path would otherwise vanish silently and hang the job: the
+        # attempt never settles and the lifecycle waits forever.  Crash
+        # the simulation loudly instead.
+        attempt.runner.add_callback(_reraise_runner_failure)
+        return attempt
+
+    def _blacklist_for(self, attempt: _Attempt) -> Tuple[int, ...]:
+        blocked = set(self._blacklisted_nodes) | set(attempt.avoid_nodes)
+        return tuple(sorted(blocked))
+
+    def _attempt_runner(
+        self, run: _TaskRun, attempt: _Attempt
+    ) -> Generator[Event, object, None]:
+        ttype = run.task_type
+        task_id = run.task_id
+        gated = not attempt.speculative
+        admit_ev: Optional[Event] = None
+        admitted = False
+        tok_ev: Optional[Event] = None
+        token_held = False
+        grant_ev: Optional[Event] = None
+        request: Optional[ContainerRequest] = None
+        mem_counted = 0
+        launched = False
         stats: Optional[TaskStats] = None
-        for attempt in range(1, MAX_TASK_ATTEMPTS + 1):
-            wave = yield self.gate.admit(TaskType.MAP, self.sim)
-            yield self._request_tokens[TaskType.MAP].acquire()
-            config = (
-                self._task_config(task_id)
-                if attempt == 1
-                else self._fallback_config(task_id)
-            )
-            resource = Resource.of_mb(
-                int(config[P.MAP_MEMORY_MB]), int(config[P.MAP_CPU_VCORES])
-            )
+        try:
+            if gated:
+                admit_ev = self.gate.admit(ttype, self.sim)
+                attempt.wave = yield admit_ev
+                admitted = True
+                tok_ev = self._request_tokens[ttype].acquire()
+                yield tok_ev
+                token_held = True
+            config = self._resolve_config(run, attempt)
+            attempt.config = config
+            if ttype is TaskType.MAP:
+                resource = Resource.of_mb(
+                    int(config[P.MAP_MEMORY_MB]), int(config[P.MAP_CPU_VCORES])
+                )
+                preferred = tuple(
+                    loc.node_id for loc in self._input_file.blocks[run.index].locations
+                )
+                priority = Priority.MAP
+            else:
+                resource = Resource.of_mb(
+                    int(config[P.REDUCE_MEMORY_MB]), int(config[P.REDUCE_CPU_VCORES])
+                )
+                preferred = ()
+                priority = Priority.REDUCE
+                yield from self._await_reduce_headroom(resource.memory_bytes)
+                mem_counted = resource.memory_bytes
             request = ContainerRequest(
                 app_id=self.spec.job_id,
                 resource=resource,
-                priority=Priority.MAP,
-                preferred_nodes=tuple(loc.node_id for loc in block.locations),
+                priority=priority,
+                preferred_nodes=preferred,
+                blacklisted_nodes=self._blacklist_for(attempt),
                 tag=task_id,
             )
-            container = yield self.rm.allocate(request)
-            self._request_tokens[TaskType.MAP].release()
-            config = self._launch_config(task_id, config)
+            grant_ev = self.rm.allocate(request)
+            container = yield grant_ev
+            attempt.container = container
+            if token_held:
+                self._request_tokens[ttype].release()
+                token_held = False
+                tok_ev = None  # consumed; cleanup must not release again
+            if gated:
+                config = self._launch_config(task_id, config)
+                attempt.config = config
             nm = self.node_managers[container.node.node_id]
-            proc = nm.launch(
-                container,
-                run_map_task(self.ctx, index, block, container, config, attempt, wave),
-            )
-            stats = yield proc
-            self.rm.release_container(container)
-            self._record(stats)
-            self.gate.task_completed(TaskType.MAP)
-            self._poke_headroom()
-            if not stats.failed:
-                break
+            if nm.decommissioned or self.rm.is_node_lost(container.node.node_id):
+                # The node died while the grant was in flight.
+                stats = self._synthesize_failure(
+                    run, attempt, "node_lost",
+                    f"{container.node.hostname} lost before launch",
+                )
+            else:
+                if ttype is TaskType.MAP:
+                    task_gen = run_map_task(
+                        self.ctx, run.index, self._input_file.blocks[run.index],
+                        container, config, attempt.number, attempt.wave,
+                    )
+                else:
+                    task_gen = run_reduce_task(
+                        self.ctx, run.index, container, config,
+                        attempt.number, attempt.wave,
+                    )
+                proc = nm.launch(container, task_gen)
+                attempt.process = proc
+                launched = True
+                self.progress.start(
+                    task_id, attempt.number, ttype, container.node.node_id, self.sim.now
+                )
+                stats = yield proc
+        except Interrupt as interrupt:
+            cause = interrupt.cause
+            kind = getattr(cause, "kind", "") or "preempted"
+            detail = getattr(cause, "detail", "") or str(cause)
+            # Stage-aware rollback of everything the attempt held.
+            if gated and admit_ev is not None and not admitted:
+                # Granted-but-undelivered admissions occupy a wave slot;
+                # queued ones are simply removed.
+                if admit_ev.scheduled or admit_ev.triggered:
+                    admitted = True
+                else:
+                    self.gate.retract(ttype, admit_ev)
+            if token_held:
+                self._request_tokens[ttype].release()
+                token_held = False
+            elif tok_ev is not None and not token_held:
+                if not self._request_tokens[ttype].cancel(tok_ev):
+                    if tok_ev.scheduled or tok_ev.triggered:
+                        self._request_tokens[ttype].release()
+            if attempt.container is None and grant_ev is not None:
+                if grant_ev.scheduled or grant_ev.triggered:
+                    attempt.container = grant_ev.value  # granted, undelivered
+                elif request is not None:
+                    self.rm.cancel(request)
+            stats = self._synthesize_failure(run, attempt, kind, detail)
+
         assert stats is not None
-        self._map_lifecycles_done += 1
-        if stats.failed:
-            self._permanent_failures += 1
-            # Reducers must not wait forever for this map's output.
-            self.catalog.mark_all_maps_done()
-        else:
-            self._completed_maps += 1
-        if not self._reduces_started and (
-            self._completed_maps >= self._slowstart_threshold()
-            # Every map lifecycle has ended (some permanently failed):
-            # slowstart can never be met, so let the reducers drain what
-            # exists rather than deadlocking the job.
-            or self._map_lifecycles_done >= self.dataflow.num_maps
+        if attempt.container is not None and attempt.container.state is not (
+            ContainerState.RELEASED
         ):
-            self._start_reduces()
+            self.rm.release_container(attempt.container)
+        if mem_counted:
+            self._reduce_mem_outstanding -= mem_counted
+        if launched:
+            self.progress.finish(task_id, attempt.number)
+        if not stats.failed and run.winner is not None:
+            # Photo-finish: another attempt committed first this instant.
+            stats.failed = True
+            stats.failure_kind = "speculation"
+            stats.failure_reason = "superseded by a faster attempt"
+        if attempt.speculative:
+            stats.speculative = True
+        if not stats.failed:
+            run.winner = stats
+            self._completed_durations[ttype].append(stats.duration)
+            self._kill_losers(run, attempt)
+        else:
+            self._cleanup_attempt_output(run, attempt)
+            self._note_attempt_failure(stats)
+        self._record(stats)
+        if gated and admitted:
+            self.gate.task_completed(ttype)
+        self._poke_headroom()
+        attempt.settled = True
+        if attempt in run.running:
+            run.running.remove(attempt)
+        run.inbox.append((attempt, stats))
+        if run.waiter is not None and not run.waiter.triggered:
+            waiter, run.waiter = run.waiter, None
+            waiter.succeed()
+
+    def _synthesize_failure(
+        self, run: _TaskRun, attempt: _Attempt, kind: str, detail: str
+    ) -> TaskStats:
+        """Stats for an attempt that never got to report its own."""
+        node_id = attempt.container.node.node_id if attempt.container else -1
+        config = attempt.config.as_dict() if attempt.config is not None else {}
+        now = self.sim.now
+        entry = None
+        for p in self.progress.attempts_of(run.task_id):
+            if p.attempt == attempt.number:
+                entry = p
+                break
+        start = entry.start_time if entry is not None else now
+        return TaskStats(
+            task_id=run.task_id,
+            task_type=run.task_type,
+            node_id=node_id,
+            attempt=attempt.number,
+            config=config,
+            start_time=start,
+            end_time=now,
+            cpu_seconds=0.0,
+            allocated_cores=0.0,
+            working_set_bytes=0.0,
+            container_memory_bytes=(
+                attempt.container.memory_bytes if attempt.container else 0.0
+            ),
+            failed=True,
+            failure_reason=detail,
+            failure_kind=kind,
+            speculative=attempt.speculative,
+            wave=attempt.wave,
+        )
+
+    def _kill_attempt(self, attempt: _Attempt, reason: KillReason) -> None:
+        if attempt.settled:
+            return
+        if attempt.process is not None:
+            if not attempt.process.triggered and attempt.container is not None:
+                nm = self.node_managers[attempt.container.node.node_id]
+                nm.kill_container(attempt.container, reason)
+        elif attempt.runner is not None and not attempt.runner.triggered:
+            attempt.runner.interrupt(reason)
+
+    def _kill_losers(self, run: _TaskRun, winner: _Attempt) -> None:
+        for other in list(run.running):
+            if other is winner or other.settled:
+                continue
+            self._kill_attempt(
+                other,
+                KillReason(
+                    "speculation",
+                    f"attempt {winner.number} of {run.task_id} finished first",
+                ),
+            )
+
+    def _cleanup_attempt_output(self, run: _TaskRun, attempt: _Attempt) -> None:
+        """Sweep a failed/killed attempt's partial HDFS output."""
+        if run.task_type is TaskType.REDUCE:
+            self.hdfs.delete_prefix(
+                attempt_output_dir(self.spec.output_path, run.task_id, attempt.number)
+            )
+
+    def _note_attempt_failure(self, stats: TaskStats) -> None:
+        """Count environmental failures per node; blacklist repeat offenders.
+
+        Config-induced OOMs are the configuration's fault, not the
+        node's, so they never contribute (and fault-free tuning runs stay
+        byte-identical to pre-blacklist behaviour).
+        """
+        if stats.failure_kind not in ("preempted", "node_lost"):
+            return
+        if stats.node_id < 0:
+            return
+        count = self._node_failures.get(stats.node_id, 0) + 1
+        self._node_failures[stats.node_id] = count
+        if count >= self.ft.blacklist_threshold:
+            self._blacklisted_nodes.add(stats.node_id)
+
+    @property
+    def blacklisted_nodes(self) -> Set[int]:
+        return set(self._blacklisted_nodes)
+
+    # ------------------------------------------------------------------
+    # Task lifecycles (retry arbitration)
+    # ------------------------------------------------------------------
+    def _task_lifecycle(self, run: _TaskRun) -> Generator[Event, object, None]:
+        self._spawn_attempt(run, speculative=False)
+        while True:
+            while not run.inbox:
+                ev = self.sim.event()
+                run.waiter = ev
+                yield ev
+            attempt, stats = run.inbox.pop(0)
+            if stats.failed and run.winner is None and not run.permanent:
+                self._handle_failure(run, attempt, stats)
+            if (run.winner is not None or run.permanent) and not run.running:
+                break
+        run.done = True
+        self._finalize_run(run)
+
+    def _handle_failure(
+        self, run: _TaskRun, attempt: _Attempt, stats: TaskStats
+    ) -> None:
+        run.last_failure = stats
+        if attempt.speculative:
+            # A lost backup never triggers retries; the primary's fate
+            # decides the task.  (If the primary is also gone, its own
+            # settlement drives the policy below.)
+            return
+        if stats.failure_kind in ENVIRONMENTAL_KINDS:
+            run.env_failures += 1
+            if run.env_failures > self.ft.max_env_retries:
+                run.permanent = True
+                return
+            # Re-execute.  Repeated environmental losses escalate to the
+            # safe fallback configuration as a precaution.
+            tier = attempt.tier if run.env_failures < 2 else max(attempt.tier, 2)
+            config = attempt.config if tier == attempt.tier else None
+            self._spawn_attempt(run, tier=tier, config=config)
+        else:
+            # Config-induced (OOM): climb the attempt ladder toward the
+            # safe fallback; exhausting it fails the task permanently.
+            run.config_failures += 1
+            if run.config_failures >= self.ft.max_attempts:
+                run.permanent = True
+                return
+            self._spawn_attempt(run, tier=attempt.tier + 1)
+
+    def _finalize_run(self, run: _TaskRun) -> None:
+        failed = run.winner is None
+        if run.task_type is TaskType.MAP:
+            self._map_lifecycles_done += 1
+            if failed:
+                self._permanent_failures += 1
+                # Reducers must not wait forever for this map's output.
+                self.catalog.mark_all_maps_done()
+            else:
+                self._completed_maps += 1
+            if not self._reduces_started and (
+                self._completed_maps >= self._slowstart_threshold()
+                # Every map lifecycle has ended (some permanently failed):
+                # slowstart can never be met, so let the reducers drain
+                # what exists rather than deadlocking the job.
+                or self._map_lifecycles_done >= self.dataflow.num_maps
+            ):
+                self._start_reduces()
+        else:
+            if failed:
+                self._permanent_failures += 1
+            else:
+                self._completed_reduces += 1
         self._lifecycle_finished()
 
     # ------------------------------------------------------------------
@@ -321,53 +769,10 @@ class MRAppMaster:
             return
         self._reduces_started = True
         for index in range(self.dataflow.num_reducers):
+            run = self._make_run(TaskType.REDUCE, index)
             self.sim.process(
-                self._reduce_lifecycle(index), name=f"{self.spec.job_id}-r{index}"
+                self._task_lifecycle(run), name=f"{self.spec.job_id}-r{index}"
             )
-
-    def _reduce_lifecycle(self, index: int) -> Generator[Event, object, None]:
-        task_id = self.spec.reduce_task_id(index)
-        stats: Optional[TaskStats] = None
-        for attempt in range(1, MAX_TASK_ATTEMPTS + 1):
-            wave = yield self.gate.admit(TaskType.REDUCE, self.sim)
-            yield self._request_tokens[TaskType.REDUCE].acquire()
-            config = (
-                self._task_config(task_id)
-                if attempt == 1
-                else self._fallback_config(task_id)
-            )
-            resource = Resource.of_mb(
-                int(config[P.REDUCE_MEMORY_MB]), int(config[P.REDUCE_CPU_VCORES])
-            )
-            yield from self._await_reduce_headroom(resource.memory_bytes)
-            request = ContainerRequest(
-                app_id=self.spec.job_id,
-                resource=resource,
-                priority=Priority.REDUCE,
-                tag=task_id,
-            )
-            container = yield self.rm.allocate(request)
-            self._request_tokens[TaskType.REDUCE].release()
-            config = self._launch_config(task_id, config)
-            nm = self.node_managers[container.node.node_id]
-            proc = nm.launch(
-                container,
-                run_reduce_task(self.ctx, index, container, config, attempt, wave),
-            )
-            stats = yield proc
-            self.rm.release_container(container)
-            self._reduce_mem_outstanding -= resource.memory_bytes
-            self._record(stats)
-            self.gate.task_completed(TaskType.REDUCE)
-            self._poke_headroom()
-            if not stats.failed:
-                break
-        assert stats is not None
-        if stats.failed:
-            self._permanent_failures += 1
-        else:
-            self._completed_reduces += 1
-        self._lifecycle_finished()
 
     def _await_reduce_headroom(
         self, memory_bytes: int
@@ -392,13 +797,83 @@ class MRAppMaster:
             ev.succeed()
 
     # ------------------------------------------------------------------
+    # Speculative execution (LATE-style)
+    # ------------------------------------------------------------------
+    def _speculator_loop(
+        self, settings: SpeculationSettings
+    ) -> Generator[Event, object, None]:
+        while not self.completion.triggered:
+            yield self.sim.timeout(settings.interval)
+            if self.completion.triggered:
+                return
+            self._speculate_once(settings)
+
+    def _speculate_once(self, settings: SpeculationSettings) -> None:
+        now = self.sim.now
+        backups_running = sum(
+            1
+            for run in self._runs.values()
+            for a in run.running
+            if a.speculative and not a.settled
+        )
+        budget = settings.max_concurrent - backups_running
+        if budget <= 0:
+            return
+        candidates: List[Tuple[float, str, _TaskRun, _Attempt]] = []
+        for key in sorted(self._runs):
+            run = self._runs[key]
+            if run.done or run.winner is not None or run.permanent:
+                continue
+            if len(run.running) != 1:
+                continue  # at most one backup, and only for lone attempts
+            primary = run.running[0]
+            if primary.speculative or primary.process is None or primary.settled:
+                continue
+            durations = self._completed_durations[run.task_type]
+            if len(durations) < settings.min_completed:
+                continue
+            mean_duration = sum(durations) / len(durations)
+            entry = None
+            for p in self.progress.attempts_of(run.task_id):
+                if p.attempt == primary.number:
+                    entry = p
+                    break
+            if entry is None:
+                continue
+            elapsed = now - entry.start_time
+            if elapsed < settings.slowness_factor * mean_duration:
+                continue
+            remaining = entry.estimated_remaining(now)
+            # Only worth a backup if the straggler's estimated finish is
+            # beyond what a fresh attempt would need.
+            if remaining < 0.5 * mean_duration:
+                continue
+            rank = remaining if remaining != float("inf") else 1e18
+            candidates.append((rank, key, run, primary))
+        # LATE: back up the attempts with the longest estimated remaining
+        # time first.
+        candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+        for _rank, _key, run, primary in candidates[:budget]:
+            avoid = ()
+            if primary.container is not None:
+                avoid = (primary.container.node.node_id,)
+            self.counters.increment(Counter.SPECULATIVE_TASK_ATTEMPTS)
+            self._spawn_attempt(
+                run, speculative=True, tier=primary.tier,
+                config=primary.config, avoid_nodes=avoid,
+            )
+
+    # ------------------------------------------------------------------
     # Completion bookkeeping
     # ------------------------------------------------------------------
     def _record(self, stats: TaskStats) -> None:
         self.task_stats.append(stats)
         c = self.counters
         if stats.failed:
-            c.increment(Counter.FAILED_TASK_ATTEMPTS)
+            if stats.failure_kind in ENVIRONMENTAL_KINDS:
+                c.increment(Counter.KILLED_TASK_ATTEMPTS)
+            else:
+                c.increment(Counter.FAILED_TASK_ATTEMPTS)
         else:
             if stats.task_type is TaskType.MAP:
                 c.increment(Counter.MAP_OUTPUT_RECORDS, stats.map_output_records)
@@ -417,6 +892,11 @@ class MRAppMaster:
         total = self.dataflow.num_maps + self.dataflow.num_reducers
         if self._lifecycles_done >= total:
             self.rm.unregister_app(self.spec.job_id)
+            reasons: Dict[str, int] = {}
+            for s in self.task_stats:
+                if s.failed:
+                    kind = s.failure_kind or "failed"
+                    reasons[kind] = reasons.get(kind, 0) + 1
             result = JobResult(
                 job_id=self.spec.job_id,
                 succeeded=self._permanent_failures == 0,
@@ -424,5 +904,6 @@ class MRAppMaster:
                 end_time=self.sim.now,
                 counters=self.counters,
                 task_stats=self.task_stats,
+                failure_reasons=reasons,
             )
             self.completion.succeed(result)

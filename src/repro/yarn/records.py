@@ -51,6 +51,10 @@ class ContainerRequest:
     resource: Resource
     priority: int = Priority.MAP
     preferred_nodes: Tuple[int, ...] = ()
+    #: Nodes the application refuses (Hadoop-style per-app blacklist and
+    #: speculation's "not where the original attempt runs").  Ignored when
+    #: honouring it would leave no usable node at all.
+    blacklisted_nodes: Tuple[int, ...] = ()
     tag: Optional[object] = None  # typically a TaskId
     request_id: int = field(default_factory=lambda: next(_request_ids))
 

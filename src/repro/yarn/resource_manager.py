@@ -9,18 +9,27 @@ heartbeat latency so allocation never reenters the caller.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Generator, List, Sequence
 
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.topology import Cluster
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event
+from repro.yarn.node_manager import KillReason, NodeManager
 from repro.yarn.records import ContainerRequest
 from repro.yarn.scheduler import SchedulerBase
 
 #: Allocation heartbeat latency (NM heartbeats are 1 s in YARN; grants
 #: land on the next beat on average).
 ALLOCATION_LATENCY = 0.5
+
+#: A node whose last heartbeat is older than this is declared lost
+#: (Hadoop's ``nm.liveness-monitor.expiry-interval`` scaled down to the
+#: simulator's heartbeat cadence).
+LIVENESS_EXPIRY = 12.0
+
+#: How often the RM sweeps for expired nodes.
+LIVENESS_CHECK_INTERVAL = 3.0
 
 
 class ResourceManager:
@@ -35,6 +44,11 @@ class ResourceManager:
         self._dispatch_scheduled = False
         #: Diagnostics: total containers ever granted.
         self.containers_granted = 0
+        #: Failure detection state (armed by :meth:`start_failure_detection`).
+        self._node_managers: Dict[int, NodeManager] = {}
+        self._last_heartbeat: Dict[int, float] = {}
+        self._lost_nodes: Dict[int, float] = {}  # node_id -> time declared lost
+        self._failure_detection = False
 
     # ------------------------------------------------------------------
     # Application lifecycle
@@ -44,6 +58,57 @@ class ResourceManager:
 
     def unregister_app(self, app_id: str) -> None:
         self.scheduler.remove_app(app_id)
+
+    # ------------------------------------------------------------------
+    # Node liveness
+    # ------------------------------------------------------------------
+    def start_failure_detection(self, node_managers: Sequence[NodeManager]) -> None:
+        """Arm heartbeat tracking and the expiry sweep.
+
+        Off by default: fault-free runs keep an empty calendar tail and
+        bit-identical digests.  The fault injector arms this before any
+        fault fires.
+        """
+        if self._failure_detection:
+            return
+        self._failure_detection = True
+        for nm in node_managers:
+            self._node_managers[nm.node.node_id] = nm
+            self._last_heartbeat[nm.node.node_id] = self.sim.now
+            nm.start_heartbeats(self)
+        self.sim.process(self._liveness_sweep(), name="rm-liveness")
+
+    def node_heartbeat(self, node_id: int) -> None:
+        self._last_heartbeat[node_id] = self.sim.now
+
+    def is_node_lost(self, node_id: int) -> bool:
+        return node_id in self._lost_nodes
+
+    @property
+    def lost_nodes(self) -> List[int]:
+        return sorted(self._lost_nodes)
+
+    def _liveness_sweep(self) -> Generator[Event, object, None]:
+        while True:
+            yield self.sim.timeout(LIVENESS_CHECK_INTERVAL)
+            deadline = self.sim.now - LIVENESS_EXPIRY
+            for node_id in sorted(self._last_heartbeat):
+                if node_id in self._lost_nodes:
+                    continue
+                if self._last_heartbeat[node_id] < deadline:
+                    self._declare_node_lost(node_id)
+
+    def _declare_node_lost(self, node_id: int) -> None:
+        """Expire a silent node: no more placements, kill its containers."""
+        if node_id in self._lost_nodes:
+            return
+        self._lost_nodes[node_id] = self.sim.now
+        self.scheduler.mark_node_lost(node_id)
+        nm = self._node_managers.get(node_id)
+        if nm is not None:
+            hostname = nm.node.hostname
+            nm.decommission(KillReason("node_lost", f"{hostname} heartbeat expired"))
+        self._schedule_dispatch()
 
     # ------------------------------------------------------------------
     # Allocation protocol
@@ -102,7 +167,11 @@ class ResourceManager:
                 return
             request, node = pick
             container = Container(
-                node, request.resource.memory_bytes, request.resource.vcores, request.app_id
+                node,
+                request.resource.memory_bytes,
+                request.resource.vcores,
+                request.app_id,
+                tag=request.tag,
             )
             node.reserve(container.memory_bytes, container.vcores)
             node.containers[container.container_id] = container

@@ -10,7 +10,7 @@ in which pending request gets the next available slot.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.node import Node
 from repro.cluster.topology import Cluster
@@ -29,6 +29,9 @@ class SchedulerBase:
         self._app_weight: Dict[str, float] = {}
         #: app -> currently allocated memory bytes (fair-share bookkeeping).
         self.app_memory_usage: Dict[str, int] = defaultdict(int)
+        #: Nodes the resource manager has declared lost (heartbeat expiry);
+        #: they receive no further containers.
+        self._lost_nodes: Set[int] = set()
 
     # ------------------------------------------------------------------
     # App lifecycle
@@ -81,14 +84,27 @@ class SchedulerBase:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
+    def mark_node_lost(self, node_id: int) -> None:
+        """Exclude *node_id* from all future placements."""
+        self._lost_nodes.add(node_id)
+
+    def is_node_lost(self, node_id: int) -> bool:
+        return node_id in self._lost_nodes
+
     def find_node(self, request: ContainerRequest) -> Optional[Node]:
-        """Pick a node for *request*: data-local > rack-local > emptiest."""
+        """Pick a node for *request*: data-local > rack-local > emptiest.
+
+        Lost nodes are never used.  A request's blacklist is honoured
+        unless it covers every remaining live node, in which case it is
+        ignored entirely (Hadoop's AMs likewise release their blacklist
+        rather than deadlock the job).
+        """
         res = request.resource
-        fits = [
-            n
-            for n in self.cluster.nodes
-            if n.can_fit(res.memory_bytes, res.vcores)
-        ]
+        live = [n for n in self.cluster.nodes if n.node_id not in self._lost_nodes]
+        blocked = set(request.blacklisted_nodes)
+        if blocked and any(n.node_id not in blocked for n in live):
+            live = [n for n in live if n.node_id not in blocked]
+        fits = [n for n in live if n.can_fit(res.memory_bytes, res.vcores)]
         if not fits:
             return None
         if request.preferred_nodes:

@@ -1,0 +1,42 @@
+"""Fault-injection determinism across process-pool worker counts.
+
+Fault scenarios travel inside :class:`RunRequest` as declarative knobs
+and the plan is regenerated worker-side from the dedicated
+``("faults", "plan")`` RNG stream, so a faulted run must hash
+identically no matter how the requests are spread over workers.
+"""
+
+from repro.experiments.parallel import (
+    RunRequest,
+    combined_digest,
+    run_requests,
+)
+
+FAULT_KNOBS = {"crashes": 1, "container_kills": 2, "degraded": 1, "horizon": 35.0}
+
+
+def faulted_request(tuning="none"):
+    return RunRequest.build(
+        "terasort", 1, num_blocks=8, num_reducers=4, tuning=tuning, faults=FAULT_KNOBS
+    )
+
+
+class TestFaultDigest:
+    def test_serial_matches_pool(self):
+        requests = [faulted_request()]
+        serial = run_requests(requests, max_workers=1)
+        pooled = run_requests(requests, max_workers=4)
+        assert combined_digest(serial) == combined_digest(pooled)
+
+    def test_outcome_records_scenario_and_recovery(self):
+        (outcome,) = run_requests([faulted_request()], max_workers=1)
+        assert outcome.succeeded
+        assert outcome.killed_attempts >= 1
+        assert outcome.injected_faults  # the plan is part of the digest
+        assert dict(outcome.failure_reasons)
+
+    def test_fault_knobs_change_the_digest(self):
+        plain = RunRequest.build("terasort", 1, num_blocks=8, num_reducers=4)
+        (a,) = run_requests([plain], max_workers=1)
+        (b,) = run_requests([faulted_request()], max_workers=1)
+        assert a.digest() != b.digest()

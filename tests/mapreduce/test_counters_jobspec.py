@@ -99,11 +99,14 @@ class TestMapOutputCatalog:
         cursor, fresh = cat.new_outputs_since(cursor)
         assert fresh == []
 
-    def test_double_registration_rejected(self):
+    def test_double_registration_first_wins(self):
+        # Speculative twins can both finish; the first registration wins
+        # and the duplicate is ignored.
         _sim, cat = self.make()
-        cat.register_map_output(0, 1, np.array([1.0, 1.0]))
-        with pytest.raises(ValueError):
-            cat.register_map_output(0, 1, np.array([1.0, 1.0]))
+        assert cat.register_map_output(0, 1, np.array([1.0, 1.0]))
+        assert not cat.register_map_output(0, 2, np.array([9.0, 9.0]))
+        assert cat.partition_bytes(0, 0) == 1.0
+        assert cat.source_nodes([0]) == [1]
 
     def test_wrong_partition_count_rejected(self):
         _sim, cat = self.make()
