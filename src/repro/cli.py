@@ -10,6 +10,7 @@ Examples::
     python -m repro whatif --size-gb 20
     python -m repro digest --workers 4
     python -m repro faults --case terasort
+    python -m repro trace --case wordcount-wikipedia --out trace-out
 
 Each subcommand prints the same rows/series the corresponding paper
 figure plots.  ``--replicas`` controls seed averaging (the paper uses
@@ -236,6 +237,31 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.experiments.trace import run_traced_case
+
+    traced = run_traced_case(
+        case_name=args.case,
+        seed=args.seed,
+        tuning=args.tuning,
+        num_blocks=args.blocks,
+        num_reducers=args.reducers,
+        include_sim=args.include_sim,
+    )
+    paths = traced.save(args.out)
+    status = "ok" if traced.succeeded else "FAILED"
+    print(
+        f"case: {traced.case_name}  seed={traced.seed}  tuning={traced.tuning}"
+        f"  t={traced.job_time:.1f}s  [{status}]"
+    )
+    print(f"events: {len(traced.events.records)}  digest: {traced.digest()}")
+    for name in sorted(paths):
+        print(f"  wrote {paths[name]}")
+    print()
+    print(traced.summary.render())
+    return 0
+
+
 def cmd_list(args) -> int:
     from repro.workloads.suite import table3_cases
 
@@ -244,7 +270,7 @@ def cmd_list(args) -> int:
         print(f"  {case.name}")
     print(
         "\nsubcommands: table3, expedited, single-run, jobsize, "
-        "multitenant, whatif, digest, faults"
+        "multitenant, whatif, digest, faults, trace"
     )
     return 0
 
@@ -339,6 +365,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--blocks", type=int, default=None, help="shrink the dataset (blocks)")
     p.add_argument("--reducers", type=int, default=None, help="override reducer count")
+
+    p = sub.add_parser(
+        "trace",
+        help="run one case with telemetry exporters: JSONL + Chrome trace + summary",
+        parents=[shared],
+    )
+    p.add_argument("--case", default="wordcount-wikipedia")
+    p.add_argument(
+        "--tuning",
+        default="none",
+        choices=("none", "conservative", "aggressive"),
+        help="tuning strategy for the traced run (default: untuned)",
+    )
+    p.add_argument(
+        "--blocks",
+        type=int,
+        default=6,
+        help="shrink the dataset (blocks); default matches the digest shrink",
+    )
+    p.add_argument(
+        "--reducers", type=int, default=3, help="override reducer count"
+    )
+    p.add_argument(
+        "--out",
+        default="trace-out",
+        help="output directory for trace.jsonl / trace.chrome.json / summary",
+    )
+    p.add_argument(
+        "--include-sim",
+        action="store_true",
+        help="also record the per-calendar-event 'sim' firehose (large)",
+    )
     return parser
 
 
@@ -352,6 +410,7 @@ _COMMANDS = {
     "whatif": cmd_whatif,
     "digest": cmd_digest,
     "faults": cmd_faults,
+    "trace": cmd_trace,
 }
 
 

@@ -139,6 +139,16 @@ class GrayBoxHillClimber:
         self._infeasible_points: List[np.ndarray] = []
         #: Total infeasibility marks received (diagnostics).
         self.infeasible_marks = 0
+        #: Observers of search decisions, called as ``fn(decision, info)``
+        #: with a short decision string ("seed", "accept_local", ...) and
+        #: a plain-data info dict.  The climber stays simulation-agnostic;
+        #: the tuner bridges these onto the telemetry bus.
+        self.decision_listeners: List[Callable[[str, Dict[str, object]], None]] = []
+
+    def _notify(self, decision: str, **info: object) -> None:
+        if self.decision_listeners:
+            for listener in self.decision_listeners:
+                listener(decision, info)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,6 +227,11 @@ class GrayBoxHillClimber:
         if sample is None:
             raise KeyError(f"unknown sample id {sample_id}")
         self.infeasible_marks += 1
+        self._notify(
+            "infeasible",
+            sample_id=sample_id,
+            regions=len(self._infeasible_points) + 1,
+        )
         for known in self._infeasible_points:
             if np.array_equal(known, sample.point):
                 return
@@ -292,18 +307,36 @@ class GrayBoxHillClimber:
                     candidate.point, st.initial_neighborhood
                 )
                 self.phase = SearchPhase.LOCAL
+                self._notify(
+                    "seed", sample_id=candidate.sample_id, cost=candidate.cost
+                )
             elif candidate.cost < ref_cost:  # lines 22-25
                 self._current = candidate
                 self.neighborhood = Neighborhood(
                     candidate.point, st.initial_neighborhood
                 )
                 self.phase = SearchPhase.LOCAL
+                self._notify(
+                    "accept_global",
+                    sample_id=candidate.sample_id,
+                    cost=candidate.cost,
+                    previous_cost=ref_cost,
+                )
             else:  # lines 26-27
                 if incumbents:
                     self._current = incumbents[0]  # keep the cost fresh
                 self.global_rounds_without_improvement += 1
                 if self.global_rounds_without_improvement >= st.global_search_limit:
                     self.phase = SearchPhase.DONE
+                self._notify(
+                    "give_up" if self.phase is SearchPhase.DONE else "reject_global",
+                    sample_id=candidate.sample_id,
+                    cost=candidate.cost,
+                    best_cost=ref_cost,
+                    rounds_without_improvement=(
+                        self.global_rounds_without_improvement
+                    ),
+                )
             return
 
         # LOCAL phase (lines 8-17).
@@ -313,13 +346,27 @@ class GrayBoxHillClimber:
             self.neighborhood = self.neighborhood.recenter(
                 candidate.point, st.initial_neighborhood
             )
+            self._notify(
+                "accept_local",
+                sample_id=candidate.sample_id,
+                cost=candidate.cost,
+                previous_cost=ref_cost,
+            )
         else:
             if incumbents:
                 self._current = incumbents[0]
             self.neighborhood = self.neighborhood.shrink(st.shrink_factor)
+            self._notify(
+                "shrink",
+                sample_id=candidate.sample_id,
+                cost=candidate.cost,
+                best_cost=ref_cost,
+                neighborhood=self.neighborhood.size,
+            )
         if self.neighborhood.size <= st.neighborhood_threshold:
             # Local optimum found; try another global round (line 18-20).
             self.phase = SearchPhase.GLOBAL
+            self._notify("local_done", neighborhood=self.neighborhood.size)
 
 def drive_search(
     climber: "GrayBoxHillClimber",

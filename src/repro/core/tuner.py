@@ -191,6 +191,16 @@ class OnlineTuner:
         self.configurator = configurator or DynamicConfigurator()
         self._jobs: Dict[str, _JobTuning] = {}
         self.configurator.assignment_listeners.append(self._on_assignment)
+        #: Telemetry bus for ``tuner``-category events; :meth:`submit`
+        #: picks it up from the cluster's simulator automatically.
+        self.telemetry = None
+
+    def _tel(self):
+        """The bus when someone subscribed to tuner events, else None."""
+        tel = self.telemetry
+        if tel is not None and tel.wants("tuner"):
+            return tel
+        return None
 
     def _on_assignment(
         self, job_id: str, task_id: TaskId, config: Configuration, meta: object
@@ -228,6 +238,7 @@ class OnlineTuner:
                     task_type, names, self.rng, hc, seed_config=seed
                 )
                 job.search_states[task_type] = state
+                self._bridge_search_decisions(spec.job_id, state)
                 self._open_batch(job, state)
             job.gate = _TunerGate(job)
         else:
@@ -239,8 +250,33 @@ class OnlineTuner:
             job.gate = LaunchGate()
         return self.configurator, job.gate
 
+    def _bridge_search_decisions(self, job_id: str, state: _SearchState) -> None:
+        """Forward hill-climber decisions onto the telemetry bus."""
+        tel = self._tel()
+        if tel is None:
+            return
+        task_type = state.task_type.value
+
+        def forward(decision: str, info: Dict[str, object]) -> None:
+            from repro.telemetry.events import SearchDecision
+
+            tel.emit(
+                SearchDecision(
+                    time=tel.now,
+                    job_id=job_id,
+                    task_type=task_type,
+                    decision=decision,
+                    detail=info,
+                )
+            )
+            tel.increment("tuner.search_decisions")
+
+        state.climber.decision_listeners.append(forward)
+
     def submit(self, sim_cluster: "SimCluster", spec: JobSpec) -> MRAppMaster:
         """Attach, submit, and wire statistics in one call."""
+        if self.telemetry is None:
+            self.telemetry = sim_cluster.sim.telemetry
         input_bytes = sim_cluster.hdfs.get(spec.input_path).size_bytes
         provider, gate = self.attach_job(spec, input_bytes=input_bytes)
         am = sim_cluster.submit(spec, config_provider=provider, gate=gate)
@@ -303,6 +339,20 @@ class OnlineTuner:
         self.configurator.push_wave_configs(job.spec.job_id, state.task_type, configs)
         state.slots += len(configs)
         state.wave += 1
+        tel = self._tel()
+        if tel is not None:
+            from repro.telemetry.events import WaveOpened
+
+            tel.emit(
+                WaveOpened(
+                    time=tel.now,
+                    job_id=job.spec.job_id,
+                    task_type=state.task_type.value,
+                    wave=state.wave,
+                    num_configs=len(configs),
+                )
+            )
+            tel.increment("tuner.waves_opened")
         self._drain_admissions(state)
 
     def _drain_admissions(self, state: _SearchState) -> None:
@@ -368,8 +418,24 @@ class OnlineTuner:
             rng=self.rng,
             memo=state.memo,
         )
+        tel = self._tel()
         for rule in self.rules:
-            state.rule_log.extend(rule.adjust_bounds(ctx))
+            lines = rule.adjust_bounds(ctx)
+            state.rule_log.extend(lines)
+            if tel is not None and lines:
+                from repro.telemetry.events import RuleFired
+
+                for line in lines:
+                    tel.emit(
+                        RuleFired(
+                            time=tel.now,
+                            job_id=job.spec.job_id,
+                            task_type=state.task_type.value,
+                            rule=type(rule).__name__,
+                            detail=line,
+                        )
+                    )
+                    tel.increment("tuner.rules_fired")
         state.window = []
         if state.climber.finished:
             self._finish_search(job, state)
@@ -433,9 +499,22 @@ class OnlineTuner:
                 # Future tasks pick this up from the job config; running
                 # tasks receive the hot-swappable subset immediately.
                 self.configurator.set_task_parameters(job.spec.job_id, applied)
-                state.rule_log.append(
-                    ", ".join(f"{k}={v:g}" for k, v in sorted(applied.items()))
-                )
+                line = ", ".join(f"{k}={v:g}" for k, v in sorted(applied.items()))
+                state.rule_log.append(line)
+                tel = self._tel()
+                if tel is not None:
+                    from repro.telemetry.events import RuleFired
+
+                    tel.emit(
+                        RuleFired(
+                            time=tel.now,
+                            job_id=job.spec.job_id,
+                            task_type=state.task_type.value,
+                            rule="conservative_window",
+                            detail=line,
+                        )
+                    )
+                    tel.increment("tuner.rules_fired")
         state.window = []
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.monitor.slave_monitor import SlaveMonitor
 from repro.sim.engine import Simulator
 from repro.sim.events import AllOf
 from repro.sim.rng import RngRegistry
+from repro.telemetry import TelemetryBus
 from repro.workloads.suite import BenchmarkCase, make_job_spec
 from repro.yarn.app_master import (
     ConfigProvider,
@@ -52,6 +53,12 @@ class SimCluster:
         self.seed = seed
         self.rngs = RngRegistry(seed)
         self.sim = Simulator()
+        #: The cluster-wide telemetry bus.  Always attached; with no
+        #: exporter subscribed, every emission site outside the monitor
+        #: feeds reduces to a cheap category check, so run digests stay
+        #: bit-identical whether or not anyone is tracing.
+        self.telemetry = TelemetryBus(clock=lambda: self.sim.now)
+        self.sim.attach_telemetry(self.telemetry)
         self.cluster: Cluster = build_cluster(self.sim, cluster_spec)
         self.hdfs = HdfsFileSystem(
             self.cluster, rng=self.rngs.stream("hdfs", "placement")
@@ -62,13 +69,16 @@ class SimCluster:
             node.node_id: NodeManager(self.sim, node, network=self.cluster.network)
             for node in self.cluster.nodes
         }
-        self.monitor = CentralMonitor(self.sim)
+        # The central monitor consumes the ``stats``/``node`` feeds off
+        # the bus; slave monitors publish there (sink=None) rather than
+        # calling the central monitor directly.
+        self.monitor = CentralMonitor(self.sim, bus=self.telemetry)
         self.slave_monitors: List[SlaveMonitor] = [
             SlaveMonitor(
                 self.sim,
                 nm,
-                self.monitor.on_node_stats,
-                monitor_interval,
+                sink=None,
+                interval=monitor_interval,
                 network=self.cluster.network,
             )
             for nm in self.node_managers.values()
@@ -151,7 +161,9 @@ class SimCluster:
             app_weight=weight,
             fault_tolerance=self.fault_tolerance,
         )
-        am.stats_listeners.append(self.monitor.on_task_stats)
+        # Task stats reach the central monitor through the telemetry bus
+        # (the AM emits a ``stats`` event per completed attempt), not a
+        # hand-wired listener; see CentralMonitor.subscribe_to.
         am.start()
         return am
 

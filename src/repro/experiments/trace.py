@@ -3,16 +3,27 @@
 Useful for eyeballing why a configuration wins: wave structure, the
 map/shuffle overlap, stragglers, and retry gaps all become visible.
 Exports CSV (one row per task attempt) and a terminal swimlane sketch.
+
+:func:`run_traced_case` is the ``repro trace`` driver: one simulated
+run with the telemetry exporters attached, yielding a JSONL event log,
+a Chrome trace (load in Perfetto / chrome://tracing), and an aggregated
+metrics summary -- all keyed to simulated time, byte-identical across
+same-seed runs.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import List, Optional
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.mapreduce.jobspec import TaskType
 from repro.yarn.app_master import JobResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import ChromeTraceExporter, JsonlExporter, MetricsSummary
 
 CSV_FIELDS = [
     "task_id",
@@ -100,3 +111,129 @@ def swimlanes(
     for n in nodes:
         lines.append(f"node{n:02d} |{''.join(lanes[n])}|")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The ``repro trace`` driver: one run, all telemetry exporters attached.
+# ----------------------------------------------------------------------
+#: Stable artifact filenames inside the output directory -- the CI
+#: trace-digest gate compares two same-seed ``trace.jsonl`` byte by byte.
+TRACE_JSONL = "trace.jsonl"
+TRACE_CHROME = "trace.chrome.json"
+TRACE_SUMMARY = "trace.summary.txt"
+
+
+@dataclass
+class TracedRun:
+    """One traced simulation run plus its attached exporters."""
+
+    case_name: str
+    seed: int
+    tuning: str
+    job_time: float
+    succeeded: bool
+    events: "JsonlExporter"
+    chrome: "ChromeTraceExporter"
+    summary: "MetricsSummary"
+
+    def digest(self) -> str:
+        """sha256 of the JSONL log (the determinism gate's unit)."""
+        return self.events.digest()
+
+    def save(self, out_dir: str) -> Dict[str, str]:
+        """Write all artifacts under *out_dir*; returns name -> path."""
+        os.makedirs(out_dir, exist_ok=True)
+        paths = {
+            TRACE_JSONL: os.path.join(out_dir, TRACE_JSONL),
+            TRACE_CHROME: os.path.join(out_dir, TRACE_CHROME),
+            TRACE_SUMMARY: os.path.join(out_dir, TRACE_SUMMARY),
+        }
+        self.events.save(paths[TRACE_JSONL])
+        self.chrome.save(paths[TRACE_CHROME])
+        with open(paths[TRACE_SUMMARY], "w") as fh:
+            fh.write(self.summary.render() + "\n")
+        return paths
+
+
+def run_traced_case(
+    case_name: str = "wordcount-wikipedia",
+    seed: int = 1,
+    tuning: str = "none",
+    num_blocks: Optional[int] = None,
+    num_reducers: Optional[int] = None,
+    categories: Optional[Sequence[str]] = None,
+    include_sim: bool = False,
+) -> TracedRun:
+    """Run one benchmark case with every telemetry exporter attached.
+
+    Builds a fresh :class:`~repro.experiments.harness.SimCluster`,
+    subscribes the JSONL, Chrome-trace, and metrics-summary exporters
+    to its bus, then runs the (optionally tuned) job exactly as
+    :func:`repro.experiments.parallel.execute_request` would.  The
+    subscriptions only add passive observers, so the simulated outcome
+    is bit-identical to an untraced run of the same request.
+
+    ``categories`` defaults to every category except the per-calendar-
+    event ``sim`` firehose; pass ``include_sim=True`` to add it.  The
+    summary subscribes to the same explicit categories (never the
+    wildcard, which would implicitly turn the firehose on).
+    """
+    import numpy as np
+
+    from repro.experiments.harness import SimCluster
+    from repro.experiments.parallel import RunRequest, resolve_case
+    from repro.telemetry import (
+        DEFAULT_EXPORT_CATEGORIES,
+        ChromeTraceExporter,
+        JsonlExporter,
+        MetricsSummary,
+    )
+    from repro.workloads.suite import make_job_spec
+
+    request = RunRequest(
+        case_name=case_name,
+        seed=seed,
+        tuning=tuning,
+        num_blocks=num_blocks,
+        num_reducers=num_reducers,
+    )
+    case = resolve_case(request)
+    cats = tuple(categories) if categories is not None else DEFAULT_EXPORT_CATEGORIES
+    if include_sim and "sim" not in cats:
+        cats = cats + ("sim",)
+
+    sc = SimCluster(seed=seed)
+    events = JsonlExporter().attach(sc.telemetry, categories=cats)
+    chrome = ChromeTraceExporter().attach(sc.telemetry, categories=cats)
+    summary = MetricsSummary().attach(sc.telemetry, categories=cats)
+
+    spec = make_job_spec(case, sc.hdfs)
+    if request.tuning == "none":
+        result = sc.run_job(spec)
+    else:
+        from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+        from repro.sim.rng import derive_seed
+
+        strategy = (
+            TuningStrategy.CONSERVATIVE
+            if request.tuning == "conservative"
+            else TuningStrategy.AGGRESSIVE
+        )
+        tuner = OnlineTuner(
+            strategy,
+            settings=TunerSettings(),
+            rng=np.random.default_rng(derive_seed(seed, "tuner", case.name)),
+        )
+        am = tuner.submit(sc, spec)
+        result = sc.sim.run_until_complete(am.completion)
+
+    return TracedRun(
+        case_name=case.name,
+        seed=seed,
+        tuning=request.tuning,
+        job_time=result.duration,
+        succeeded=result.succeeded,
+        events=events,
+        chrome=chrome,
+        summary=summary,
+    )

@@ -64,23 +64,44 @@ class FaultInjector:
         for fault in self.plan.faults:
             self.sim.call_at(fault.time, lambda f=fault: self._apply(f))
 
+    def _emit(self, fault: Fault, applied: bool, detail: str) -> None:
+        tel = self.sim.telemetry
+        if tel is not None and tel.wants("fault"):
+            from repro.telemetry.events import FaultInjected
+
+            tel.emit(
+                FaultInjected(
+                    time=self.sim.now,
+                    fault_kind=fault.kind,
+                    node_id=fault.node_id,
+                    applied=applied,
+                    detail=detail,
+                )
+            )
+            if applied:
+                tel.increment("faults.applied")
+
     def _apply(self, fault: Fault) -> None:
         node = self.cluster.node(fault.node_id)
         nm = self.node_managers[fault.node_id]
         if fault.kind == "node_crash":
             if not node.alive:
                 self.skipped.append((self.sim.now, fault.describe()))
+                self._emit(fault, False, fault.describe())
                 return
             node.fail()
             self.applied.append((self.sim.now, fault.describe()))
+            self._emit(fault, True, fault.describe())
             return
         if not node.alive or nm.decommissioned:
             # The target died before this fault's time arrived.
             self.skipped.append((self.sim.now, fault.describe()))
+            self._emit(fault, False, fault.describe())
             return
         if fault.kind == "degrade":
             node.degrade(cpu_factor=fault.cpu_factor, disk_factor=fault.disk_factor)
             self.applied.append((self.sim.now, fault.describe()))
+            self._emit(fault, True, fault.describe())
         else:  # container_kill
             killed = nm.kill_some(
                 fault.count,
@@ -89,3 +110,4 @@ class FaultInjector:
             self.applied.append(
                 (self.sim.now, f"{fault.describe()} -> {killed} killed")
             )
+            self._emit(fault, True, f"{fault.describe()} -> {killed} killed")

@@ -42,6 +42,27 @@ def run_map_task(
     profile = ctx.spec.workload
     task_id = ctx.spec.map_task_id(map_index)
 
+    tel = sim.telemetry
+    if tel is None or not tel.wants("task"):
+        tel = None  # phase spans off: emission sites reduce to a None check
+
+    def _span(name: str, phase_start: float, **detail: object) -> None:
+        from repro.telemetry.events import TaskPhaseSpan
+
+        tel.emit(
+            TaskPhaseSpan(
+                time=sim.now,
+                name=name,
+                start=phase_start,
+                node_id=node.node_id,
+                track=f"container-{container.container_id}",
+                job_id=task_id.job_id,
+                task=str(task_id),
+                attempt=attempt,
+                detail=detail,
+            )
+        )
+
     start = sim.now
     stats = TaskStats(
         task_id=task_id,
@@ -108,10 +129,13 @@ def run_map_task(
         + profile.map_cpu_per_mb * input_bytes / MB
         + tc.SORT_CPU_PER_MB * out_bytes / MB
     )
+    phase_start = sim.now
     read_ev = ctx.hdfs.read_block(block, node)
     cpu_ev = node.compute(cpu_work, cores_cap, label=f"{task_id}.map")
     yield AllOf(sim, [read_ev, cpu_ev])
     stats.cpu_seconds += cpu_work
+    if tel is not None:
+        _span("map.read", phase_start, input_bytes=input_bytes)
     if ctx.progress is not None:
         ctx.progress.update(task_id, attempt, 0.70)
 
@@ -131,10 +155,19 @@ def run_map_task(
         combiner_byte_ratio=profile.combiner_byte_ratio,
     )
     if plan.spill_write_bytes > 0:
+        phase_start = sim.now
         yield node.disk_write(plan.spill_write_bytes, label=f"{task_id}.spill")
+        if tel is not None:
+            _span(
+                "map.spill",
+                phase_start,
+                spill_bytes=plan.spill_write_bytes,
+                spilled_records=plan.spilled_records,
+            )
     if ctx.progress is not None:
         ctx.progress.update(task_id, attempt, 0.85)
     if plan.merge_rounds > 0:
+        phase_start = sim.now
         merge_cpu = tc.MERGE_CPU_PER_MB * plan.merge_write_bytes / MB
         yield AllOf(
             sim,
@@ -145,6 +178,8 @@ def run_map_task(
             ],
         )
         stats.cpu_seconds += merge_cpu
+        if tel is not None:
+            _span("map.merge", phase_start, merge_rounds=plan.merge_rounds)
 
     if ctx.progress is not None:
         ctx.progress.update(task_id, attempt, 0.95)

@@ -52,6 +52,27 @@ def run_reduce_task(
     profile = ctx.spec.workload
     task_id = ctx.spec.reduce_task_id(reduce_index)
 
+    tel = sim.telemetry
+    if tel is None or not tel.wants("task"):
+        tel = None  # phase spans off: emission sites reduce to a None check
+
+    def _span(name: str, phase_start: float, **detail: object) -> None:
+        from repro.telemetry.events import TaskPhaseSpan
+
+        tel.emit(
+            TaskPhaseSpan(
+                time=sim.now,
+                name=name,
+                start=phase_start,
+                node_id=node.node_id,
+                track=f"container-{container.container_id}",
+                job_id=task_id.job_id,
+                task=str(task_id),
+                attempt=attempt,
+                detail=detail,
+            )
+        )
+
     start = sim.now
     stats = TaskStats(
         task_id=task_id,
@@ -87,6 +108,7 @@ def run_reduce_task(
     cursor = 0
     fetched_bytes = 0.0
     num_segments = 0
+    shuffle_start = sim.now
     while True:
         cursor, fresh = ctx.catalog.new_outputs_since(cursor)
         if fresh:
@@ -117,6 +139,13 @@ def run_reduce_task(
     input_records = int(round(fetched_bytes / max(1.0, profile.map_output_record_size)))
     stats.shuffled_bytes = fetched_bytes
     stats.reduce_input_records = input_records
+    if tel is not None:
+        _span(
+            "reduce.shuffle",
+            shuffle_start,
+            fetched_bytes=fetched_bytes,
+            segments=num_segments,
+        )
 
     # ------------------------------------------------------------------
     # Phase 2: merge planning and shuffle-phase disk traffic.
@@ -157,6 +186,7 @@ def run_reduce_task(
         )
         return stats
 
+    sort_start = sim.now
     shuffle_disk_in = plan.direct_to_disk_bytes + plan.inmem_spill_bytes
     if shuffle_disk_in > 0:
         yield node.disk_write(shuffle_disk_in, label=f"{task_id}.shufspill")
@@ -171,12 +201,20 @@ def run_reduce_task(
             ],
         )
         stats.cpu_seconds += merge_cpu
+    if tel is not None and (shuffle_disk_in > 0 or plan.disk_merge_rounds > 0):
+        _span(
+            "reduce.sort",
+            sort_start,
+            spill_bytes=shuffle_disk_in,
+            merge_rounds=plan.disk_merge_rounds,
+        )
     if ctx.progress is not None:
         ctx.progress.update(task_id, attempt, 0.66)
 
     # ------------------------------------------------------------------
     # Phase 3: the reduce function, streaming the final merge from disk.
     # ------------------------------------------------------------------
+    reduce_start = sim.now
     cpu_work = (
         profile.reduce_cpu_fixed_sec + profile.reduce_cpu_per_mb * fetched_bytes / MB
     )
@@ -185,6 +223,8 @@ def run_reduce_task(
         waits.append(node.disk_read(plan.final_read_bytes, label=f"{task_id}.final.rd"))
     yield AllOf(sim, waits)
     stats.cpu_seconds += cpu_work
+    if tel is not None:
+        _span("reduce.reduce", reduce_start, cpu_seconds=cpu_work)
     if ctx.progress is not None:
         ctx.progress.update(task_id, attempt, 0.90)
 

@@ -8,17 +8,27 @@ both through query methods -- it never touches simulator internals.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.mapreduce.jobspec import TaskType
 from repro.monitor.statistics import NodeStats, TaskStats, UtilizationTimeline
 from repro.sim.engine import Simulator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import TelemetryBus
+    from repro.telemetry.events import TelemetryEvent
+
 
 class CentralMonitor:
-    """Aggregation point for all runtime statistics."""
+    """Aggregation point for all runtime statistics.
 
-    def __init__(self, sim: Simulator) -> None:
+    Ingestion happens two ways: direct calls to :meth:`on_task_stats` /
+    :meth:`on_node_stats` (standalone use, tests), or as a telemetry-bus
+    subscriber on the ``stats`` and ``node`` categories (how
+    :class:`~repro.experiments.harness.SimCluster` wires it).
+    """
+
+    def __init__(self, sim: Simulator, bus: Optional["TelemetryBus"] = None) -> None:
         self.sim = sim
         self.task_stats: List[TaskStats] = []
         self.node_samples: List[NodeStats] = []
@@ -26,10 +36,24 @@ class CentralMonitor:
         self.mem_timelines: Dict[int, UtilizationTimeline] = defaultdict(UtilizationTimeline)
         #: Subscribers notified of every completed task (the tuner).
         self.task_listeners: List[Callable[[TaskStats], None]] = []
+        if bus is not None:
+            self.subscribe_to(bus)
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
+    def subscribe_to(self, bus: "TelemetryBus") -> None:
+        """Consume the monitor feeds (``stats`` + ``node``) from *bus*."""
+        bus.subscribe(self.on_event, categories=("stats", "node"))
+
+    def on_event(self, event: "TelemetryEvent") -> None:
+        from repro.telemetry.events import NodeSampled, TaskStatsRecorded
+
+        if isinstance(event, TaskStatsRecorded):
+            self.on_task_stats(event.stats)
+        elif isinstance(event, NodeSampled):
+            self.on_node_stats(event.stats)
+
     def on_task_stats(self, stats: TaskStats) -> None:
         self.task_stats.append(stats)
         for listener in self.task_listeners:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.monitor.statistics import NodeStats
 from repro.sim.engine import Simulator
@@ -19,14 +19,18 @@ class SlaveMonitor:
 
     Mirrors the paper's slave monitors running inside each node manager
     (Section 3): they sample local CPU/memory/network state and push it
-    upstream on a fixed period.
+    upstream on a fixed period.  With an explicit *sink* the sample is
+    handed to that callable; without one, each sample is published on
+    the simulator's telemetry bus as a ``node``-category
+    :class:`~repro.telemetry.events.NodeSampled` event (dropped when no
+    bus -- or no subscriber -- is attached).
     """
 
     def __init__(
         self,
         sim: Simulator,
         node_manager: "NodeManager",
-        sink: Callable[[NodeStats], None],
+        sink: Optional[Callable[[NodeStats], None]] = None,
         interval: float = DEFAULT_SAMPLE_INTERVAL,
         network=None,
     ) -> None:
@@ -64,7 +68,17 @@ class SlaveMonitor:
             tx_utilization=tx,
         )
 
+    def _publish(self, sample: NodeStats) -> None:
+        if self.sink is not None:
+            self.sink(sample)
+            return
+        tel = self.sim.telemetry
+        if tel is not None and tel.wants("node"):
+            from repro.telemetry.events import NodeSampled
+
+            tel.emit(NodeSampled(time=sample.time, stats=sample))
+
     def _loop(self) -> Generator[Event, object, None]:
         while self._running:
-            self.sink(self.sample())
+            self._publish(self.sample())
             yield self.sim.timeout(self.interval)

@@ -172,7 +172,18 @@ class UtilizationTimeline:
         self.values.append(value)
 
     def mean(self, since: float = 0.0) -> float:
-        pairs = [(t, v) for t, v in zip(self.times, self.values) if t >= since]
+        pairs = []
+        boundary = None  # last sample at or before the window start
+        for t, v in zip(self.times, self.values):
+            if t >= since:
+                pairs.append((t, v))
+            else:
+                boundary = v
+        if boundary is not None and (not pairs or pairs[0][0] > since):
+            # The level in effect at the window start comes from the last
+            # pre-window sample; without it, short windows ignore whatever
+            # utilization was already established when the window opened.
+            pairs.insert(0, (since, boundary))
         if not pairs:
             return 0.0
         if len(pairs) == 1:

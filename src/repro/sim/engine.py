@@ -9,14 +9,22 @@ repository reproducible bit-for-bit under a fixed seed.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+import warnings
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.events import Event, Process, Timeout
+    from repro.telemetry.bus import TelemetryBus
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
+
+
+#: Cap on the deprecated :attr:`Simulator.trace_log`: long traced runs
+#: keep only the most recent entries instead of growing without bound.
+TRACE_LOG_LIMIT = 100_000
 
 
 class Simulator:
@@ -25,10 +33,11 @@ class Simulator:
     Parameters
     ----------
     trace:
-        When true, every executed event is appended to :attr:`trace_log`
-        as ``(time, description)``.  Tracing is intended for debugging
-        and tests; it is off by default to keep long runs allocation
-        light.
+        Deprecated.  When true, every executed event is appended to
+        :attr:`trace_log` as ``(time, description)``, keeping at most
+        :data:`TRACE_LOG_LIMIT` entries.  Attach a
+        :class:`~repro.telemetry.bus.TelemetryBus` with a subscriber on
+        the ``"sim"`` category instead (see :meth:`attach_telemetry`).
     """
 
     def __init__(self, trace: bool = False) -> None:
@@ -36,10 +45,25 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq: int = 0
         self._running = False
+        if trace:
+            warnings.warn(
+                "Simulator(trace=True) is deprecated; attach a TelemetryBus "
+                "and subscribe to the 'sim' category instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.trace = trace
-        self.trace_log: list[tuple[float, str]] = []
+        self.trace_log: Deque[tuple[float, str]] = deque(maxlen=TRACE_LOG_LIMIT)
         #: Number of events executed so far (diagnostic counter).
         self.events_executed: int = 0
+        #: The attached telemetry bus, or ``None`` (the default): every
+        #: layer reaches the bus through ``sim.telemetry``, and emission
+        #: sites reduce to a pointer check when nothing is attached.
+        self.telemetry: Optional["TelemetryBus"] = None
+
+    def attach_telemetry(self, bus: "TelemetryBus") -> None:
+        """Attach *bus* as this simulator's telemetry bus."""
+        self.telemetry = bus
 
     # ------------------------------------------------------------------
     # Clock
@@ -85,7 +109,18 @@ class Simulator:
         """Wrap *generator* in a :class:`Process` and start it immediately."""
         from repro.sim.events import Process
 
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        tel = self.telemetry
+        if tel is not None and tel.sim_events_wanted:
+            from repro.telemetry.events import ProcessFinished, ProcessStarted
+
+            tel.emit(ProcessStarted(time=self._now, name=proc.name))
+            proc.callbacks.append(
+                lambda ev: tel.emit(
+                    ProcessFinished(time=self._now, name=proc.name, failed=ev.failed)
+                )
+            )
+        return proc
 
     def call_at(self, when: float, fn: Callable[[], None]) -> "Event":
         """Invoke *fn* at absolute simulated time *when* (>= now)."""
@@ -108,6 +143,11 @@ class Simulator:
             self.events_executed += 1
             if self.trace:
                 self.trace_log.append((when, repr(event)))
+            tel = self.telemetry
+            if tel is not None and tel.sim_events_wanted:
+                from repro.telemetry.events import SimEventExecuted
+
+                tel.emit(SimEventExecuted(time=when, description=repr(event)))
             event.fire()
             return True
         return False

@@ -1,0 +1,71 @@
+"""Unified telemetry: typed events, the bus, and trace exporters.
+
+The observability layer for the whole stack.  A
+:class:`~repro.telemetry.bus.TelemetryBus` attached to the simulator
+(``sim.telemetry``) carries typed events -- spans, decisions, monitor
+samples -- from every layer (sim engine, task models, YARN, faults,
+tuner) to any number of subscribers: the central monitor, the JSONL /
+Chrome-trace exporters, and the metrics summary.  With no bus attached
+(or no subscriber for a category) emission sites are a pointer check,
+so fault-free run digests stay bit-identical and hot paths stay cheap.
+"""
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import (
+    CATEGORIES,
+    DEFAULT_EXPORT_CATEGORIES,
+    AttemptRetry,
+    AttemptSpan,
+    ContainerGranted,
+    ContainerKilled,
+    ContainerReleased,
+    FaultInjected,
+    JobFinished,
+    JobSubmitted,
+    NodeBlacklisted,
+    NodeLost,
+    NodeSampled,
+    ProcessFinished,
+    ProcessStarted,
+    RuleFired,
+    SearchDecision,
+    SimEventExecuted,
+    SpanEvent,
+    SpeculativeLaunch,
+    TaskPhaseSpan,
+    TaskStatsRecorded,
+    TelemetryEvent,
+    WaveOpened,
+)
+from repro.telemetry.export import ChromeTraceExporter, JsonlExporter, MetricsSummary
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_EXPORT_CATEGORIES",
+    "AttemptRetry",
+    "AttemptSpan",
+    "ChromeTraceExporter",
+    "ContainerGranted",
+    "ContainerKilled",
+    "ContainerReleased",
+    "FaultInjected",
+    "JobFinished",
+    "JobSubmitted",
+    "JsonlExporter",
+    "MetricsSummary",
+    "NodeBlacklisted",
+    "NodeLost",
+    "NodeSampled",
+    "ProcessFinished",
+    "ProcessStarted",
+    "RuleFired",
+    "SearchDecision",
+    "SimEventExecuted",
+    "SpanEvent",
+    "SpeculativeLaunch",
+    "TaskPhaseSpan",
+    "TaskStatsRecorded",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "WaveOpened",
+]

@@ -1,0 +1,89 @@
+"""The telemetry bus: category-keyed dispatch with zero-cost disable.
+
+The bus is attached to a :class:`~repro.sim.engine.Simulator` (as
+``sim.telemetry``) and every layer reaches it from there.  Emission
+sites follow one pattern::
+
+    tel = self.sim.telemetry
+    if tel is not None and tel.wants("yarn"):
+        tel.emit(ContainerGranted(time=tel.now, ...))
+
+so when no bus is attached -- or no subscriber cares about the
+category -- the event object is never even constructed.  Dispatch is
+synchronous and in subscription order, so subscribers observe events
+in deterministic order; subscribers must not mutate simulation state,
+which keeps run digests bit-identical whether or not exporters are
+attached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.telemetry.events import CATEGORIES, TelemetryEvent
+
+Sink = Callable[[TelemetryEvent], None]
+
+
+class TelemetryBus:
+    """Synchronous, deterministic pub/sub for :class:`TelemetryEvent`.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulated time;
+        normally ``lambda: sim.now``.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._sinks: Dict[str, List[Sink]] = {}
+        self._wildcard: List[Sink] = []
+        #: Free-form monotonic counters (``increment``); the metrics
+        #: summary exporter reads these, no event is emitted for them.
+        self.counters: Dict[str, float] = {}
+        #: Fast-path flag for the engine's per-event hot loop: True only
+        #: while some subscriber wants the ``sim`` category.  Kept as a
+        #: plain attribute (not a method call) because ``step()`` checks
+        #: it once per calendar event.
+        self.sim_events_wanted: bool = False
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, sink: Sink, categories: Iterable[str] = ("*",)) -> None:
+        """Register *sink* for the given categories (``"*"`` = all)."""
+        for category in categories:
+            if category == "*":
+                self._wildcard.append(sink)
+            elif category in CATEGORIES:
+                self._sinks.setdefault(category, []).append(sink)
+            else:
+                raise ValueError(
+                    f"unknown telemetry category {category!r}; "
+                    f"want one of {CATEGORIES} or '*'"
+                )
+        self.sim_events_wanted = self.wants("sim")
+
+    def wants(self, category: str) -> bool:
+        """True when at least one subscriber would receive *category*."""
+        return bool(self._wildcard) or category in self._sinks
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (for stamping events)."""
+        return self._clock()
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Deliver *event* to its category's sinks, then wildcards."""
+        for sink in self._sinks.get(event.category, ()):
+            sink(event)
+        for sink in self._wildcard:
+            sink(event)
+
+    def increment(self, name: str, delta: float = 1.0) -> None:
+        """Bump a named counter (no event dispatch)."""
+        self.counters[name] = self.counters.get(name, 0.0) + delta

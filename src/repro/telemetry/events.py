@@ -1,0 +1,403 @@
+"""Typed telemetry events.
+
+Every record on the bus is a frozen dataclass with two class-level
+identifiers -- ``category`` (the subscription key) and ``kind`` (the
+record type within a category) -- plus a ``time`` stamp in *simulated*
+seconds.  Because all timestamps come from the simulation clock, a
+serialized event stream is bit-identical across same-seed runs, which
+is what makes trace digests CI-gateable.
+
+Categories
+----------
+``sim``
+    Engine internals: event execution and process lifecycle.  High
+    volume (one record per calendar event); only exported on request.
+``task``
+    Task-model phase spans (map read/spill/merge, reduce
+    shuffle/sort/reduce) and per-attempt spans.
+``stats`` / ``node``
+    The monitor feeds: completed-attempt :class:`TaskStats` and
+    periodic :class:`NodeStats` samples.  The central monitor is a bus
+    subscriber on these two categories.
+``yarn``
+    RM allocation decisions, NM container lifecycle, AM retry /
+    speculation / blacklisting decisions.
+``fault``
+    Fault-plan injections (applied and skipped).
+``tuner``
+    Wave openings, rule firings, and hill-climber search decisions.
+``job``
+    Job submission and completion spans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, Mapping, Tuple
+
+from repro.monitor.statistics import NodeStats, TaskStats
+
+#: Subscription keys, in the order exporters present them.
+CATEGORIES: Tuple[str, ...] = (
+    "sim", "task", "stats", "node", "yarn", "fault", "tuner", "job",
+)
+
+#: Categories exported by default (everything but the per-event ``sim``
+#: firehose, which multiplies trace size by orders of magnitude).
+DEFAULT_EXPORT_CATEGORIES: Tuple[str, ...] = tuple(
+    c for c in CATEGORIES if c != "sim"
+)
+
+
+def _plain(value: Any) -> Any:
+    """Reduce a field value to JSON-serializable plain data."""
+    if isinstance(value, enum.Enum):
+        return value.name.lower()
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base event: a category/kind pair plus a simulated timestamp."""
+
+    category: ClassVar[str] = ""
+    kind: ClassVar[str] = ""
+
+    time: float = 0.0
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flatten to a dict with deterministic key order.
+
+        The first three keys are always ``time``, ``category``, and
+        ``kind``; the rest follow dataclass field order.
+        """
+        record: Dict[str, Any] = {
+            "time": self.time,
+            "category": self.category,
+            "kind": self.kind,
+        }
+        for f in fields(self):
+            if f.name != "time":
+                record[f.name] = _plain(getattr(self, f.name))
+        return record
+
+
+@dataclass(frozen=True)
+class SpanEvent(TelemetryEvent):
+    """A completed interval: emitted once, at ``end`` (== ``time``).
+
+    Spans are emitted at completion rather than as begin/end pairs so a
+    generator-based task model never leaves a dangling open span, and
+    so each span maps directly onto one Chrome-trace complete event.
+    """
+
+    name: str = ""
+    start: float = 0.0
+    #: Node the span ran on; ``-1`` places it on the cluster track.
+    node_id: int = -1
+    #: Track within the node (one per container, per the trace layout).
+    track: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.time
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.time - self.start)
+
+
+# ----------------------------------------------------------------------
+# sim: engine internals
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimEventExecuted(TelemetryEvent):
+    """One calendar event fired (the successor of ``trace_log``)."""
+
+    category: ClassVar[str] = "sim"
+    kind: ClassVar[str] = "event"
+
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ProcessStarted(TelemetryEvent):
+    category: ClassVar[str] = "sim"
+    kind: ClassVar[str] = "process_start"
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ProcessFinished(TelemetryEvent):
+    category: ClassVar[str] = "sim"
+    kind: ClassVar[str] = "process_end"
+
+    name: str = ""
+    failed: bool = False
+
+
+# ----------------------------------------------------------------------
+# task: phase and attempt spans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskPhaseSpan(SpanEvent):
+    """One task-model phase (``map.read``, ``reduce.shuffle``, ...)."""
+
+    category: ClassVar[str] = "task"
+    kind: ClassVar[str] = "phase"
+
+    job_id: str = ""
+    task: str = ""
+    attempt: int = 0
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AttemptSpan(SpanEvent):
+    """A whole task attempt, emitted when its stats are recorded."""
+
+    category: ClassVar[str] = "task"
+    kind: ClassVar[str] = "attempt"
+
+    job_id: str = ""
+    task: str = ""
+    attempt: int = 0
+    failed: bool = False
+    speculative: bool = False
+
+
+# ----------------------------------------------------------------------
+# stats / node: the monitor feeds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskStatsRecorded(TelemetryEvent):
+    """A completed attempt's counters, as the AM reports them."""
+
+    category: ClassVar[str] = "stats"
+    kind: ClassVar[str] = "task_stats"
+
+    stats: TaskStats = None  # type: ignore[assignment]
+
+    def to_record(self) -> Dict[str, Any]:
+        s = self.stats
+        return {
+            "time": self.time,
+            "category": self.category,
+            "kind": self.kind,
+            "job_id": s.task_id.job_id,
+            "task": str(s.task_id),
+            "task_type": s.task_type.name.lower(),
+            "attempt": s.attempt,
+            "node_id": s.node_id,
+            "start": s.start_time,
+            "end": s.end_time,
+            "cpu_utilization": s.cpu_utilization,
+            "memory_utilization": s.memory_utilization,
+            "spill_ratio": s.spill_ratio,
+            "failed": s.failed,
+            "failure_kind": s.failure_kind,
+            "speculative": s.speculative,
+            "wave": s.wave,
+        }
+
+
+@dataclass(frozen=True)
+class NodeSampled(TelemetryEvent):
+    """One slave-monitor sample of a node's resource state."""
+
+    category: ClassVar[str] = "node"
+    kind: ClassVar[str] = "node_sample"
+
+    stats: NodeStats = None  # type: ignore[assignment]
+
+    def to_record(self) -> Dict[str, Any]:
+        s = self.stats
+        return {
+            "time": self.time,
+            "category": self.category,
+            "kind": self.kind,
+            "node_id": s.node_id,
+            "cpu_utilization": s.cpu_utilization,
+            "memory_utilization": s.memory_utilization,
+            "running_containers": s.running_containers,
+            "rx_utilization": s.rx_utilization,
+            "tx_utilization": s.tx_utilization,
+        }
+
+
+# ----------------------------------------------------------------------
+# yarn: RM / NM / AM decisions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContainerGranted(TelemetryEvent):
+    """The RM satisfied an allocation request."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "container_granted"
+
+    node_id: int = -1
+    container_id: int = -1
+    memory_bytes: float = 0.0
+    cores: float = 0.0
+
+
+@dataclass(frozen=True)
+class ContainerReleased(TelemetryEvent):
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "container_released"
+
+    node_id: int = -1
+    container_id: int = -1
+
+
+@dataclass(frozen=True)
+class ContainerKilled(TelemetryEvent):
+    """An NM killed a running container (fault, preemption, OOM...)."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "container_killed"
+
+    node_id: int = -1
+    container_id: int = -1
+    reason: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class NodeLost(TelemetryEvent):
+    """The RM expired a node's liveness (crash / decommission)."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "node_lost"
+
+    node_id: int = -1
+
+
+@dataclass(frozen=True)
+class NodeBlacklisted(TelemetryEvent):
+    """An AM stopped requesting containers on a failing node."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "node_blacklisted"
+
+    node_id: int = -1
+    job_id: str = ""
+    failures: int = 0
+
+
+@dataclass(frozen=True)
+class AttemptRetry(TelemetryEvent):
+    """An AM re-queued a failed attempt (the retry ladder)."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "attempt_retry"
+
+    job_id: str = ""
+    task: str = ""
+    attempt: int = 0
+    next_attempt: int = 0
+    failure_kind: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SpeculativeLaunch(TelemetryEvent):
+    """The AM launched a backup attempt for a straggler."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "speculative_launch"
+
+    job_id: str = ""
+    task: str = ""
+    attempt: int = 0
+
+
+# ----------------------------------------------------------------------
+# fault: injected scenario steps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultInjected(TelemetryEvent):
+    """One fault-plan entry was applied (or skipped as moot)."""
+
+    category: ClassVar[str] = "fault"
+    kind: ClassVar[str] = "fault"
+
+    fault_kind: str = ""
+    node_id: int = -1
+    applied: bool = True
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# tuner: MRONLINE decisions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaveOpened(TelemetryEvent):
+    """The tuner handed a fresh batch of test configs to a wave."""
+
+    category: ClassVar[str] = "tuner"
+    kind: ClassVar[str] = "wave_opened"
+
+    job_id: str = ""
+    task_type: str = ""
+    wave: int = 0
+    num_configs: int = 0
+
+
+@dataclass(frozen=True)
+class RuleFired(TelemetryEvent):
+    """A tuning rule adjusted bounds (aggressive) or config (conservative)."""
+
+    category: ClassVar[str] = "tuner"
+    kind: ClassVar[str] = "rule_fired"
+
+    job_id: str = ""
+    task_type: str = ""
+    rule: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SearchDecision(TelemetryEvent):
+    """One hill-climber step: accept / reject / shrink / infeasible..."""
+
+    category: ClassVar[str] = "tuner"
+    kind: ClassVar[str] = "search_decision"
+
+    job_id: str = ""
+    task_type: str = ""
+    decision: str = ""
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# job: submission and completion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSubmitted(TelemetryEvent):
+    category: ClassVar[str] = "job"
+    kind: ClassVar[str] = "job_submitted"
+
+    job_id: str = ""
+    name: str = ""
+    num_maps: int = 0
+    num_reduces: int = 0
+
+
+@dataclass(frozen=True)
+class JobFinished(SpanEvent):
+    """The whole job as a span, emitted when its result materializes."""
+
+    category: ClassVar[str] = "job"
+    kind: ClassVar[str] = "job_finished"
+
+    job_id: str = ""
+    succeeded: bool = True

@@ -1,0 +1,250 @@
+"""Exporters: JSONL event log, Chrome trace, and a metrics summary.
+
+All three are plain bus subscribers.  Because every timestamp is
+simulated time and dispatch order is deterministic, two same-seed runs
+produce byte-identical exports -- the CI trace-digest gate depends on
+this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import (
+    DEFAULT_EXPORT_CATEGORIES,
+    SpanEvent,
+    TelemetryEvent,
+)
+
+#: Simulated seconds -> Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+class JsonlExporter:
+    """Serializes events to JSON Lines: one object per line.
+
+    Key order is fixed (``time``, ``category``, ``kind``, then event
+    fields in declaration order) and floats are emitted verbatim, so
+    the byte stream is a function of the event stream alone.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def attach(
+        self,
+        bus: TelemetryBus,
+        categories: Iterable[str] = DEFAULT_EXPORT_CATEGORIES,
+    ) -> "JsonlExporter":
+        bus.subscribe(self.on_event, categories)
+        return self
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self.records.append(event.to_record())
+
+    def dumps(self) -> str:
+        return "".join(
+            json.dumps(r, separators=(",", ":")) + "\n" for r in self.records
+        )
+
+    def digest(self) -> str:
+        """sha256 of the serialized log (the CI determinism gate)."""
+        return hashlib.sha256(self.dumps().encode()).hexdigest()
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+
+class ChromeTraceExporter:
+    """Renders events in Chrome trace-event JSON (Perfetto-viewable).
+
+    Layout: one trace *process* per cluster node (pid ``node_id + 1``;
+    pid 0 is the cluster-wide track for tuner/job/fault events), one
+    *thread* per span track (container / task lane) within it.  Spans
+    become complete ("ph": "X") slices; point events become
+    thread-scoped instants ("ph": "i").
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TelemetryEvent] = []
+
+    def attach(
+        self,
+        bus: TelemetryBus,
+        categories: Iterable[str] = DEFAULT_EXPORT_CATEGORIES,
+    ) -> "ChromeTraceExporter":
+        bus.subscribe(self.on_event, categories)
+        return self
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    @staticmethod
+    def _pid(event: TelemetryEvent) -> int:
+        node_id = getattr(event, "node_id", -1)
+        if isinstance(node_id, int) and node_id >= 0:
+            return node_id + 1
+        return 0
+
+    @staticmethod
+    def _track(event: TelemetryEvent) -> str:
+        track = getattr(event, "track", "")
+        return track if track else event.category
+
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """The ``traceEvents`` array, metadata first."""
+        # Stable thread ids: assign per-pid ordinals over the sorted
+        # track names so the layout does not depend on event order.
+        tracks: Dict[Tuple[int, str], int] = {}
+        pids = sorted({self._pid(ev) for ev in self.events})
+        for pid in pids:
+            names = sorted(
+                {self._track(ev) for ev in self.events if self._pid(ev) == pid}
+            )
+            for tid, name in enumerate(names, start=1):
+                tracks[(pid, name)] = tid
+
+        out: List[Dict[str, Any]] = []
+        for pid in pids:
+            name = "cluster" if pid == 0 else f"node-{pid - 1}"
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        for (pid, track), tid in sorted(tracks.items()):
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+
+        for ev in self.events:
+            pid = self._pid(ev)
+            tid = tracks[(pid, self._track(ev))]
+            record = ev.to_record()
+            args = {
+                k: v
+                for k, v in record.items()
+                if k not in ("time", "category", "kind")
+            }
+            if isinstance(ev, SpanEvent):
+                out.append(
+                    {
+                        "name": ev.name or ev.kind,
+                        "cat": ev.category,
+                        "ph": "X",
+                        "ts": ev.start * _US,
+                        "dur": ev.duration * _US,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+            else:
+                out.append(
+                    {
+                        "name": ev.kind,
+                        "cat": ev.category,
+                        "ph": "i",
+                        "ts": ev.time * _US,
+                        "pid": pid,
+                        "tid": tid,
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+        return out
+
+    def to_json(self) -> str:
+        doc = {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+        }
+        return json.dumps(doc, separators=(",", ":"))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+
+class MetricsSummary:
+    """Aggregates the stream into a compact per-kind summary table."""
+
+    def __init__(self, bus: Optional[TelemetryBus] = None) -> None:
+        self.bus = bus
+        self.counts: Counter = Counter()
+        self.span_totals: Dict[str, float] = {}
+        self.span_counts: Counter = Counter()
+        self.first_time: Optional[float] = None
+        self.last_time: float = 0.0
+
+    def attach(
+        self,
+        bus: TelemetryBus,
+        categories: Iterable[str] = ("*",),
+    ) -> "MetricsSummary":
+        self.bus = bus
+        bus.subscribe(self.on_event, categories)
+        return self
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self.counts[(event.category, event.kind)] += 1
+        if self.first_time is None:
+            self.first_time = event.time
+        self.last_time = max(self.last_time, event.time)
+        if isinstance(event, SpanEvent):
+            name = event.name or event.kind
+            self.span_totals[name] = self.span_totals.get(name, 0.0) + event.duration
+            self.span_counts[name] += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "events": {
+                f"{cat}.{kind}": n
+                for (cat, kind), n in sorted(self.counts.items())
+            },
+            "spans": {
+                name: {
+                    "count": self.span_counts[name],
+                    "total_seconds": self.span_totals[name],
+                }
+                for name in sorted(self.span_totals)
+            },
+            "counters": dict(sorted(self.bus.counters.items())) if self.bus else {},
+            "span_seconds": [self.first_time or 0.0, self.last_time],
+        }
+
+    def render(self) -> str:
+        from repro.experiments.reporting import format_table
+
+        lines = []
+        if self.counts:
+            rows = [
+                [f"{cat}.{kind}", n]
+                for (cat, kind), n in sorted(self.counts.items())
+            ]
+            lines.append(format_table(["event", "count"], rows))
+        if self.span_totals:
+            rows = [
+                [name, self.span_counts[name], f"{self.span_totals[name]:.1f}"]
+                for name in sorted(self.span_totals)
+            ]
+            lines.append(format_table(["span", "count", "total (s)"], rows))
+        if self.bus and self.bus.counters:
+            rows = [[k, v] for k, v in sorted(self.bus.counters.items())]
+            lines.append(format_table(["counter", "value"], rows))
+        return "\n\n".join(lines) if lines else "(no telemetry events)"

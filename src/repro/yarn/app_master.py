@@ -355,6 +355,13 @@ class MRAppMaster:
             TaskType.REDUCE: Semaphore(sim, depth, name=f"{spec.job_id}-rreq"),
         }
 
+    def _telemetry(self, category: str):
+        """The attached bus if someone subscribed to *category*, else None."""
+        tel = self.sim.telemetry
+        if tel is not None and tel.wants(category):
+            return tel
+        return None
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -364,6 +371,19 @@ class MRAppMaster:
             raise RuntimeError("job already started")
         self._started = True
         self._start_time = self.sim.now
+        tel = self._telemetry("job")
+        if tel is not None:
+            from repro.telemetry.events import JobSubmitted
+
+            tel.emit(
+                JobSubmitted(
+                    time=self.sim.now,
+                    job_id=self.spec.job_id,
+                    name=self.spec.name,
+                    num_maps=self.dataflow.num_maps,
+                    num_reduces=self.dataflow.num_reducers,
+                )
+            )
         self.rm.register_app(self.spec.job_id, weight=self.app_weight)
         for index in range(self.dataflow.num_maps):
             run = self._make_run(TaskType.MAP, index)
@@ -595,6 +615,27 @@ class MRAppMaster:
         else:
             self._cleanup_attempt_output(run, attempt)
             self._note_attempt_failure(stats)
+        tel = self._telemetry("task")
+        if tel is not None:
+            from repro.telemetry.events import AttemptSpan
+
+            container_id = (
+                attempt.container.container_id if attempt.container is not None else -1
+            )
+            tel.emit(
+                AttemptSpan(
+                    time=stats.end_time,
+                    name=f"{ttype.value}.attempt",
+                    start=stats.start_time,
+                    node_id=stats.node_id,
+                    track=f"container-{container_id}" if container_id >= 0 else "am",
+                    job_id=self.spec.job_id,
+                    task=str(task_id),
+                    attempt=attempt.number,
+                    failed=stats.failed,
+                    speculative=stats.speculative,
+                )
+            )
         self._record(stats)
         if gated and admitted:
             self.gate.task_completed(ttype)
@@ -684,7 +725,20 @@ class MRAppMaster:
         count = self._node_failures.get(stats.node_id, 0) + 1
         self._node_failures[stats.node_id] = count
         if count >= self.ft.blacklist_threshold:
+            newly = stats.node_id not in self._blacklisted_nodes
             self._blacklisted_nodes.add(stats.node_id)
+            tel = self._telemetry("yarn")
+            if newly and tel is not None:
+                from repro.telemetry.events import NodeBlacklisted
+
+                tel.emit(
+                    NodeBlacklisted(
+                        time=self.sim.now,
+                        node_id=stats.node_id,
+                        job_id=self.spec.job_id,
+                        failures=count,
+                    )
+                )
 
     @property
     def blacklisted_nodes(self) -> Set[int]:
@@ -726,6 +780,7 @@ class MRAppMaster:
             # safe fallback configuration as a precaution.
             tier = attempt.tier if run.env_failures < 2 else max(attempt.tier, 2)
             config = attempt.config if tier == attempt.tier else None
+            self._emit_retry(run, attempt, stats)
             self._spawn_attempt(run, tier=tier, config=config)
         else:
             # Config-induced (OOM): climb the attempt ladder toward the
@@ -734,7 +789,26 @@ class MRAppMaster:
             if run.config_failures >= self.ft.max_attempts:
                 run.permanent = True
                 return
+            self._emit_retry(run, attempt, stats)
             self._spawn_attempt(run, tier=attempt.tier + 1)
+
+    def _emit_retry(self, run: _TaskRun, attempt: _Attempt, stats: TaskStats) -> None:
+        tel = self._telemetry("yarn")
+        if tel is not None:
+            from repro.telemetry.events import AttemptRetry
+
+            tel.emit(
+                AttemptRetry(
+                    time=self.sim.now,
+                    job_id=self.spec.job_id,
+                    task=str(run.task_id),
+                    attempt=attempt.number,
+                    next_attempt=run.attempt_counter + 1,
+                    failure_kind=stats.failure_kind,
+                    reason=stats.failure_reason,
+                )
+            )
+            tel.increment("yarn.attempt_retries")
 
     def _finalize_run(self, run: _TaskRun) -> None:
         failed = run.winner is None
@@ -858,6 +932,19 @@ class MRAppMaster:
             if primary.container is not None:
                 avoid = (primary.container.node.node_id,)
             self.counters.increment(Counter.SPECULATIVE_TASK_ATTEMPTS)
+            tel = self._telemetry("yarn")
+            if tel is not None:
+                from repro.telemetry.events import SpeculativeLaunch
+
+                tel.emit(
+                    SpeculativeLaunch(
+                        time=now,
+                        job_id=self.spec.job_id,
+                        task=str(run.task_id),
+                        attempt=run.attempt_counter + 1,
+                    )
+                )
+                tel.increment("yarn.speculative_launches")
             self._spawn_attempt(
                 run, speculative=True, tier=primary.tier,
                 config=primary.config, avoid_nodes=avoid,
@@ -868,6 +955,15 @@ class MRAppMaster:
     # ------------------------------------------------------------------
     def _record(self, stats: TaskStats) -> None:
         self.task_stats.append(stats)
+        # The monitor feed: the central monitor subscribes to ``stats``
+        # and picks this up off the bus (SimCluster wiring); direct
+        # ``stats_listeners`` remain for side-effecting consumers (the
+        # tuner) and standalone use.
+        tel = self._telemetry("stats")
+        if tel is not None:
+            from repro.telemetry.events import TaskStatsRecorded
+
+            tel.emit(TaskStatsRecorded(time=stats.end_time, stats=stats))
         c = self.counters
         if stats.failed:
             if stats.failure_kind in ENVIRONMENTAL_KINDS:
@@ -906,4 +1002,18 @@ class MRAppMaster:
                 task_stats=self.task_stats,
                 failure_reasons=reasons,
             )
+            tel = self._telemetry("job")
+            if tel is not None:
+                from repro.telemetry.events import JobFinished
+
+                tel.emit(
+                    JobFinished(
+                        time=self.sim.now,
+                        name=self.spec.name,
+                        start=self._start_time,
+                        track="jobs",
+                        job_id=self.spec.job_id,
+                        succeeded=result.succeeded,
+                    )
+                )
             self.completion.succeed(result)

@@ -100,6 +100,20 @@ class NodeManager:
             if self.network is not None:
                 self.network.scheduler.cancel_prefix(prefix)
         self.kills[reason.kind] = self.kills.get(reason.kind, 0) + 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.wants("yarn"):
+            from repro.telemetry.events import ContainerKilled
+
+            tel.emit(
+                ContainerKilled(
+                    time=self.sim.now,
+                    node_id=self.node.node_id,
+                    container_id=container.container_id,
+                    reason=reason.kind,
+                    detail=reason.detail,
+                )
+            )
+            tel.increment("yarn.containers_killed")
         process.interrupt(reason)
         return True
 

@@ -103,6 +103,11 @@ class ResourceManager:
         if node_id in self._lost_nodes:
             return
         self._lost_nodes[node_id] = self.sim.now
+        tel = self.sim.telemetry
+        if tel is not None and tel.wants("yarn"):
+            from repro.telemetry.events import NodeLost
+
+            tel.emit(NodeLost(time=self.sim.now, node_id=node_id))
         self.scheduler.mark_node_lost(node_id)
         nm = self._node_managers.get(node_id)
         if nm is not None:
@@ -143,6 +148,17 @@ class ResourceManager:
         container.node.release(container.memory_bytes, container.vcores)
         container.node.containers.pop(container.container_id, None)
         self._live_containers.pop(container.container_id, None)
+        tel = self.sim.telemetry
+        if tel is not None and tel.wants("yarn"):
+            from repro.telemetry.events import ContainerReleased
+
+            tel.emit(
+                ContainerReleased(
+                    time=self.sim.now,
+                    node_id=container.node.node_id,
+                    container_id=container.container_id,
+                )
+            )
         self.scheduler.on_released(
             container.app_id,
             _resource_of(container),
@@ -178,6 +194,20 @@ class ResourceManager:
             self._live_containers[container.container_id] = container
             self.scheduler.on_allocated(request.app_id, request.resource)
             self.containers_granted += 1
+            tel = self.sim.telemetry
+            if tel is not None and tel.wants("yarn"):
+                from repro.telemetry.events import ContainerGranted
+
+                tel.emit(
+                    ContainerGranted(
+                        time=self.sim.now,
+                        node_id=node.node_id,
+                        container_id=container.container_id,
+                        memory_bytes=float(container.memory_bytes),
+                        cores=float(container.vcores),
+                    )
+                )
+                tel.increment("yarn.containers_granted")
             grant = self._grants.pop(request.request_id, None)
             if grant is None:
                 raise SimulationError(f"no grant event for {request!r}")

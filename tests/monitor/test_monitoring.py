@@ -55,6 +55,35 @@ class TestTaskStats:
         assert stats(map_output_records=0, spilled_records=0).spill_ratio == 0.0
         assert stats(map_output_records=0, spilled_records=5).spill_ratio == 1.0
 
+    def test_spill_ratio_reduce_uses_shuffled_records(self):
+        # A reduce attempt's denominator is its shuffled record count --
+        # map-side counters must not leak into the reduce ratio.
+        s = stats(
+            task_type=TaskType.REDUCE,
+            spilled_records=50,
+            map_output_records=1000,
+            combine_output_records=500,
+            reduce_input_records=200,
+        )
+        assert s.spill_ratio == pytest.approx(0.25)
+
+    def test_spill_ratio_reduce_zero_denominator(self):
+        s = stats(task_type=TaskType.REDUCE, reduce_input_records=0, spilled_records=0)
+        assert s.spill_ratio == 0.0
+        s = stats(task_type=TaskType.REDUCE, reduce_input_records=0, spilled_records=9)
+        assert s.spill_ratio == 1.0
+
+    def test_cpu_utilization_zero_cores(self):
+        assert stats(allocated_cores=0.0).cpu_utilization == 0.0
+
+    def test_cpu_utilization_capped(self):
+        assert stats(cpu_seconds=1e6).cpu_utilization == 1.0
+
+    def test_negative_duration_clamped(self):
+        # A failed attempt can record end_time == start_time (or, with
+        # clock skew in a real deployment, even earlier); never negative.
+        assert stats(start_time=10.0, end_time=4.0).duration == 0.0
+
 
 class TestTimeline:
     def test_time_weighted_mean(self):
@@ -79,6 +108,95 @@ class TestTimeline:
     def test_empty(self):
         assert UtilizationTimeline().mean() == 0.0
         assert UtilizationTimeline().latest() is None
+
+    def test_window_carries_pre_window_level(self):
+        # The level in effect when the window opens comes from the last
+        # pre-window sample: value 0 still holds over [5, 10).
+        tl = UtilizationTimeline()
+        tl.add(0.0, 0.0)
+        tl.add(10.0, 1.0)
+        tl.add(20.0, 1.0)
+        assert tl.mean(since=5.0) == pytest.approx(2.0 / 3.0)
+
+    def test_window_aligned_with_sample_needs_no_boundary(self):
+        tl = UtilizationTimeline()
+        tl.add(0.0, 0.0)
+        tl.add(10.0, 1.0)
+        tl.add(20.0, 1.0)
+        assert tl.mean(since=10.0) == pytest.approx(1.0)
+
+    def test_window_past_last_sample_holds_the_level(self):
+        tl = UtilizationTimeline()
+        tl.add(0.0, 0.2)
+        tl.add(10.0, 0.8)
+        assert tl.mean(since=25.0) == pytest.approx(0.8)
+
+
+class TestProgressBoard:
+    def make_board(self):
+        from repro.monitor.statistics import ProgressBoard
+
+        return ProgressBoard()
+
+    def tid(self, index=0, task_type=TaskType.MAP):
+        return TaskId("j1", task_type, index)
+
+    def test_start_update_finish_lifecycle(self):
+        board = self.make_board()
+        board.start(self.tid(), 1, TaskType.MAP, node_id=0, now=0.0)
+        board.update(self.tid(), 1, 0.5)
+        (entry,) = board.running()
+        assert entry.fraction == 0.5
+        board.finish(self.tid(), 1)
+        assert board.running() == []
+
+    def test_update_is_monotonic_and_capped(self):
+        board = self.make_board()
+        board.start(self.tid(), 1, TaskType.MAP, node_id=0, now=0.0)
+        board.update(self.tid(), 1, 0.6)
+        board.update(self.tid(), 1, 0.3)  # stale report never regresses
+        assert board.running()[0].fraction == 0.6
+        board.update(self.tid(), 1, 7.0)
+        assert board.running()[0].fraction == 1.0
+
+    def test_update_unknown_attempt_ignored(self):
+        board = self.make_board()
+        board.update(self.tid(), 1, 0.5)  # never started
+        assert board.running() == []
+
+    def test_attempts_of_orders_speculative_backups(self):
+        board = self.make_board()
+        board.start(self.tid(), 2, TaskType.MAP, node_id=1, now=5.0)
+        board.start(self.tid(), 1, TaskType.MAP, node_id=0, now=0.0)
+        board.start(self.tid(index=1), 1, TaskType.MAP, node_id=2, now=0.0)
+        attempts = board.attempts_of(self.tid())
+        assert [a.attempt for a in attempts] == [1, 2]
+        assert all(str(a.task_id) == str(self.tid()) for a in attempts)
+
+    def test_speculative_finish_removes_only_that_attempt(self):
+        # The loser of a speculative race is cleaned up independently of
+        # the winner: finishing attempt 1 leaves the backup running.
+        board = self.make_board()
+        board.start(self.tid(), 1, TaskType.MAP, node_id=0, now=0.0)
+        board.start(self.tid(), 2, TaskType.MAP, node_id=1, now=5.0)
+        board.finish(self.tid(), 1)
+        assert [a.attempt for a in board.attempts_of(self.tid())] == [2]
+        board.finish(self.tid(), 2)
+        assert board.attempts_of(self.tid()) == []
+
+    def test_finish_is_idempotent(self):
+        board = self.make_board()
+        board.start(self.tid(), 1, TaskType.MAP, node_id=0, now=0.0)
+        board.finish(self.tid(), 1)
+        board.finish(self.tid(), 1)  # double cleanup must not raise
+        assert board.running() == []
+
+    def test_running_order_is_deterministic(self):
+        board = self.make_board()
+        board.start(self.tid(index=2), 1, TaskType.REDUCE, node_id=0, now=0.0)
+        board.start(self.tid(index=0), 1, TaskType.MAP, node_id=1, now=1.0)
+        keys = [(str(p.task_id), p.attempt) for p in board.running()]
+        assert keys == sorted(keys)
 
 
 class TestCentralMonitor:
@@ -157,3 +275,42 @@ class TestSlaveMonitor:
         mon = SlaveMonitor(sim, nm, lambda s: None, network=cluster.network)
         s = mon.sample()
         assert s.cpu_utilization == pytest.approx(0.5)
+
+
+class TestMonitorsOnTheBus:
+    """The refactored wiring: monitors as telemetry-bus subscribers."""
+
+    def test_central_monitor_consumes_bus_feeds(self):
+        from repro.telemetry import NodeSampled, TaskStatsRecorded, TelemetryBus
+
+        sim = Simulator()
+        bus = TelemetryBus(clock=lambda: sim.now)
+        mon = CentralMonitor(sim, bus=bus)
+        bus.emit(TaskStatsRecorded(time=10.0, stats=stats(job="a")))
+        bus.emit(NodeSampled(time=5.0, stats=NodeStats(0, 5.0, 0.3, 0.6, 1)))
+        assert len(mon.stats_for_job("a")) == 1
+        assert mon.mean_cpu_utilization() == pytest.approx(0.3)
+
+    def test_slave_monitor_publishes_to_bus_without_sink(self):
+        from repro.telemetry import TelemetryBus
+
+        sim = Simulator()
+        bus = TelemetryBus(clock=lambda: sim.now)
+        sim.attach_telemetry(bus)
+        cluster = Cluster(sim, ClusterSpec(num_slaves=1, racks=(1,)))
+        nm = NodeManager(sim, cluster.nodes[0])
+        seen = []
+        bus.subscribe(seen.append, categories=("node",))
+        mon = SlaveMonitor(sim, nm, sink=None, interval=2.0, network=cluster.network)
+        mon.start()
+        sim.run(until=5.0)
+        assert len(seen) == 3  # t = 0, 2, 4
+        assert all(ev.category == "node" for ev in seen)
+
+    def test_slave_monitor_without_bus_or_sink_is_silent(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_slaves=1, racks=(1,)))
+        nm = NodeManager(sim, cluster.nodes[0])
+        mon = SlaveMonitor(sim, nm, sink=None, interval=2.0)
+        mon.start()
+        sim.run(until=5.0)  # nothing to assert beyond "does not raise"

@@ -69,12 +69,21 @@ class TestRunSafety:
         assert isinstance(p.exception, SimulationError)
 
     def test_trace_log(self):
-        sim = Simulator(trace=True)
+        # trace= is deprecated in favour of the telemetry bus, but the
+        # shim still records into the (now bounded) trace_log deque.
+        with pytest.warns(DeprecationWarning):
+            sim = Simulator(trace=True)
         sim.timeout(1.0)
         sim.timeout(2.0)
         sim.run()
         assert len(sim.trace_log) == 2
         assert sim.trace_log[0][0] == 1.0
+
+    def test_trace_log_is_bounded(self):
+        from repro.sim.engine import TRACE_LOG_LIMIT
+
+        sim = Simulator()
+        assert sim.trace_log.maxlen == TRACE_LOG_LIMIT
 
     def test_events_executed_counter(self):
         sim = Simulator()

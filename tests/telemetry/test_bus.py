@@ -1,0 +1,100 @@
+"""Unit tests for the telemetry bus: dispatch, gating, counters."""
+
+import pytest
+
+from repro.telemetry import (
+    CATEGORIES,
+    ContainerGranted,
+    JobSubmitted,
+    SimEventExecuted,
+    TelemetryBus,
+)
+
+
+def make_bus(now=0.0):
+    return TelemetryBus(clock=lambda: now)
+
+
+class TestSubscription:
+    def test_wants_nothing_by_default(self):
+        bus = make_bus()
+        for category in CATEGORIES:
+            assert not bus.wants(category)
+        assert not bus.sim_events_wanted
+
+    def test_wants_subscribed_category_only(self):
+        bus = make_bus()
+        bus.subscribe(lambda e: None, categories=("yarn",))
+        assert bus.wants("yarn")
+        assert not bus.wants("tuner")
+
+    def test_wildcard_wants_everything(self):
+        bus = make_bus()
+        bus.subscribe(lambda e: None)  # default: ("*",)
+        for category in CATEGORIES:
+            assert bus.wants(category)
+        assert bus.sim_events_wanted
+
+    def test_sim_flag_tracks_explicit_sim_subscription(self):
+        bus = make_bus()
+        bus.subscribe(lambda e: None, categories=("yarn",))
+        assert not bus.sim_events_wanted
+        bus.subscribe(lambda e: None, categories=("sim",))
+        assert bus.sim_events_wanted
+
+    def test_unknown_category_rejected(self):
+        bus = make_bus()
+        with pytest.raises(ValueError, match="unknown telemetry category"):
+            bus.subscribe(lambda e: None, categories=("bogus",))
+
+
+class TestDispatch:
+    def test_emit_reaches_category_sinks_in_order(self):
+        bus = make_bus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e)), categories=("yarn",))
+        bus.subscribe(lambda e: seen.append(("b", e)), categories=("yarn",))
+        ev = ContainerGranted(time=1.0, node_id=0, container_id=7)
+        bus.emit(ev)
+        assert seen == [("a", ev), ("b", ev)]
+
+    def test_emit_skips_other_categories(self):
+        bus = make_bus()
+        seen = []
+        bus.subscribe(seen.append, categories=("tuner",))
+        bus.emit(ContainerGranted(time=1.0))
+        assert seen == []
+
+    def test_wildcard_after_category_sinks(self):
+        bus = make_bus()
+        seen = []
+        bus.subscribe(lambda e: seen.append("cat"), categories=("job",))
+        bus.subscribe(lambda e: seen.append("wild"))
+        bus.emit(JobSubmitted(time=0.0, job_id="job_1"))
+        assert seen == ["cat", "wild"]
+
+    def test_sim_events_reach_wildcard(self):
+        bus = make_bus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(SimEventExecuted(time=2.0, description="x"))
+        assert len(seen) == 1
+
+
+class TestClockAndCounters:
+    def test_now_reads_the_clock(self):
+        times = [3.5]
+        bus = TelemetryBus(clock=lambda: times[0])
+        assert bus.now == 3.5
+        times[0] = 9.0
+        assert bus.now == 9.0
+
+    def test_counters_accumulate(self):
+        bus = make_bus()
+        bus.increment("yarn.containers_granted")
+        bus.increment("yarn.containers_granted")
+        bus.increment("faults.applied", 3.0)
+        assert bus.counters == {
+            "yarn.containers_granted": 2.0,
+            "faults.applied": 3.0,
+        }

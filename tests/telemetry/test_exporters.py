@@ -1,0 +1,164 @@
+"""Unit tests for the exporters: JSONL, Chrome trace, metrics summary."""
+
+import json
+
+from repro.telemetry import (
+    ChromeTraceExporter,
+    ContainerGranted,
+    JsonlExporter,
+    MetricsSummary,
+    TaskPhaseSpan,
+    TelemetryBus,
+    WaveOpened,
+)
+
+
+def make_bus():
+    return TelemetryBus(clock=lambda: 0.0)
+
+
+def sample_events():
+    return [
+        ContainerGranted(
+            time=1.0, node_id=2, container_id=5, memory_bytes=1024.0, cores=1.0
+        ),
+        TaskPhaseSpan(
+            time=8.0,
+            name="map.read",
+            start=3.0,
+            node_id=2,
+            track="container-5",
+            job_id="job_1",
+            task="job_1_m_000000",
+            attempt=1,
+            detail={"input_bytes": 4096},
+        ),
+        WaveOpened(time=9.0, job_id="job_1", task_type="map", wave=1, num_configs=4),
+    ]
+
+
+class TestJsonlExporter:
+    def test_records_and_key_order(self):
+        bus = make_bus()
+        exporter = JsonlExporter().attach(bus)
+        for ev in sample_events():
+            bus.emit(ev)
+        assert len(exporter.records) == 3
+        first = exporter.records[0]
+        assert list(first)[:3] == ["time", "category", "kind"]
+        assert first["kind"] == "container_granted"
+        assert first["node_id"] == 2
+
+    def test_dumps_is_valid_jsonl(self):
+        bus = make_bus()
+        exporter = JsonlExporter().attach(bus)
+        for ev in sample_events():
+            bus.emit(ev)
+        lines = exporter.dumps().splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[1]["detail"] == {"input_bytes": 4096}
+        assert parsed[2]["category"] == "tuner"
+
+    def test_digest_is_a_function_of_the_stream(self):
+        a, b = JsonlExporter(), JsonlExporter()
+        for exporter in (a, b):
+            bus = make_bus()
+            exporter.attach(bus)
+            for ev in sample_events():
+                bus.emit(ev)
+        assert a.digest() == b.digest()
+        extra = make_bus()
+        b.attach(extra)
+        extra.emit(WaveOpened(time=10.0, wave=2))
+        assert a.digest() != b.digest()
+
+    def test_save_round_trips(self, tmp_path):
+        bus = make_bus()
+        exporter = JsonlExporter().attach(bus)
+        bus.emit(sample_events()[0])
+        path = tmp_path / "trace.jsonl"
+        exporter.save(str(path))
+        assert path.read_text() == exporter.dumps()
+
+
+class TestChromeTraceExporter:
+    def collect(self):
+        bus = make_bus()
+        exporter = ChromeTraceExporter().attach(bus)
+        for ev in sample_events():
+            bus.emit(ev)
+        return exporter
+
+    def test_document_shape(self):
+        doc = json.loads(self.collect().to_json())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_process_and_thread_metadata(self):
+        events = self.collect().trace_events()
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["args"]["name"]) for e in meta}
+        # pid 0 hosts the cluster-wide tuner event; pid 3 is node 2.
+        assert ("process_name", 0, "cluster") in names
+        assert ("process_name", 3, "node-2") in names
+        assert any(n[0] == "thread_name" and n[2] == "container-5" for n in names)
+
+    def test_span_becomes_complete_event_in_microseconds(self):
+        events = self.collect().trace_events()
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 1
+        (sl,) = slices
+        assert sl["name"] == "map.read"
+        assert sl["ts"] == 3.0 * 1e6
+        assert sl["dur"] == 5.0 * 1e6
+        assert sl["args"]["detail"] == {"input_bytes": 4096}
+
+    def test_point_events_become_instants(self):
+        events = self.collect().trace_events()
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"container_granted", "wave_opened"}
+        for e in instants:
+            assert e["s"] == "t"
+
+    def test_tids_stable_under_event_reordering(self):
+        a = self.collect()
+        bus = make_bus()
+        b = ChromeTraceExporter().attach(bus)
+        for ev in reversed(sample_events()):
+            bus.emit(ev)
+
+        def layout(exporter):
+            return {
+                (e["pid"], e["tid"], e["args"]["name"])
+                for e in exporter.trace_events()
+                if e["ph"] == "M" and e["name"] == "thread_name"
+            }
+
+        assert layout(a) == layout(b)
+
+
+class TestMetricsSummary:
+    def test_counts_spans_and_counters(self):
+        bus = make_bus()
+        summary = MetricsSummary().attach(bus, categories=("yarn", "task", "tuner"))
+        for ev in sample_events():
+            bus.emit(ev)
+        bus.increment("yarn.containers_granted")
+        d = summary.as_dict()
+        assert d["events"]["yarn.container_granted"] == 1
+        assert d["events"]["task.phase"] == 1
+        assert d["spans"]["map.read"] == {"count": 1, "total_seconds": 5.0}
+        assert d["counters"] == {"yarn.containers_granted": 1.0}
+        assert d["span_seconds"] == [1.0, 9.0]
+
+    def test_render_mentions_each_section(self):
+        bus = make_bus()
+        summary = MetricsSummary().attach(bus, categories=("task",))
+        bus.emit(sample_events()[1])
+        text = summary.render()
+        assert "task.phase" in text
+        assert "map.read" in text
+
+    def test_render_empty(self):
+        assert MetricsSummary().render() == "(no telemetry events)"

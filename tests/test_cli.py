@@ -60,3 +60,22 @@ class TestCommands:
         assert main(["whatif", "--size-gb", "1"]) == 0
         out = capsys.readouterr().out
         assert "best" in out
+
+    def test_trace_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace-out"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--blocks", "2",
+                    "--reducers", "1",
+                    "--out", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "digest:" in out
+        assert "wordcount-wikipedia" in out
+        for name in ("trace.jsonl", "trace.chrome.json", "trace.summary.txt"):
+            assert (out_dir / name).exists()
