@@ -23,10 +23,11 @@ what factor, and where crossovers fall.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import statistics
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.hill_climbing import HillClimbSettings
 from repro.experiments.reporting import FigureReport
@@ -73,6 +74,44 @@ def emit(report: FigureReport) -> str:
     slug = report.figure.lower().replace(" ", "_")
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
     return text
+
+
+#: Version of the ``BENCH_*.json`` result schema.  v1 records wall time
+#: and -- when the caller passes the simulator's event counter --
+#: derived events/sec, so successive PRs leave a comparable perf
+#: trajectory under ``benchmarks/results/``.
+BENCH_SCHEMA_VERSION = 1
+
+
+def record_bench(
+    name: str,
+    wall_time_s: float,
+    events_executed: Optional[int] = None,
+    extra: Optional[dict] = None,
+) -> pathlib.Path:
+    """Persist one measurement as ``benchmarks/results/BENCH_<name>.json``.
+
+    ``events_executed`` is the simulator's diagnostic counter for the
+    measured run; events/sec is derived from it so throughput survives
+    alongside raw wall time (wall time alone is meaningless across
+    machines, events/sec at least normalises per-event cost).
+    """
+    events_per_sec = None
+    if events_executed is not None and wall_time_s > 0:
+        events_per_sec = round(events_executed / wall_time_s, 1)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "wall_time_s": round(float(wall_time_s), 6),
+        "events_executed": events_executed,
+        "events_per_sec": events_per_sec,
+    }
+    if extra:
+        payload.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_once(benchmark, fn):

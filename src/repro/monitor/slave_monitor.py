@@ -56,8 +56,7 @@ class SlaveMonitor:
         node = self.nm.node
         rx = tx = 0.0
         if self.network is not None:
-            rx = self.network.rx_utilization(node)
-            tx = self.network.tx_utilization(node)
+            rx, tx = self.network.nic_utilization(node)
         return NodeStats(
             node_id=node.node_id,
             time=self.sim.now,

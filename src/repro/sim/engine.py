@@ -4,6 +4,13 @@ The :class:`Simulator` owns a binary-heap event calendar keyed by
 ``(time, priority, sequence)``.  The sequence number makes event ordering
 total and deterministic, which in turn makes every experiment in this
 repository reproducible bit-for-bit under a fixed seed.
+
+Hot-path notes: :meth:`Simulator.run` and
+:meth:`Simulator.run_until_complete` inline the pop-and-fire loop of
+:meth:`Simulator.step` with the heap bound to locals, the telemetry
+event class is imported once and cached at module level (the per-event
+``from ... import`` was measurable), and ``repr(event)`` is only built
+when a trace or telemetry consumer actually exists.
 """
 
 from __future__ import annotations
@@ -25,6 +32,33 @@ class SimulationError(RuntimeError):
 #: Cap on the deprecated :attr:`Simulator.trace_log`: long traced runs
 #: keep only the most recent entries instead of growing without bound.
 TRACE_LOG_LIMIT = 100_000
+
+# Lazily-imported collaborator classes.  ``repro.sim.events`` and
+# ``repro.telemetry.events`` both import this module, so the imports
+# cannot sit at module scope; caching them here keeps the per-call
+# import machinery out of the hot paths.
+_EVENT_CLS = None
+_TIMEOUT_CLS = None
+_PROCESS_CLS = None
+_SIM_EVENT_EXECUTED_CLS = None
+
+
+def _event_classes():
+    global _EVENT_CLS, _TIMEOUT_CLS, _PROCESS_CLS
+    if _EVENT_CLS is None:
+        from repro.sim.events import Event, Process, Timeout
+
+        _EVENT_CLS, _TIMEOUT_CLS, _PROCESS_CLS = Event, Timeout, Process
+    return _EVENT_CLS, _TIMEOUT_CLS, _PROCESS_CLS
+
+
+def _sim_event_executed_cls():
+    global _SIM_EVENT_EXECUTED_CLS
+    if _SIM_EVENT_EXECUTED_CLS is None:
+        from repro.telemetry.events import SimEventExecuted
+
+        _SIM_EVENT_EXECUTED_CLS = SimEventExecuted
+    return _SIM_EVENT_EXECUTED_CLS
 
 
 class Simulator:
@@ -93,23 +127,17 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> "Timeout":
         """Return a :class:`Timeout` event firing after *delay* seconds."""
-        from repro.sim.events import Timeout
-
-        return Timeout(self, delay, value)
+        return _event_classes()[1](self, delay, value)
 
     def event(self) -> "Event":
         """Return a fresh, untriggered :class:`Event`."""
-        from repro.sim.events import Event
-
-        return Event(self)
+        return _event_classes()[0](self)
 
     def process(
         self, generator: Generator["Event", Any, Any], name: Optional[str] = None
     ) -> "Process":
         """Wrap *generator* in a :class:`Process` and start it immediately."""
-        from repro.sim.events import Process
-
-        proc = Process(self, generator, name=name)
+        proc = _event_classes()[2](self, generator, name=name)
         tel = self.telemetry
         if tel is not None and tel.sim_events_wanted:
             from repro.telemetry.events import ProcessFinished, ProcessStarted
@@ -133,22 +161,25 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _execute(self, when: float, event: "Event") -> None:
+        """Bookkeeping + firing for one live event (clock already popped)."""
+        self._now = when
+        self.events_executed += 1
+        if self.trace:
+            self.trace_log.append((when, repr(event)))
+        tel = self.telemetry
+        if tel is not None and tel.sim_events_wanted:
+            tel.emit(_sim_event_executed_cls()(time=when, description=repr(event)))
+        event.fire()
+
     def step(self) -> bool:
         """Execute the next event.  Returns False when the calendar is empty."""
-        while self._queue:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            when, _prio, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            self._now = when
-            self.events_executed += 1
-            if self.trace:
-                self.trace_log.append((when, repr(event)))
-            tel = self.telemetry
-            if tel is not None and tel.sim_events_wanted:
-                from repro.telemetry.events import SimEventExecuted
-
-                tel.emit(SimEventExecuted(time=when, description=repr(event)))
-            event.fire()
+            self._execute(when, event)
             return True
         return False
 
@@ -172,14 +203,25 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        queue = self._queue
+        execute = self._execute
         try:
             executed = 0
-            while self._queue:
-                when = self._queue[0][0]
-                if until is not None and when > until:
+            while queue:
+                if until is not None and queue[0][0] > until:
                     self._now = until
                     break
-                if not self.step():
+                # Inlined step(): pop until one live event fires.
+                fired = False
+                while queue:
+                    when, _prio, _seq, event = heappop(queue)
+                    if event.cancelled:
+                        continue
+                    execute(when, event)
+                    fired = True
+                    break
+                if not fired:
                     break
                 executed += 1
                 if executed > max_events:
@@ -199,9 +241,21 @@ class Simulator:
         Raises the event's exception if it failed, and
         :class:`SimulationError` if the calendar drains first.
         """
+        heappop = heapq.heappop
+        queue = self._queue
+        execute = self._execute
         executed = 0
         while not event.triggered:
-            if not self.step():
+            # Inlined step(): pop until one live event fires.
+            fired = False
+            while queue:
+                when, _prio, _seq, popped = heappop(queue)
+                if popped.cancelled:
+                    continue
+                execute(when, popped)
+                fired = True
+                break
+            if not fired:
                 raise SimulationError(
                     f"event calendar drained before {event!r} triggered"
                 )

@@ -140,18 +140,13 @@ class Process(Event):
     def _resume(self, fired: Event) -> None:
         self._waiting_on = None
         try:
-            if fired.exception is not None and not isinstance(fired, Process):
-                target = self.generator.throw(fired.exception)
-            elif fired.exception is not None:
-                # A failed child process propagates its exception.
+            if fired.exception is not None:
+                # A failed event (or child process) propagates its exception.
                 target = self.generator.throw(fired.exception)
             else:
                 target = self.generator.send(fired.value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
-            return
-        except Interrupt as exc:
-            self.fail(exc)
             return
         except BaseException as exc:
             self.fail(exc)

@@ -12,6 +12,30 @@ active flow by the elapsed time at its previous rate, recomputes the
 max-min allocation, and schedules a completion event for the earliest
 finisher.  Stale completion events are invalidated by a token counter.
 
+Hot-path notes
+--------------
+This module sits under every simulated byte and core-second, so the
+scheduler keeps its bookkeeping incremental:
+
+* per-link active-flow counts are maintained across calls (flow
+  add/remove updates them) instead of being rebuilt from scratch on
+  every recompute;
+* the allocator writes rates in-place on :class:`Flow` objects rather
+  than materialising a ``Dict[Flow, float]`` per recompute;
+* an epoch counter tracks mutations (flow set or link capacities), so
+  read-only consumers such as :meth:`FlowScheduler.utilization` -- the
+  monitors poll it every heartbeat -- skip recomputation entirely when
+  nothing changed since the last allocation;
+* flow removal rebuilds the active list in one pass instead of paying
+  ``list.remove`` per finished flow.
+
+Determinism: the float arithmetic inside :func:`_fill_rates` mirrors
+the original dict-returning implementation operation-for-operation, and
+the active-flow list keeps strict insertion order (completion-time ties
+and utilization float sums are order-sensitive), so event streams stay
+byte-identical across the optimization (see
+``tests/sim/test_kernel_equivalence.py``).
+
 Complexity per recompute is ``O(iterations * (links + flows))`` with at
 least one flow or link frozen per iteration; schedulers in this
 repository are kept node-local (per-disk, per-CPU) or cluster-global
@@ -20,7 +44,8 @@ repository are kept node-local (per-disk, per-CPU) or cluster-global
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event
@@ -31,14 +56,13 @@ _EPS = 1e-12
 class Link:
     """A capacity-limited resource (bytes/s, ops/s, core-seconds/s)."""
 
-    __slots__ = ("name", "capacity", "_active")
+    __slots__ = ("name", "capacity")
 
     def __init__(self, name: str, capacity: float) -> None:
         if capacity <= 0:
             raise ValueError(f"link {name!r} needs positive capacity, got {capacity}")
         self.name = name
         self.capacity = float(capacity)
-        self._active: int = 0  # maintained by the scheduler
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<Link {self.name} cap={self.capacity:g}>"
@@ -70,25 +94,20 @@ class Flow:
         return f"<Flow {self.label} remaining={self.remaining:g} rate={self.rate:g}>"
 
 
-def maxmin_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
-    """Progressive-filling max-min fair allocation with per-flow caps.
+def _fill_rates(active: List[Flow], counts: Dict[Link, int]) -> None:
+    """Progressive-filling max-min fair allocation, written in-place.
 
-    Returns a mapping flow -> rate.  Each iteration either freezes all
-    flows bottlenecked at the tightest link at that link's fair share,
-    or freezes flows whose cap is below the current water level, so the
-    loop terminates in at most ``len(flows)`` iterations.
+    ``active`` is only read (iteration rebinds a local); ``counts``
+    (link -> number of active flows crossing it) is consumed.  Each
+    iteration either freezes all flows whose cap is below the current
+    water level, or freezes every flow crossing a bottleneck link, so
+    the loop terminates in at most ``len(active)`` iterations.
+
+    The float expressions here must stay operation-identical to the
+    historical implementation: allocations feed completion times, and
+    completion times feed the golden run digests.
     """
-    rates: Dict[Flow, float] = {}
-    if not flows:
-        return rates
-    active: List[Flow] = list(flows)
-    cap_left: Dict[Link, float] = {}
-    counts: Dict[Link, int] = {}
-    for f in active:
-        for link in f.links:
-            cap_left.setdefault(link, link.capacity)
-            counts[link] = counts.get(link, 0) + 1
-
+    cap_left: Dict[Link, float] = {link: link.capacity for link in counts}
     while active:
         # Fair share on the currently tightest link.
         water = float("inf")
@@ -99,29 +118,59 @@ def maxmin_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
                     water = share
         if water == float("inf"):  # all remaining flows traverse no links
             for f in active:
-                rates[f] = f.cap
-            break
-        capped = [f for f in active if f.cap <= water + _EPS]
-        if capped:
-            frozen = capped
-            frozen_rates = {f: min(f.cap, water) for f in frozen}
+                f.rate = f.cap
+            return
+        threshold = water + _EPS
+        frozen: List[Flow] = []
+        rest: List[Flow] = []
+        for f in active:
+            if f.cap <= threshold:
+                frozen.append(f)
+            else:
+                rest.append(f)
+        if frozen:
+            for f in frozen:
+                f.rate = min(f.cap, water)
         else:
             # Freeze every flow crossing a bottleneck link.
             bottlenecks = {
                 link
                 for link, n in counts.items()
-                if n > 0 and cap_left[link] / n <= water + _EPS
+                if n > 0 and cap_left[link] / n <= threshold
             }
-            frozen = [f for f in active if any(lnk in bottlenecks for lnk in f.links)]
-            frozen_rates = {f: water for f in frozen}
+            rest = []
+            for f in active:
+                for lnk in f.links:
+                    if lnk in bottlenecks:
+                        frozen.append(f)
+                        break
+                else:
+                    rest.append(f)
+            for f in frozen:
+                f.rate = water
         for f in frozen:
-            r = frozen_rates[f]
-            rates[f] = r
+            r = f.rate
             for link in f.links:
                 cap_left[link] = max(0.0, cap_left[link] - r)
                 counts[link] -= 1
-        active = [f for f in active if f not in rates]
-    return rates
+        active = rest
+
+
+def maxmin_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """Max-min fair allocation with per-flow caps; returns flow -> rate.
+
+    Compatibility wrapper around the in-place allocator the scheduler
+    uses on its hot path: rates are *also* written to ``flow.rate`` as
+    a side effect.
+    """
+    if not flows:
+        return {}
+    counts: Dict[Link, int] = {}
+    for f in flows:
+        for link in f.links:
+            counts[link] = counts.get(link, 0) + 1
+    _fill_rates(list(flows), counts)
+    return {f: f.rate for f in flows}
 
 
 class FlowScheduler:
@@ -130,9 +179,21 @@ class FlowScheduler:
     def __init__(self, sim: Simulator, name: str = "flows") -> None:
         self.sim = sim
         self.name = name
+        #: Active flows in strict insertion order.  Order is load-bearing:
+        #: completion ties fire in insertion order and utilization float
+        #: sums accumulate in it, both of which feed the run digests.
         self._flows: List[Flow] = []
+        #: Incremental link -> active-flow-count bookkeeping; links drop
+        #: out when their count reaches zero.
+        self._link_counts: Dict[Link, int] = {}
         self._last_update: float = 0.0
         self._token: int = 0  # invalidates stale completion events
+        #: Mutation epoch: bumped whenever the active-flow set or a link
+        #: capacity changes.  ``_rates_epoch`` records the epoch the
+        #: current ``Flow.rate`` values were computed at, so read paths
+        #: skip the allocator entirely while the two match.
+        self._epoch: int = 1
+        self._rates_epoch: int = 0
         #: Total work completed through this scheduler (diagnostics).
         self.completed_work: float = 0.0
         self.completed_flows: int = 0
@@ -159,6 +220,7 @@ class FlowScheduler:
         flow.started_at = self.sim.now
         self._advance()
         self._flows.append(flow)
+        self._track(flow)
         self._reschedule()
         return done
 
@@ -178,6 +240,7 @@ class FlowScheduler:
             )
         self._advance()
         link.capacity = float(capacity)
+        self._epoch += 1
         self._reschedule()
 
     def cancel_prefix(self, prefix: str) -> int:
@@ -194,41 +257,81 @@ class FlowScheduler:
         if not dropped:
             return 0
         self._flows = [f for f in self._flows if not f.label.startswith(prefix)]
+        for f in dropped:
+            self._untrack(f)
         self._reschedule()
         return len(dropped)
 
     def utilization(self, link: Link) -> float:
         """Fraction of *link* capacity currently allocated."""
-        self._advance_rates_only()
+        self._refresh_rates()
         used = sum(f.rate for f in self._flows if link in f.links)
         return min(1.0, used / link.capacity)
 
+    def utilizations(self, links: Iterable[Link]) -> Tuple[float, ...]:
+        """Utilization for several links in one pass over active flows.
+
+        Equivalent to ``tuple(self.utilization(l) for l in links)`` --
+        including bit-identical float sums, since per-link accumulation
+        follows the same active-flow order -- but scans the flow list
+        once instead of once per link.
+        """
+        wanted = tuple(links)
+        self._refresh_rates()
+        used: Dict[Link, float] = {link: 0.0 for link in wanted}
+        for f in self._flows:
+            r = f.rate
+            for link in f.links:
+                if link in used:
+                    used[link] += r
+        return tuple(min(1.0, used[link] / link.capacity) for link in wanted)
+
     # -- internals --------------------------------------------------------
+    def _track(self, flow: Flow) -> None:
+        """Register *flow*'s links in the incremental count bookkeeping."""
+        counts = self._link_counts
+        for link in flow.links:
+            counts[link] = counts.get(link, 0) + 1
+        self._epoch += 1
+
+    def _untrack(self, flow: Flow) -> None:
+        """Remove *flow*'s links from the incremental count bookkeeping."""
+        counts = self._link_counts
+        for link in flow.links:
+            n = counts[link] - 1
+            if n:
+                counts[link] = n
+            else:
+                del counts[link]
+        self._epoch += 1
+
     def _advance(self) -> None:
         """Credit progress to all flows for time elapsed at current rates."""
         now = self.sim.now
         dt = now - self._last_update
         if dt > 0:
             for f in self._flows:
-                f.remaining = max(0.0, f.remaining - f.rate * dt)
+                rem = f.remaining - f.rate * dt
+                f.remaining = rem if rem > 0.0 else 0.0
         self._last_update = now
 
-    def _advance_rates_only(self) -> None:
-        rates = maxmin_rates(self._flows)
-        for f in self._flows:
-            f.rate = rates.get(f, 0.0)
+    def _refresh_rates(self) -> None:
+        """Bring ``Flow.rate`` values up to date; no-op when unchanged."""
+        if self._rates_epoch != self._epoch:
+            _fill_rates(self._flows, dict(self._link_counts))
+            self._rates_epoch = self._epoch
 
     def _reschedule(self) -> None:
         """Recompute rates and schedule the next completion."""
         self._token += 1
         token = self._token
-        rates = maxmin_rates(self._flows)
+        self._refresh_rates()
         soonest: Optional[Flow] = None
         soonest_t = float("inf")
         for f in self._flows:
-            f.rate = rates.get(f, 0.0)
-            if f.rate > _EPS:
-                t = f.remaining / f.rate
+            r = f.rate
+            if r > _EPS:
+                t = f.remaining / r
                 if t < soonest_t:
                     soonest_t = t
                     soonest = f
@@ -245,12 +348,18 @@ class FlowScheduler:
         if token != self._token:
             return  # stale wakeup; a newer reschedule superseded it
         self._advance()
-        finished = [f for f in self._flows if f.remaining <= _EPS * max(1.0, f.total)]
+        flows = self._flows
+        finished = [f for f in flows if f.remaining <= _EPS * max(1.0, f.total)]
         if not finished:
             # Numerical slack: finish the closest flow.
-            finished = [min(self._flows, key=lambda f: f.remaining)]
+            finished = [min(flows, key=lambda f: f.remaining)]
+        if len(finished) == len(flows):
+            self._flows = []
+        else:
+            done = set(finished)
+            self._flows = [f for f in flows if f not in done]
         for f in finished:
-            self._flows.remove(f)
+            self._untrack(f)
             self.completed_work += f.total
             self.completed_flows += 1
             f.event.succeed(self.sim.now - f.started_at)
@@ -270,7 +379,7 @@ class Semaphore:
         self.name = name
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: List[tuple[int, Event]] = []
+        self._waiters: Deque[Tuple[int, Event]] = deque()
 
     def acquire(self, count: int = 1) -> Event:
         """Request *count* permits; the returned event fires when granted."""
@@ -302,11 +411,12 @@ class Semaphore:
         return False
 
     def _drain(self) -> None:
-        while self._waiters:
-            count, ev = self._waiters[0]
+        waiters = self._waiters
+        while waiters:
+            count, ev = waiters[0]
             if self.in_use + count > self.capacity:
                 break
-            self._waiters.pop(0)
+            waiters.popleft()
             self.in_use += count
             ev.succeed(count)
 
@@ -321,8 +431,8 @@ class Store:
     def __init__(self, sim: Simulator, name: str = "store") -> None:
         self.sim = sim
         self.name = name
-        self._items: List[object] = []
-        self._getters: List[Event] = []
+        self._items: Deque[object] = deque()
+        self._getters: Deque[Event] = deque()
 
     def put(self, item: object) -> None:
         self._items.append(item)
@@ -335,9 +445,10 @@ class Store:
         return ev
 
     def _drain(self) -> None:
-        while self._items and self._getters:
-            ev = self._getters.pop(0)
-            ev.succeed(self._items.pop(0))
+        items, getters = self._items, self._getters
+        while items and getters:
+            ev = getters.popleft()
+            ev.succeed(items.popleft())
 
     def __len__(self) -> int:
         return len(self._items)

@@ -7,49 +7,101 @@ generated link/flow topologies:
 2. work conservation -- every flow is either at its cap or crosses a
    saturated link (nobody can be sped up for free);
 3. max-min optimality (pairwise) -- increasing one flow's rate would
-   require decreasing a flow with an equal-or-smaller rate.
+   require decreasing a flow with an equal-or-smaller rate;
+4. reference equivalence -- the optimized in-place allocator returns
+   *bit-identical* rates to the original dict-returning implementation
+   (kept verbatim below), which is what lets the golden-digest suite
+   trust the hot-path rewrite.
+
+Hypothesis runs derandomized (fixed seed machinery) so CI never flakes
+on a lucky draw; a seeded ``random``-driven sweep mirrors the same
+invariants without Hypothesis, so the module still guards the kernel
+if the dependency is ever dropped from the test extra.
 """
 
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+import random
 
-from repro.sim.resources import Flow, Link, maxmin_rates
+import pytest
+
+from repro.sim.resources import _EPS, Flow, Link, maxmin_rates
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the test extra
+    HAVE_HYPOTHESIS = False
+
+    def given(*_a, **_k):  # type: ignore[misc]
+        return lambda fn: fn
+
+    def settings(*_a, **_k):  # type: ignore[misc]
+        return lambda fn: fn
+
 
 EPS = 1e-6
 
-
-@st.composite
-def topologies(draw):
-    n_links = draw(st.integers(1, 6))
-    links = [
-        Link(f"l{i}", draw(st.floats(1.0, 1000.0))) for i in range(n_links)
-    ]
-    n_flows = draw(st.integers(1, 12))
-    flows = []
-    for i in range(n_flows):
-        k = draw(st.integers(1, n_links))
-        idx = draw(
-            st.lists(
-                st.integers(0, n_links - 1), min_size=k, max_size=k, unique=True
-            )
-        )
-        cap = draw(
-            st.one_of(st.none(), st.floats(0.5, 500.0))
-        )
-        flows.append(Flow([links[j] for j in idx], 100.0, event=None, cap=cap))
-    return links, flows
+needs_hypothesis = pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
 
 
+# ----------------------------------------------------------------------
+# The original (pre-optimization) allocator, kept verbatim as the
+# reference the in-place implementation must match bit-for-bit.
+# ----------------------------------------------------------------------
+def reference_maxmin_rates(flows):
+    rates = {}
+    if not flows:
+        return rates
+    active = list(flows)
+    cap_left = {}
+    counts = {}
+    for f in active:
+        for link in f.links:
+            cap_left.setdefault(link, link.capacity)
+            counts[link] = counts.get(link, 0) + 1
+
+    while active:
+        water = float("inf")
+        for link, n in counts.items():
+            if n > 0:
+                share = cap_left[link] / n
+                if share < water:
+                    water = share
+        if water == float("inf"):
+            for f in active:
+                rates[f] = f.cap
+            break
+        capped = [f for f in active if f.cap <= water + _EPS]
+        if capped:
+            frozen = capped
+            frozen_rates = {f: min(f.cap, water) for f in frozen}
+        else:
+            bottlenecks = {
+                link
+                for link, n in counts.items()
+                if n > 0 and cap_left[link] / n <= water + _EPS
+            }
+            frozen = [f for f in active if any(lnk in bottlenecks for lnk in f.links)]
+            frozen_rates = {f: water for f in frozen}
+        for f in frozen:
+            r = frozen_rates[f]
+            rates[f] = r
+            for link in f.links:
+                cap_left[link] = max(0.0, cap_left[link] - r)
+                counts[link] -= 1
+        active = [f for f in active if f not in rates]
+    return rates
+
+
+# ----------------------------------------------------------------------
+# Shared invariant checkers (used by Hypothesis and the seeded sweep)
+# ----------------------------------------------------------------------
 def link_usage(link, flows, rates):
     return sum(r for f, r in rates.items() if link in f.links)
 
 
-@given(topologies())
-@settings(max_examples=200, deadline=None)
-def test_feasibility(topo):
-    links, flows = topo
-    rates = maxmin_rates(flows)
+def check_feasibility(links, flows, rates):
     assert set(rates) == set(flows)
     for link in links:
         assert link_usage(link, flows, rates) <= link.capacity * (1 + EPS)
@@ -58,12 +110,8 @@ def test_feasibility(topo):
         assert rates[f] >= 0
 
 
-@given(topologies())
-@settings(max_examples=200, deadline=None)
-def test_work_conservation(topo):
+def check_work_conservation(flows, rates):
     """Every flow is blocked by its cap or by a saturated link."""
-    links, flows = topo
-    rates = maxmin_rates(flows)
     for f in flows:
         at_cap = rates[f] >= f.cap * (1 - EPS)
         crosses_saturated = any(
@@ -72,8 +120,85 @@ def test_work_conservation(topo):
         assert at_cap or crosses_saturated, f"flow {f} has free headroom"
 
 
+def check_reference_equivalence(flows):
+    """The optimized allocator must match the reference *exactly*.
+
+    Bitwise float equality, not approx: the kernel's determinism
+    guarantee (and the golden run digests) rest on the rewrite changing
+    no operation order in the arithmetic.
+    """
+    expected = reference_maxmin_rates(flows)
+    actual = maxmin_rates(flows)
+    assert actual == expected
+    # The in-place side effect agrees with the returned mapping.
+    for f in flows:
+        assert f.rate == expected[f]
+
+
+def random_topology(rng):
+    n_links = rng.randint(1, 6)
+    links = [Link(f"l{i}", rng.uniform(1.0, 1000.0)) for i in range(n_links)]
+    flows = []
+    for _ in range(rng.randint(1, 12)):
+        k = rng.randint(1, n_links)
+        idx = rng.sample(range(n_links), k)
+        cap = None if rng.random() < 0.4 else rng.uniform(0.5, 500.0)
+        flows.append(Flow([links[j] for j in idx], 100.0, event=None, cap=cap))
+    return links, flows
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies and tests (derandomized for CI stability)
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def topologies(draw):
+        n_links = draw(st.integers(1, 6))
+        links = [
+            Link(f"l{i}", draw(st.floats(1.0, 1000.0))) for i in range(n_links)
+        ]
+        n_flows = draw(st.integers(1, 12))
+        flows = []
+        for i in range(n_flows):
+            k = draw(st.integers(1, n_links))
+            idx = draw(
+                st.lists(
+                    st.integers(0, n_links - 1), min_size=k, max_size=k, unique=True
+                )
+            )
+            cap = draw(
+                st.one_of(st.none(), st.floats(0.5, 500.0))
+            )
+            flows.append(Flow([links[j] for j in idx], 100.0, event=None, cap=cap))
+        return links, flows
+
+else:  # pragma: no cover - placeholder so decorators below still bind
+
+    def topologies():
+        return None
+
+
+@needs_hypothesis
 @given(topologies())
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_feasibility(topo):
+    links, flows = topo
+    rates = maxmin_rates(flows)
+    check_feasibility(links, flows, rates)
+
+
+@needs_hypothesis
+@given(topologies())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_work_conservation(topo):
+    _links, flows = topo
+    check_work_conservation(flows, maxmin_rates(flows))
+
+
+@needs_hypothesis
+@given(topologies())
+@settings(max_examples=150, deadline=None, derandomize=True)
 def test_maxmin_optimality_pairwise(topo):
     """A flow below its cap is blocked only by links where it already
     receives at least as much as every other flow could give up --
@@ -100,11 +225,36 @@ def test_maxmin_optimality_pairwise(topo):
         assert ok, f"{f} could be raised at the expense of better-off flows"
 
 
+@needs_hypothesis
+@given(topologies())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_matches_reference_implementation_exactly(topo):
+    _links, flows = topo
+    check_reference_equivalence(flows)
+
+
+@needs_hypothesis
+@given(topologies(), st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_permutation_invariance(topo, rng):
+    """Rates do not depend on flow arrival order (up to float rounding:
+    a permutation reorders the capacity subtractions within an
+    iteration, so equality is tight-approximate rather than bitwise)."""
+    _links, flows = topo
+    baseline = dict(maxmin_rates(flows))
+    shuffled = list(flows)
+    rng.shuffle(shuffled)
+    permuted = maxmin_rates(shuffled)
+    for f in flows:
+        assert permuted[f] == pytest.approx(baseline[f], rel=1e-9, abs=1e-9)
+
+
+@needs_hypothesis
 @given(
     capacity=st.floats(10.0, 1000.0),
     n=st.integers(1, 20),
 )
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100, deadline=None, derandomize=True)
 def test_single_link_equal_split(capacity, n):
     link = Link("l", capacity)
     flows = [Flow([link], 1.0, event=None) for _ in range(n)]
@@ -113,11 +263,12 @@ def test_single_link_equal_split(capacity, n):
         assert rates[f] == pytest.approx(capacity / n, rel=1e-6)
 
 
+@needs_hypothesis
 @given(
     capacity=st.floats(10.0, 100.0),
     caps=st.lists(st.floats(0.1, 50.0), min_size=2, max_size=8),
 )
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100, deadline=None, derandomize=True)
 def test_total_throughput_never_exceeds_demand_or_capacity(capacity, caps):
     link = Link("l", capacity)
     flows = [Flow([link], 1.0, event=None, cap=c) for c in caps]
@@ -127,3 +278,30 @@ def test_total_throughput_never_exceeds_demand_or_capacity(capacity, caps):
     assert total <= sum(caps) * (1 + EPS)
     # Work conserving: total equals the binding constraint.
     assert total == pytest.approx(min(capacity, sum(caps)), rel=1e-5)
+
+
+# ----------------------------------------------------------------------
+# Seeded-random fallback sweep: the same invariants with no Hypothesis
+# dependency, always-on.
+# ----------------------------------------------------------------------
+class TestSeededRandomSweep:
+    SEED = 20260807
+    ROUNDS = 150
+
+    def test_invariants_and_reference_equivalence(self):
+        rng = random.Random(self.SEED)
+        for _ in range(self.ROUNDS):
+            links, flows = random_topology(rng)
+            check_reference_equivalence(flows)
+            rates = maxmin_rates(flows)
+            check_feasibility(links, flows, rates)
+            check_work_conservation(flows, rates)
+
+    def test_sweep_is_deterministic(self):
+        """The fallback generator itself must be replayable."""
+        def draw():
+            rng = random.Random(self.SEED)
+            links, flows = random_topology(rng)
+            return [lnk.capacity for lnk in links], [(f.cap, len(f.links)) for f in flows]
+
+        assert draw() == draw()

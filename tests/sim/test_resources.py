@@ -127,6 +127,77 @@ class TestFlowScheduler:
         sim.run(until=1.0)
         assert sched.utilization(link) == pytest.approx(0.4)
 
+    def test_utilization_stable_across_repeated_polls(self):
+        # The epoch cache must not change what pollers observe: repeated
+        # reads without intervening mutations return identical values.
+        sim, sched = make()
+        link = Link("disk", 100.0)
+        sched.transfer([link], 1000.0, cap=30.0)
+        sim.run(until=1.0)
+        first = sched.utilization(link)
+        assert all(sched.utilization(link) == first for _ in range(5))
+        # A mutation invalidates the cache and is observed immediately.
+        sched.transfer([link], 1000.0)
+        assert sched.utilization(link) == pytest.approx(1.0)
+
+    def test_batched_utilizations_match_individual(self):
+        sim, sched = make()
+        a, b, c = Link("a", 100.0), Link("b", 50.0), Link("c", 80.0)
+        sched.transfer([a, b], 1000.0)
+        sched.transfer([b, c], 1000.0, cap=10.0)
+        sched.transfer([a], 500.0)
+        sim.run(until=1.0)
+        batched = sched.utilizations((a, b, c))
+        # Bit-identical, not approx: same flow-order accumulation.
+        assert batched == tuple(sched.utilization(lnk) for lnk in (a, b, c))
+
+    def test_link_counts_consistent_after_churn(self):
+        sim, sched = make()
+        a, b = Link("a", 100.0), Link("b", 100.0)
+        sched.transfer([a], 100.0, label="x.1")
+        sched.transfer([a, b], 100.0, label="y.1")
+        sched.transfer([b], 300.0, label="x.2")
+        assert sched.cancel_prefix("x.") == 2
+        sim.run()
+        assert sched.active_flows == 0
+        assert sched._link_counts == {}
+        # The scheduler keeps working after the churn.
+        done = sched.transfer([a, b], 100.0)
+        sim.run_until_complete(done)
+        assert sched.completed_flows == 2
+
+    def test_set_link_capacity_invalidates_cached_rates(self):
+        sim, sched = make()
+        link = Link("disk", 100.0)
+        sched.transfer([link], 1000.0, cap=50.0)
+        sim.run(until=1.0)
+        assert sched.utilization(link) == pytest.approx(0.5)
+        sched.set_link_capacity(link, 200.0)
+        assert sched.utilization(link) == pytest.approx(0.25)
+
+    def test_linkless_flow_runs_at_its_cap(self):
+        # A flow traversing no links is bounded only by its own cap.
+        sim, sched = make()
+        done = sched.transfer([], 50.0, cap=10.0)
+        sim.run_until_complete(done)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_zero_cap_flow_rejected_as_stalled(self):
+        sim, sched = make()
+        link = Link("disk", 100.0)
+        with pytest.raises(Exception, match="none\\s+can make progress"):
+            sched.transfer([link], 10.0, cap=0.0)
+
+    def test_simultaneous_completions_fire_in_insertion_order(self):
+        sim, sched = make()
+        link = Link("disk", 100.0)
+        order = []
+        for tag in ("a", "b", "c"):
+            done = sched.transfer([link], 300.0, label=tag)
+            done.add_callback(lambda ev, tag=tag: order.append(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
 
 class TestSemaphore:
     def test_acquire_release_cycle(self):
@@ -177,6 +248,82 @@ class TestSemaphore:
         with pytest.raises(Exception):
             sem.acquire(3)
 
+    def test_cancel_mid_queue_preserves_fifo(self):
+        # Cancel the middle waiter; the rest must still be served in
+        # their original arrival order.
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=1)
+        holder = sem.acquire()
+        waiters = {tag: sem.acquire() for tag in "abc"}
+        assert sem.cancel(waiters["b"]) is True
+        sim.run()
+        assert holder.triggered
+
+        got = []
+
+        def collect(tag, ev):
+            ev.add_callback(lambda _e: got.append(tag))
+
+        for tag in ("a", "c"):
+            collect(tag, waiters[tag])
+        sem.release()  # frees the slot; 'a' is granted
+        sim.run()
+        assert got == ["a"]
+        sem.release()
+        sim.run()
+        assert got == ["a", "c"]
+        assert not waiters["b"].triggered
+
+    def test_cancel_granted_but_unfired_returns_false(self):
+        # An acquire that was granted (permits charged, event scheduled)
+        # but has not fired yet is no longer cancellable: the caller
+        # holds the permits and must release them.
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=1)
+        ev = sem.acquire()
+        assert not ev.triggered  # granted, scheduled, not yet fired
+        assert sem.cancel(ev) is False
+        assert sem.in_use == 1
+        sim.run()
+        assert ev.triggered
+        sem.release()
+        assert sem.available == 1
+
+    def test_cancel_unknown_event_returns_false(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=1)
+        stranger = sim.event()
+        assert sem.cancel(stranger) is False
+
+    def test_cancelled_waiter_never_charged(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=2)
+        a = sem.acquire(2)
+        b = sem.acquire(2)
+        assert sem.cancel(b) is True
+        sim.run()
+        assert a.triggered and not b.triggered
+        assert sem.in_use == 2
+        sem.release(2)
+        assert sem.available == 2
+
+    def test_multi_permit_fifo_blocks_smaller_later_request(self):
+        # Strict FIFO: a 2-permit request at the head blocks a later
+        # 1-permit request even when 1 permit is free.
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=2)
+        first = sem.acquire(1)
+        big = sem.acquire(2)
+        small = sem.acquire(1)
+        sim.run()
+        assert first.triggered and not big.triggered and not small.triggered
+        sem.release(1)
+        sim.run()
+        assert big.triggered and not small.triggered
+        sem.release(2)
+        sim.run()
+        assert small.triggered
+
 
 class TestStore:
     def test_put_then_get(self):
@@ -212,3 +359,27 @@ class TestStore:
         evs = [store.get() for _ in range(3)]
         sim.run()
         assert [e.value for e in evs] == [0, 1, 2]
+
+    def test_fifo_with_waiting_getters(self):
+        # Getters queued before any item exists are served in arrival
+        # order as items trickle in.
+        sim = Simulator()
+        store = Store(sim)
+        evs = [store.get() for _ in range(4)]
+        for i in range(4):
+            store.put(i)
+        sim.run()
+        assert [e.value for e in evs] == [0, 1, 2, 3]
+        assert len(store) == 0
+
+    def test_interleaved_put_get_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        g1 = store.get()
+        g2 = store.get()
+        store.put("b")
+        store.put("c")
+        sim.run()
+        assert (g1.value, g2.value) == ("a", "b")
+        assert len(store) == 1
