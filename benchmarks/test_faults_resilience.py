@@ -37,3 +37,73 @@ def test_faults_resilience(benchmark):
     assert high.default.job_time < 2.0 * report_data.baseline.job_time
     # The tuner still helps under the heaviest fault level.
     assert high.tuner_gain > 0.0
+
+
+def _replay_fetch_telemetry(plan_json: str):
+    """Replay a serialized plan in-process and return (result, counters).
+
+    Mirrors ``execute_request``'s default (untuned, faulted) arm exactly
+    -- same seed, same fault-tolerance settings, same shrunk case -- but
+    keeps the live :class:`SimCluster`, because ``RunOutcome`` does not
+    carry the telemetry bus counters the smoke assertion needs.
+    """
+    from repro.experiments.harness import SimCluster
+    from repro.experiments.parallel import RunRequest, resolve_case
+    from repro.faults import plan_from_json
+    from repro.workloads.suite import make_job_spec
+    from repro.yarn.app_master import FaultToleranceSettings, SpeculationSettings
+
+    request = RunRequest.build(
+        "terasort", BASE_SEED, tuning="none", num_blocks=8, num_reducers=4,
+        faults={"plan": plan_json},
+    )
+    sc = SimCluster(
+        seed=BASE_SEED,
+        fault_tolerance=FaultToleranceSettings(speculation=SpeculationSettings()),
+    )
+    sc.inject_faults(plan=plan_from_json(plan_json))
+    spec = make_job_spec(resolve_case(request), sc.hdfs)
+    result = sc.run_job(spec)
+    return result, dict(sc.telemetry.counters)
+
+
+def test_network_faults_smoke(benchmark):
+    """Link-fault scenarios: jobs survive and fetch recovery actually ran.
+
+    The smoke arm of the network-fault model (``repro faults --kinds
+    link_flaky,rack_partition``): every level must finish successfully,
+    and replaying the heaviest plan in-process must show nonzero
+    ``shuffle.fetch_retries`` telemetry -- success without retries would
+    mean the fault windows never intersected the shuffle and the run
+    proved nothing.
+    """
+
+    def experiment():
+        report = run_fault_experiment(
+            case_name="terasort",
+            seed=BASE_SEED,
+            levels=("none", "low", "high"),
+            tuning="conservative",
+            num_blocks=8,
+            num_reducers=4,
+            kinds=("link_flaky", "rack_partition"),
+        )
+        plans = dict(report.plans_json)
+        replay, counters = _replay_fetch_telemetry(plans["high"])
+        return report, replay, counters
+
+    report_data, replay, counters = run_once(benchmark, experiment)
+    levels = [row.level for row in report_data.rows]
+    report = FigureReport(
+        "Network faults", "Terasort under link faults", levels
+    )
+    report.add_series("Default", [row.default.job_time for row in report_data.rows])
+    report.add_series("MRONLINE", [row.tuned.job_time for row in report_data.rows])
+    emit(report)
+
+    for row in report_data.rows:
+        assert row.default.succeeded, f"default run failed at level {row.level}"
+        assert row.tuned.succeeded, f"tuned run failed at level {row.level}"
+    assert replay.succeeded, "high-level plan replay failed"
+    retries = int(counters.get("shuffle.fetch_retries", 0))
+    assert retries > 0, "link faults injected but no fetch was ever retried"

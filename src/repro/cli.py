@@ -203,17 +203,51 @@ def _failure_marker(outcome) -> str:
     return f"  FAILED ({reasons or 'unknown'})"
 
 
+def _load_plan_json(path: str, levels: Sequence[str]) -> str:
+    """Read a ``--plan-json`` file into the single plan to replay.
+
+    Accepts either a bare serialized plan or the level-keyed dump this
+    command writes; for the latter, exactly one requested level must
+    match.
+    """
+    import json
+    from pathlib import Path
+
+    text = Path(path).read_text()
+    obj = json.loads(text)
+    if isinstance(obj, dict) and "faults" in obj:
+        return text
+    matching = [lv for lv in levels if lv != "none" and lv in obj]
+    if len(matching) != 1:
+        raise SystemExit(
+            f"--plan-json {path}: level-keyed dump needs exactly one requested"
+            f" faulted level among {sorted(obj)}, got {matching or 'none'}"
+        )
+    return json.dumps(obj[matching[0]])
+
+
 def cmd_faults(args) -> int:
+    import json
+    import os
+
     from repro.experiments.faults import run_fault_experiment
 
+    levels = tuple(args.levels.split(","))
+    plan_json = None
+    replayed = False
+    if args.plan_json and os.path.exists(args.plan_json):
+        plan_json = _load_plan_json(args.plan_json, levels)
+        replayed = True
     report = run_fault_experiment(
         case_name=args.case,
         seed=args.seed,
-        levels=tuple(args.levels.split(",")),
+        levels=levels,
         tuning=args.tuning,
         num_blocks=args.blocks,
         num_reducers=args.reducers,
         max_workers=args.workers,
+        kinds=tuple(args.kinds.split(",")) if args.kinds else None,
+        plan_json=plan_json,
     )
     print(f"case: {report.case_name}  seed={report.seed}  tuning={report.tuning}")
     print(f"fault-free baseline: {report.baseline.job_time:.1f} s")
@@ -229,10 +263,21 @@ def cmd_faults(args) -> int:
                 f"  killed={outcome.killed_attempts:.0f}"
                 + (f"  ({reasons})" if reasons else "")
             )
+        breakdown = ", ".join(f"{k} x{n}" for k, n in row.failures_by_fault_kind)
+        if breakdown:
+            print(f"  failures by fault kind: {breakdown}")
         print(
             f"  slowdown vs fault-free: {100 * row.slowdown_vs(report.baseline):+.1f}%"
             f"   tuner gain: {100 * row.tuner_gain:+.1f}%"
         )
+    if args.plan_json and not replayed and report.plans_json:
+        dump = {level: json.loads(js) for level, js in report.plans_json}
+        with open(args.plan_json, "w") as fh:
+            json.dump(dump, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nfault plan(s) written to {args.plan_json}")
+    elif replayed:
+        print(f"\nreplayed fault plan from {args.plan_json}")
     print(f"\nfault digest: {report.digest}")
     return 0
 
@@ -365,6 +410,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--blocks", type=int, default=None, help="shrink the dataset (blocks)")
     p.add_argument("--reducers", type=int, default=None, help="override reducer count")
+    p.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated fault kinds to inject (e.g. link_flaky,rack_partition);"
+        " default: the legacy node/container levels",
+    )
+    p.add_argument(
+        "--plan-json",
+        default=None,
+        metavar="PATH",
+        help="fault-plan JSON file: if it exists, replay it verbatim;"
+        " otherwise run normally and write the generated plan(s) there",
+    )
 
     p = sub.add_parser(
         "trace",

@@ -9,12 +9,15 @@ of contention the paper's monitor observes as network hot spots.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.node import Node
+from repro.cluster.node import FROZEN_CAPACITY, Node
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.sim.resources import FlowScheduler, Link
+
+if TYPE_CHECKING:
+    from repro.faults.network_state import NetworkFaultState
 
 
 class Network:
@@ -52,6 +55,56 @@ class Network:
         # sum of uplink capacities rather than any single path.
         core_bw = max(sum(lnk.capacity for lnk in self._uplink.values()), 1.0)
         self._core = Link("fabric.core", core_bw)
+        # -- fault bookkeeping (mirrors Node's base-capacity idiom) -----
+        self._base_nic: Dict[int, float] = {
+            n.node_id: n.resources.nic_bw for n in self.nodes
+        }
+        self._base_uplink: Dict[int, float] = {
+            rack: lnk.capacity for rack, lnk in self._uplink.items()
+        }
+        self._nic_frozen: Set[int] = set()
+        self._partition_depth: Dict[int, int] = {rack: 0 for rack in self._uplink}
+        #: Armed by the fault injector when the plan has network kinds;
+        #: ``None`` means the gray-failure fetch path stays dormant.
+        self.faults: Optional["NetworkFaultState"] = None
+
+    # -- fault surfaces ---------------------------------------------------
+    def scale_node_nic(self, node_id: int, factor: float) -> None:
+        """Rescale a node's TX and RX links to *factor* of nominal."""
+        if not (0.0 < factor <= 1.0):
+            raise ValueError(f"NIC factor must be in (0, 1], got {factor}")
+        if node_id in self._nic_frozen:
+            return
+        cap = self._base_nic[node_id] * factor
+        self.scheduler.set_link_capacity(self._tx[node_id], cap)
+        self.scheduler.set_link_capacity(self._rx[node_id], cap)
+
+    def restore_node_nic(self, node_id: int) -> None:
+        """Heal a degraded NIC back to nominal (no-op once frozen)."""
+        self.scale_node_nic(node_id, 1.0)
+
+    def freeze_node_nic(self, node_id: int) -> None:
+        """Permanently stall a dead node's NIC (crash in network mode)."""
+        self._nic_frozen.add(node_id)
+        self.scheduler.set_link_capacity(self._tx[node_id], FROZEN_CAPACITY)
+        self.scheduler.set_link_capacity(self._rx[node_id], FROZEN_CAPACITY)
+
+    def partition_rack(self, rack: int) -> None:
+        """Stall a rack's uplink; nested partitions stack (depth count)."""
+        self._partition_depth[rack] += 1
+        if self._partition_depth[rack] == 1:
+            self.scheduler.set_link_capacity(self._uplink[rack], FROZEN_CAPACITY)
+
+    def heal_rack(self, rack: int) -> None:
+        """Undo one :meth:`partition_rack`; heals at depth zero."""
+        if self._partition_depth[rack] == 0:
+            return
+        self._partition_depth[rack] -= 1
+        if self._partition_depth[rack] == 0:
+            self.scheduler.set_link_capacity(self._uplink[rack], self._base_uplink[rack])
+
+    def rack_partitioned(self, rack: int) -> bool:
+        return self._partition_depth[rack] > 0
 
     def transfer(
         self,
@@ -94,6 +147,35 @@ class Network:
         link whose capacity encodes ``shuffle.parallelcopies``.
         """
         links: List[Link] = [self._core, self._rx[dst.node_id], *extra_links]
+        return self.scheduler.transfer(links, nbytes, cap=cap, label=label)
+
+    def fetch_from(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: float,
+        cap: Optional[float] = None,
+        extra_links: Sequence[Link] = (),
+        label: str = "",
+    ) -> Event:
+        """One source-attributed shuffle fetch (gray-failure fetch path).
+
+        Unlike :meth:`fetch_into`, the flow traverses the *source*'s TX
+        link (plus both rack uplinks when it crosses racks), so a
+        degraded NIC or partitioned rack stalls exactly the fetches that
+        touch it.  Node-local segments bypass the fabric like
+        :meth:`transfer`.
+        """
+        if src.node_id == dst.node_id:
+            ev = self.sim.event()
+            ev.succeed(0.0)
+            return ev
+        links: List[Link] = [self._tx[src.node_id]]
+        if src.rack != dst.rack:
+            links.append(self._uplink[src.rack])
+            links.append(self._uplink[dst.rack])
+        links.append(self._rx[dst.node_id])
+        links.extend(extra_links)
         return self.scheduler.transfer(links, nbytes, cap=cap, label=label)
 
     # -- monitoring -------------------------------------------------------

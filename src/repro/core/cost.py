@@ -28,7 +28,20 @@ FAILURE_COST = 8.0
 ENV_FAILURE_COST = 5.0
 
 #: Failure kinds charged at :data:`ENV_FAILURE_COST`.
-_ENVIRONMENTAL_KINDS = frozenset({"preempted", "node_lost", "speculation"})
+_ENVIRONMENTAL_KINDS = frozenset(
+    {"preempted", "node_lost", "speculation", "fetch_failure"}
+)
+
+
+def effective_duration(stats: TaskStats) -> float:
+    """Duration with fetch-retry inflation discounted.
+
+    Time an attempt spent in fetch backoff sleeps measures the
+    network's health, not the configuration's quality; discounting it
+    keeps flaky-link waves from branding good configs slow (the noisy-
+    measurement guardrail).
+    """
+    return max(0.0, stats.duration - stats.fetch_penalty_seconds)
 
 
 def task_cost(stats: TaskStats, t_max: float) -> float:
@@ -37,7 +50,7 @@ def task_cost(stats: TaskStats, t_max: float) -> float:
         if stats.failure_kind in _ENVIRONMENTAL_KINDS:
             return ENV_FAILURE_COST
         return FAILURE_COST
-    t_term = stats.duration / t_max if t_max > 0 else 1.0
+    t_term = effective_duration(stats) / t_max if t_max > 0 else 1.0
     return (
         (1.0 - stats.memory_utilization)
         + (1.0 - stats.cpu_utilization)
@@ -65,8 +78,9 @@ class CostModel:
     def observe(self, stats: TaskStats, sample_key: Optional[object] = None) -> float:
         """Fold one completed task in; returns its Equation-1 cost."""
         if not stats.failed:
-            if stats.duration > self._t_max[stats.task_type]:
-                self._t_max[stats.task_type] = stats.duration
+            duration = effective_duration(stats)
+            if duration > self._t_max[stats.task_type]:
+                self._t_max[stats.task_type] = duration
         cost = task_cost(stats, self._t_max[stats.task_type])
         if sample_key is not None:
             self._samples[sample_key].append(cost)

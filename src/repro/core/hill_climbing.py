@@ -211,6 +211,30 @@ class GrayBoxHillClimber:
         if not self.pending_samples() and self._batch:
             self._advance()
 
+    def rollback(self) -> bool:
+        """Void the in-flight batch and fall back to last-known-good.
+
+        Safe-exploration escape hatch: when the caller decides a wave's
+        measurements are untrustworthy (e.g. fetch-retry-inflated under
+        network faults), the whole batch -- observations included -- is
+        discarded *without* advancing the search state, so the incumbent
+        ``Ccur`` (the last configuration whose measurements were clean)
+        stays in charge and the next :meth:`propose` re-draws around it.
+        Returns False when there is nothing to roll back to (no
+        incumbent yet, or no batch in flight).
+        """
+        if self._current is None or not self._batch:
+            return False
+        batch, self._batch = self._batch, []
+        for sample in batch:
+            sample.costs.clear()
+        self._notify(
+            "rollback",
+            voided=len(batch),
+            incumbent_cost=self._current.cost,
+        )
+        return True
+
     # ------------------------------------------------------------------
     # Infeasible regions
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core import parameters as P
 from repro.core.configuration import Configuration, enforce_dependencies
 from repro.core.configurator import DynamicConfigurator
-from repro.core.cost import FAILURE_COST, CostModel, task_cost
+from repro.core.cost import FAILURE_COST, CostModel, effective_duration, task_cost
 from repro.core.hill_climbing import GrayBoxHillClimber, HillClimbSettings
 from repro.core.knowledge_base import TuningKnowledgeBase
 from repro.core.parameters import PARAMETER_SPACE
@@ -403,17 +403,63 @@ class OnlineTuner:
         if not pending or any(counts.get(s.sample_id, 0) < want for s in pending):
             self._maybe_finish_starved(job, state)
             return
-        durations = [s.duration for _sid, s in state.result_buffer if not s.failed]
+        # Safe exploration: a wave dominated by environmental damage --
+        # attempts lost to kills/crashes/output loss, or measurements
+        # inflated by shuffle fetch retries -- says nothing about the
+        # candidate configurations.  Void the batch, keep the incumbent
+        # (last-known-good) untouched, and re-propose around it rather
+        # than letting network weather steer the search.
+        suspect = sum(
+            1
+            for _sid, s in state.result_buffer
+            if (s.failed and s.failure_kind not in ("", "oom"))
+            or s.fetch_retries > 0
+        )
+        total = len(state.result_buffer)
+        if suspect > 0 and suspect * 2 >= total and state.climber.rollback():
+            state.result_buffer = []
+            state.window = []
+            line = (
+                f"wave {state.wave}: rolled back "
+                f"({suspect}/{total} samples fault-inflated)"
+            )
+            state.rule_log.append(line)
+            tel = self._tel()
+            if tel is not None:
+                from repro.telemetry.events import TunerRollback
+
+                tel.emit(
+                    TunerRollback(
+                        time=tel.now,
+                        job_id=job.spec.job_id,
+                        task_type=state.task_type.value,
+                        wave=state.wave,
+                        suspect_samples=suspect,
+                        total_samples=total,
+                    )
+                )
+                tel.increment("tuner.rollbacks")
+            self._open_batch(job, state)
+            self._maybe_finish_starved(job, state)
+            return
+        durations = [
+            effective_duration(s)
+            for _sid, s in state.result_buffer
+            if not s.failed
+        ]
         t_max = max(durations) if durations else 1.0
         for sid, s in state.result_buffer:
             state.climber.observe(sid, task_cost(s, t_max))
         state.result_buffer = []
         # Wave complete: gray-box bound adjustment, then the next batch.
+        # Fetch-inflated measurements (nonzero fetch_retries) are kept in
+        # the history but excluded from the rule window: their durations
+        # and utilization mix reflect the network fault, not the config.
         ctx = RuleContext(
             task_type=state.task_type,
             space=state.space,
             bounds=state.climber.bounds,
-            window=state.window,
+            window=[s for s in state.window if s.fetch_retries == 0],
             history=state.history,
             rng=self.rng,
             memo=state.memo,
@@ -473,7 +519,9 @@ class OnlineTuner:
             task_type=state.task_type,
             space=PARAMETER_SPACE,
             bounds=None,  # bounds are an aggressive-strategy concept
-            window=state.window,
+            # Fetch-inflated stats stay in the history but are dropped
+            # from the rule window (see _on_stats_aggressive).
+            window=[s for s in state.window if s.fetch_retries == 0],
             history=state.history,
             rng=self.rng,
             memo=state.memo,

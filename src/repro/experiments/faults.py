@@ -35,6 +35,46 @@ FAULT_LEVELS: Dict[str, Dict[str, float]] = {
     "high": {"crashes": 1, "container_kills": 4, "degraded": 2},
 }
 
+#: Fault kind -> ``generate_fault_plan`` count knob (the ``--kinds``
+#: filter builds per-level knob dicts from this map).
+KIND_TO_KNOB: Dict[str, str] = {
+    "node_crash": "crashes",
+    "container_kill": "container_kills",
+    "degrade": "degraded",
+    "link_degrade": "link_degraded",
+    "link_flaky": "link_flaky",
+    "rack_partition": "rack_partitions",
+}
+
+#: Failure kind (``TaskStats.failure_kind``) -> the fault kind that
+#: causes it, for the per-kind failure breakdown.  ``oom`` stays
+#: unattributed: it is config-induced, not injected.
+FAILURE_TO_FAULT_KIND: Dict[str, str] = {
+    "preempted": "container_kill",
+    "node_lost": "node_crash",
+    "speculation": "degrade",
+    "fetch_failure": "link_flaky/rack_partition/node_crash",
+}
+
+
+def levels_for_kinds(kinds: Tuple[str, ...]) -> Dict[str, Dict[str, float]]:
+    """Build ``low``/``high`` knob dicts restricted to *kinds*.
+
+    Low injects one fault of each selected kind; high injects two
+    (node crashes capped at one -- losing more nodes on a small test
+    cluster starves the job rather than stressing recovery).
+    """
+    unknown = [k for k in kinds if k not in KIND_TO_KNOB]
+    if unknown:
+        raise ValueError(
+            f"unknown fault kind(s) {unknown}, want a subset of {sorted(KIND_TO_KNOB)}"
+        )
+    low = {KIND_TO_KNOB[k]: 1 for k in kinds}
+    high = {
+        KIND_TO_KNOB[k]: (1 if k == "node_crash" else 2) for k in kinds
+    }
+    return {"none": {}, "low": low, "high": high}
+
 
 @dataclass(frozen=True)
 class ResilienceRow:
@@ -57,6 +97,21 @@ class ResilienceRow:
             return 0.0
         return (self.default.job_time - baseline.job_time) / baseline.job_time
 
+    @property
+    def failures_by_fault_kind(self) -> Tuple[Tuple[str, int], ...]:
+        """The default run's failures attributed to injected fault kinds.
+
+        Keys are ``"<failure_kind> (<fault kind>)"``; failure kinds
+        without an injected cause (``oom``, bare ``failed``) pass
+        through unattributed.
+        """
+        out: Dict[str, int] = {}
+        for reason, count in self.default.failure_reasons:
+            fault = FAILURE_TO_FAULT_KIND.get(reason)
+            key = f"{reason} ({fault})" if fault else reason
+            out[key] = out.get(key, 0) + int(count)
+        return tuple(sorted(out.items()))
+
 
 @dataclass(frozen=True)
 class ResilienceReport:
@@ -68,6 +123,10 @@ class ResilienceReport:
     baseline: RunOutcome
     rows: Tuple[ResilienceRow, ...]
     digest: str
+    #: Serialized fault plan per non-``none`` level (``plan_to_json``
+    #: form) -- written out by ``repro faults --plan-json`` and fed back
+    #: through a ``("plan", json)`` request for an exact replay.
+    plans_json: Tuple[Tuple[str, str], ...] = ()
 
 
 def run_fault_experiment(
@@ -78,23 +137,45 @@ def run_fault_experiment(
     num_blocks: Optional[int] = None,
     num_reducers: Optional[int] = None,
     max_workers: Optional[int] = None,
+    kinds: Optional[Tuple[str, ...]] = None,
+    plan_json: Optional[str] = None,
 ) -> ResilienceReport:
-    """Run the full resilience protocol for one case and seed."""
-    unknown = [lv for lv in levels if lv not in FAULT_LEVELS]
+    """Run the full resilience protocol for one case and seed.
+
+    *kinds* restricts the generated scenarios to the named fault kinds
+    (see :data:`KIND_TO_KNOB`); without it the legacy node/container
+    levels in :data:`FAULT_LEVELS` apply.  *plan_json* bypasses
+    generation entirely: the serialized plan replays verbatim at every
+    non-``none`` level (the ``--plan-json`` round-trip).
+    """
+    fault_levels = FAULT_LEVELS if kinds is None else levels_for_kinds(kinds)
+    unknown = [lv for lv in levels if lv not in fault_levels]
     if unknown:
         raise ValueError(
-            f"unknown fault level(s) {unknown}, want a subset of {sorted(FAULT_LEVELS)}"
+            f"unknown fault level(s) {unknown}, want a subset of {sorted(fault_levels)}"
         )
 
     def request(tuning_mode: str, level: str) -> RunRequest:
-        knobs = FAULT_LEVELS[level]
+        knobs = fault_levels[level]
+        if not knobs:
+            return RunRequest.build(
+                case_name,
+                seed,
+                tuning=tuning_mode,
+                num_blocks=num_blocks,
+                num_reducers=num_reducers,
+            )
+        if plan_json is not None:
+            faults: Dict[str, object] = {"plan": plan_json}
+        else:
+            faults = {**knobs, "horizon": horizon}
         return RunRequest.build(
             case_name,
             seed,
             tuning=tuning_mode,
             num_blocks=num_blocks,
             num_reducers=num_reducers,
-            faults={**knobs, "horizon": horizon} if knobs else None,
+            faults=faults,
         )
 
     # The fault-free default run doubles as the baseline and as the
@@ -129,4 +210,47 @@ def run_fault_experiment(
         baseline=baseline,
         rows=tuple(rows),
         digest=combined_digest([baseline] + list(outcomes)),
+        plans_json=_level_plans(fault_levels, levels, seed, horizon, plan_json),
     )
+
+
+def _level_plans(
+    fault_levels: Dict[str, Dict[str, float]],
+    levels: Tuple[str, ...],
+    seed: int,
+    horizon: float,
+    plan_json: Optional[str],
+) -> Tuple[Tuple[str, str], ...]:
+    """Serialized plan per faulted level (what each worker replayed).
+
+    Workers draw their plan from a fresh ``RngRegistry(seed)``'s
+    ``("faults", "plan")`` stream against the default 18-slave cluster,
+    so regenerating with the same inputs here reproduces the exact plan
+    without another simulation run.
+    """
+    from repro.cluster.topology import ClusterSpec
+    from repro.faults import generate_fault_plan, plan_to_json
+    from repro.sim.rng import RngRegistry
+
+    out: List[Tuple[str, str]] = []
+    num_nodes = ClusterSpec().num_slaves
+    for level in levels:
+        knobs = fault_levels[level]
+        if not knobs:
+            continue
+        if plan_json is not None:
+            out.append((level, plan_json))
+            continue
+        plan = generate_fault_plan(
+            RngRegistry(seed).stream("faults", "plan"),
+            num_nodes=num_nodes,
+            horizon=horizon,
+            crashes=int(knobs.get("crashes", 0)),
+            container_kills=int(knobs.get("container_kills", 0)),
+            degraded=int(knobs.get("degraded", 0)),
+            link_degraded=int(knobs.get("link_degraded", 0)),
+            link_flaky=int(knobs.get("link_flaky", 0)),
+            rack_partitions=int(knobs.get("rack_partitions", 0)),
+        )
+        out.append((level, plan_to_json(plan)))
+    return tuple(out)

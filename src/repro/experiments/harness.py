@@ -100,6 +100,9 @@ class SimCluster:
         container_kills: int = 0,
         degraded: int = 0,
         horizon: float = 0.0,
+        link_degraded: int = 0,
+        link_flaky: int = 0,
+        rack_partitions: int = 0,
     ) -> FaultPlan:
         """Arm fault injection, from an explicit *plan* or generated knobs.
 
@@ -107,6 +110,9 @@ class SimCluster:
         ``("faults", "plan")`` RNG stream -- fault-free runs never touch
         that stream, so arming faults cannot perturb any other random
         draw, and the same seed always produces the same scenario.
+        Per-fetch failure draws (``link_flaky``) come from the separate
+        ``("faults", "fetch")`` stream so the scenario itself stays
+        identical across plans that differ only in flaky windows.
         Must be called before the simulation is driven.
         """
         if self.fault_injector is not None:
@@ -119,9 +125,17 @@ class SimCluster:
                 crashes=crashes,
                 container_kills=container_kills,
                 degraded=degraded,
+                link_degraded=link_degraded,
+                link_flaky=link_flaky,
+                rack_partitions=rack_partitions,
             )
         self.fault_injector = FaultInjector(
-            self.sim, self.cluster, self.node_managers, self.rm, plan
+            self.sim,
+            self.cluster,
+            self.node_managers,
+            self.rm,
+            plan,
+            fetch_rng=self.rngs.stream("faults", "fetch"),
         )
         self.fault_injector.start()
         return plan

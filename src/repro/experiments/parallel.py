@@ -107,11 +107,14 @@ class RunRequest:
     num_reducers: Optional[int] = None
     #: Fault-scenario knobs as sorted ``(name, value)`` pairs -- the
     #: declarative input to :func:`repro.faults.generate_fault_plan`
-    #: (``crashes``, ``container_kills``, ``degraded``, ``horizon``).
+    #: (``crashes``, ``container_kills``, ``degraded``, ``horizon``,
+    #: ``link_degraded``, ``link_flaky``, ``rack_partitions``).
     #: The plan itself is drawn worker-side from the run's own seeded
     #: ``("faults", "plan")`` stream, so the same request always yields
-    #: the same scenario.  ``None`` = fault-free.
-    faults: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: the same scenario.  Alternatively a single ``("plan", json)``
+    #: entry replays an explicit serialized plan (see
+    #: :func:`repro.faults.plan_to_json`).  ``None`` = fault-free.
+    faults: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def __post_init__(self) -> None:
         if self.tuning not in TUNING_MODES:
@@ -121,11 +124,22 @@ class RunRequest:
         if self.num_reducers is not None and self.num_reducers < 1:
             raise ValueError("num_reducers override must be >= 1")
         if self.faults is not None:
-            known = {"crashes", "container_kills", "degraded", "horizon"}
+            names = [name for name, _v in self.faults]
+            if "plan" in names:
+                if len(self.faults) != 1:
+                    raise ValueError("a 'plan' fault entry must be the only knob")
+                from repro.faults import plan_from_json
+
+                plan_from_json(str(dict(self.faults)["plan"]))  # validate early
+                return
+            known = {
+                "crashes", "container_kills", "degraded", "horizon",
+                "link_degraded", "link_flaky", "rack_partitions",
+            }
             bad = [name for name, _v in self.faults if name not in known]
             if bad:
                 raise ValueError(f"unknown fault knob(s) {bad}, want a subset of {sorted(known)}")
-            if dict(self.faults).get("horizon", 0.0) <= 0.0:
+            if float(dict(self.faults).get("horizon", 0.0)) <= 0.0:
                 raise ValueError("fault scenarios need a positive 'horizon' knob")
 
     @classmethod
@@ -138,7 +152,7 @@ class RunRequest:
         tuning: str = "none",
         num_blocks: Optional[int] = None,
         num_reducers: Optional[int] = None,
-        faults: Optional[Dict[str, float]] = None,
+        faults: Optional[Dict[str, object]] = None,
     ) -> "RunRequest":
         """Build a request, serializing *config* into override pairs."""
         return cls(
@@ -294,12 +308,20 @@ def execute_request(request: RunRequest) -> RunOutcome:
     plan = None
     if request.faults is not None:
         knobs = dict(request.faults)
-        plan = sc.inject_faults(
-            crashes=int(knobs.get("crashes", 0)),
-            container_kills=int(knobs.get("container_kills", 0)),
-            degraded=int(knobs.get("degraded", 0)),
-            horizon=float(knobs["horizon"]),
-        )
+        if "plan" in knobs:
+            from repro.faults import plan_from_json
+
+            plan = sc.inject_faults(plan=plan_from_json(str(knobs["plan"])))
+        else:
+            plan = sc.inject_faults(
+                crashes=int(knobs.get("crashes", 0)),
+                container_kills=int(knobs.get("container_kills", 0)),
+                degraded=int(knobs.get("degraded", 0)),
+                horizon=float(knobs["horizon"]),
+                link_degraded=int(knobs.get("link_degraded", 0)),
+                link_flaky=int(knobs.get("link_flaky", 0)),
+                rack_partitions=int(knobs.get("rack_partitions", 0)),
+            )
     spec = make_job_spec(case, sc.hdfs, base_config=request.config())
     recommended = None
     if request.tuning == "none":

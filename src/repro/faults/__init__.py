@@ -1,12 +1,25 @@
 """Fault injection: declarative plans applied to the live simulation."""
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, Fault, FaultPlan, generate_fault_plan
+from repro.faults.network_state import NetworkFaultState
+from repro.faults.plan import (
+    FAULT_KINDS,
+    NETWORK_FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    generate_fault_plan,
+    plan_from_json,
+    plan_to_json,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "Fault",
     "FaultPlan",
     "FaultInjector",
+    "NetworkFaultState",
     "generate_fault_plan",
+    "plan_from_json",
+    "plan_to_json",
 ]

@@ -14,12 +14,21 @@ Faults act through the same surfaces real hardware does:
 * a container kill preempts through the node manager, exactly like a
   scheduler preemption would;
 * a degradation rescales link capacities mid-flight, so running tasks
-  slow down rather than restart.
+  slow down rather than restart (and heal at ``recover_time`` when the
+  plan says so);
+* network faults act on ``cluster.network``: ``link_degrade`` rescales
+  a NIC, ``rack_partition`` stalls an uplink for a window, and
+  ``link_flaky`` opens a per-fetch failure window drawn from the
+  dedicated fetch RNG stream.  Any network kind in the plan arms
+  :class:`~repro.faults.network_state.NetworkFaultState` on the
+  network, which switches reducers onto the per-fetch recovery path.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.faults.plan import Fault, FaultPlan
 from repro.yarn.node_manager import KillReason, NodeManager
@@ -40,17 +49,20 @@ class FaultInjector:
         node_managers: Dict[int, NodeManager],
         rm: "ResourceManager",
         plan: FaultPlan,
+        fetch_rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.node_managers = node_managers
         self.rm = rm
         self.plan = plan
+        self.fetch_rng = fetch_rng
         #: ``(time, description)`` log of faults actually applied.
         self.applied: List[Tuple[float, str]] = []
         #: Planned faults skipped because their target was already dead.
         self.skipped: List[Tuple[float, str]] = []
         self._started = False
+        self._network_mode = False
 
     def start(self) -> None:
         """Arm failure detection and schedule every planned fault."""
@@ -59,6 +71,15 @@ class FaultInjector:
         self._started = True
         if not self.plan.faults:
             return
+        if self.plan.has_network_faults:
+            # Arming the gray-failure state flips reducers onto the
+            # per-fetch recovery path; legacy plans never reach here,
+            # so their digests are untouched.
+            from repro.faults.network_state import NetworkFaultState
+
+            rng = self.fetch_rng if self.fetch_rng is not None else np.random.default_rng(0)
+            self.cluster.network.faults = NetworkFaultState(rng)
+            self._network_mode = True
         ordered = [self.node_managers[nid] for nid in sorted(self.node_managers)]
         self.rm.start_failure_detection(ordered)
         for fault in self.plan.faults:
@@ -81,17 +102,26 @@ class FaultInjector:
             if applied:
                 tel.increment("faults.applied")
 
+    def _applied(self, fault: Fault, detail: str) -> None:
+        self.applied.append((self.sim.now, detail))
+        self._emit(fault, True, detail)
+
     def _apply(self, fault: Fault) -> None:
         node = self.cluster.node(fault.node_id)
         nm = self.node_managers[fault.node_id]
+        network = self.cluster.network
         if fault.kind == "node_crash":
             if not node.alive:
                 self.skipped.append((self.sim.now, fault.describe()))
                 self._emit(fault, False, fault.describe())
                 return
             node.fail()
-            self.applied.append((self.sim.now, fault.describe()))
-            self._emit(fault, True, fault.describe())
+            if self._network_mode:
+                # In network mode a dead node's NIC stalls too, so
+                # in-flight fetches from it time out instead of
+                # completing against a corpse.
+                network.freeze_node_nic(fault.node_id)
+            self._applied(fault, fault.describe())
             return
         if not node.alive or nm.decommissioned:
             # The target died before this fault's time arrived.
@@ -100,14 +130,40 @@ class FaultInjector:
             return
         if fault.kind == "degrade":
             node.degrade(cpu_factor=fault.cpu_factor, disk_factor=fault.disk_factor)
-            self.applied.append((self.sim.now, fault.describe()))
-            self._emit(fault, True, fault.describe())
+            if fault.recover_time > 0:
+                # Node.restore() no-ops on a dead node, so a crash that
+                # lands in between stays a crash.
+                self.sim.call_at(
+                    self.sim.now + fault.recover_time, lambda n=node: n.restore()
+                )
+            self._applied(fault, fault.describe())
+        elif fault.kind == "link_degrade":
+            network.scale_node_nic(fault.node_id, fault.net_factor)
+            if fault.recover_time > 0:
+                # restore_node_nic() no-ops once the NIC froze (crash).
+                self.sim.call_at(
+                    self.sim.now + fault.recover_time,
+                    lambda nid=fault.node_id: network.restore_node_nic(nid),
+                )
+            self._applied(fault, fault.describe())
+        elif fault.kind == "link_flaky":
+            network.faults.add_flaky_window(
+                fault.node_id,
+                self.sim.now,
+                self.sim.now + fault.duration,
+                fault.fail_prob,
+            )
+            self._applied(fault, fault.describe())
+        elif fault.kind == "rack_partition":
+            rack = node.rack
+            network.partition_rack(rack)
+            self.sim.call_at(
+                self.sim.now + fault.duration, lambda r=rack: network.heal_rack(r)
+            )
+            self._applied(fault, fault.describe())
         else:  # container_kill
             killed = nm.kill_some(
                 fault.count,
                 KillReason("preempted", f"injected container kill on {node.hostname}"),
             )
-            self.applied.append(
-                (self.sim.now, f"{fault.describe()} -> {killed} killed")
-            )
-            self._emit(fault, True, f"{fault.describe()} -> {killed} killed")
+            self._applied(fault, f"{fault.describe()} -> {killed} killed")

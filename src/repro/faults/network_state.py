@@ -1,0 +1,62 @@
+"""Gray-failure state for the cluster network.
+
+A :class:`NetworkFaultState` is armed on ``cluster.network.faults`` by
+the injector when (and only when) the active plan contains network
+fault kinds.  It owns the dedicated fetch RNG stream and the set of
+``link_flaky`` windows; per-fetch failure draws happen here so the
+stream is consumed in a deterministic order and **only** while a flaky
+window is open -- outside any window no draw is made at all, keeping
+fault-free and legacy-fault digests untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class NetworkFaultState:
+    """Flaky-link windows plus the fetch-failure RNG stream."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        #: node_id -> [(start, end, fail_prob)]
+        self._flaky: Dict[int, List[Tuple[float, float, float]]] = {}
+        #: Total failure draws that came up "failed" (introspection).
+        self.fetch_failures_drawn = 0
+
+    def add_flaky_window(
+        self, node_id: int, start: float, end: float, fail_prob: float
+    ) -> None:
+        if end <= start:
+            raise ValueError(f"flaky window must have end > start, got [{start}, {end})")
+        if not (0.0 < fail_prob < 1.0):
+            raise ValueError(f"fail_prob must be in (0, 1), got {fail_prob}")
+        self._flaky.setdefault(node_id, []).append((start, end, fail_prob))
+
+    def failure_prob(self, node_id: int, now: float) -> float:
+        """Combined fetch-failure probability for *node_id* at *now*."""
+        p = 0.0
+        for start, end, prob in self._flaky.get(node_id, ()):
+            if start <= now < end:
+                p = 1.0 - (1.0 - p) * (1.0 - prob)
+        return p
+
+    def draw_fetch_failure(self, src_node_id: int, dst_node_id: int, now: float) -> bool:
+        """Decide whether one fetch from src to dst fails right now.
+
+        Either endpoint being inside a flaky window exposes the fetch;
+        the combined probability treats the two ends as independent.
+        The RNG is consumed only when the probability is nonzero, so
+        runs without open windows never touch the stream.
+        """
+        ps = self.failure_prob(src_node_id, now)
+        pd = self.failure_prob(dst_node_id, now)
+        p = 1.0 - (1.0 - ps) * (1.0 - pd)
+        if p <= 0.0:
+            return False
+        failed = bool(float(self.rng.random()) < p)
+        if failed:
+            self.fetch_failures_drawn += 1
+        return failed

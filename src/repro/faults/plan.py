@@ -7,17 +7,35 @@ from a dedicated RNG stream by :func:`generate_fault_plan` so the same
 seed always yields the same scenario, independently of every other
 random draw in the simulation (HDFS placement, dataflow noise, tuner
 sampling all keep their own streams).
+
+Plans round-trip through JSON (:func:`plan_to_json` /
+:func:`plan_from_json`) so a pinned scenario can be replayed outside
+:func:`generate_fault_plan` -- e.g. the ``repro faults --plan-json``
+dump/load path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+import json
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 #: The fault kinds the injector understands.
-FAULT_KINDS = ("node_crash", "container_kill", "degrade")
+FAULT_KINDS = (
+    "node_crash",
+    "container_kill",
+    "degrade",
+    "link_degrade",
+    "link_flaky",
+    "rack_partition",
+)
+
+#: Kinds that act on the network fabric rather than a node's CPU/disks.
+#: Their presence in a plan arms the gray-failure fetch path (per-fetch
+#: shuffle with timeout/retry/penalty-box recovery).
+NETWORK_FAULT_KINDS = frozenset({"link_degrade", "link_flaky", "rack_partition"})
 
 
 @dataclass(frozen=True)
@@ -34,7 +52,21 @@ class Fault:
     ``degrade``
         The node's CPU and/or disks are slowed to ``cpu_factor`` /
         ``disk_factor`` of nominal capacity -- a straggler, not a
-        failure.
+        failure.  With ``recover_time > 0`` the node heals back to
+        nominal that many seconds after the fault lands.
+    ``link_degrade``
+        The node's NIC (TX and RX) is rescaled to ``net_factor`` of
+        nominal bandwidth; with ``recover_time > 0`` it heals after
+        that long.
+    ``link_flaky``
+        For ``duration`` seconds, every shuffle fetch touching the node
+        fails with probability ``fail_prob`` (drawn from the dedicated
+        fault RNG stream) -- a gray failure the flow scheduler cannot
+        see, only the fetcher's retry loop.
+    ``rack_partition``
+        The rack containing the node loses its uplink for ``duration``
+        seconds: cross-rack flows stall (rack-local traffic is
+        unaffected).
     """
 
     time: float
@@ -43,6 +75,10 @@ class Fault:
     cpu_factor: float = 1.0
     disk_factor: float = 1.0
     count: int = 1
+    net_factor: float = 1.0
+    fail_prob: float = 0.0
+    duration: float = 0.0
+    recover_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -55,15 +91,47 @@ class Fault:
             raise ValueError("slowdown factors must be in (0, 1]")
         if self.count < 1:
             raise ValueError("container_kill count must be >= 1")
+        if not (0.0 < self.net_factor <= 1.0):
+            raise ValueError(f"net_factor must be in (0, 1], got {self.net_factor}")
+        if not (0.0 <= self.fail_prob < 1.0):
+            raise ValueError(f"fail_prob must be in [0, 1), got {self.fail_prob}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.recover_time < 0:
+            raise ValueError(f"recover_time must be >= 0, got {self.recover_time}")
+        if self.kind == "link_flaky":
+            if self.fail_prob <= 0.0:
+                raise ValueError("link_flaky needs fail_prob > 0")
+            if self.duration <= 0.0:
+                raise ValueError("link_flaky needs duration > 0")
+        if self.kind == "rack_partition" and self.duration <= 0.0:
+            raise ValueError("rack_partition needs duration > 0")
 
     def describe(self) -> str:
         if self.kind == "node_crash":
             return f"t={self.time:.1f}s crash node {self.node_id}"
         if self.kind == "container_kill":
             return f"t={self.time:.1f}s kill {self.count} container(s) on node {self.node_id}"
+        if self.kind == "link_degrade":
+            recov = f", recovers +{self.recover_time:.1f}s" if self.recover_time > 0 else ""
+            return (
+                f"t={self.time:.1f}s degrade link of node {self.node_id} "
+                f"(net x{self.net_factor:.2f}{recov})"
+            )
+        if self.kind == "link_flaky":
+            return (
+                f"t={self.time:.1f}s flaky link on node {self.node_id} "
+                f"(p={self.fail_prob:.2f} for {self.duration:.1f}s)"
+            )
+        if self.kind == "rack_partition":
+            return (
+                f"t={self.time:.1f}s partition rack of node {self.node_id} "
+                f"for {self.duration:.1f}s"
+            )
+        recov = f", recovers +{self.recover_time:.1f}s" if self.recover_time > 0 else ""
         return (
             f"t={self.time:.1f}s degrade node {self.node_id} "
-            f"(cpu x{self.cpu_factor:.2f}, disk x{self.disk_factor:.2f})"
+            f"(cpu x{self.cpu_factor:.2f}, disk x{self.disk_factor:.2f}{recov})"
         )
 
 
@@ -93,8 +161,60 @@ class FaultPlan:
     def degraded_nodes(self) -> List[int]:
         return sorted({f.node_id for f in self.faults if f.kind == "degrade"})
 
+    @property
+    def has_network_faults(self) -> bool:
+        return any(f.kind in NETWORK_FAULT_KINDS for f in self.faults)
+
     def describe(self) -> List[str]:
         return [f.describe() for f in self.faults]
+
+
+#: Fault fields serialized to JSON, in declaration order.  Defaults are
+#: elided from the dump so old-kind plans stay compact and forward-
+#: compatible dumps are stable under field additions.
+_FAULT_FIELD_DEFAULTS = (
+    ("cpu_factor", 1.0),
+    ("disk_factor", 1.0),
+    ("count", 1),
+    ("net_factor", 1.0),
+    ("fail_prob", 0.0),
+    ("duration", 0.0),
+    ("recover_time", 0.0),
+)
+
+
+def plan_to_json(plan: FaultPlan) -> str:
+    """Serialize *plan* to a stable, human-editable JSON document."""
+    records = []
+    for f in plan.faults:
+        rec = {"time": f.time, "kind": f.kind, "node_id": f.node_id}
+        for name, default in _FAULT_FIELD_DEFAULTS:
+            value = getattr(f, name)
+            if value != default:
+                rec[name] = value
+        records.append(rec)
+    return json.dumps({"faults": records}, indent=2, sort_keys=True)
+
+
+def plan_from_json(text: str) -> FaultPlan:
+    """Parse a :func:`plan_to_json` document back into a plan.
+
+    Validation happens in :class:`Fault`'s ``__post_init__``, so a
+    hand-edited document with out-of-range fields fails loudly.
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or not isinstance(doc.get("faults"), list):
+        raise ValueError("fault plan JSON must be an object with a 'faults' list")
+    known = {"time", "kind", "node_id"} | {name for name, _ in _FAULT_FIELD_DEFAULTS}
+    faults = []
+    for rec in doc["faults"]:
+        if not isinstance(rec, dict):
+            raise ValueError(f"fault record must be an object, got {rec!r}")
+        unknown = set(rec) - known
+        if unknown:
+            raise ValueError(f"unknown fault fields {sorted(unknown)}")
+        faults.append(Fault(**rec))
+    return FaultPlan(tuple(faults))
 
 
 def generate_fault_plan(
@@ -105,6 +225,9 @@ def generate_fault_plan(
     container_kills: int = 0,
     degraded: int = 0,
     degrade_span: Tuple[float, float] = (0.35, 0.75),
+    link_degraded: int = 0,
+    link_flaky: int = 0,
+    rack_partitions: int = 0,
 ) -> FaultPlan:
     """Draw a random fault scenario from *rng*.
 
@@ -114,12 +237,20 @@ def generate_fault_plan(
     ([5%, 30%]) so stragglers shape whole waves, and container kills
     spread over [20%, 80%].  Crashed and degraded node sets are
     disjoint, and at least one node is left fully healthy.
+
+    Network faults (``link_degraded`` NIC rescales, ``link_flaky``
+    fetch-failure windows, ``rack_partitions`` uplink stalls) target
+    non-crashed nodes and are drawn strictly *after* every legacy draw,
+    so a plan generated with only the legacy knobs is bit-identical to
+    what earlier versions produced from the same stream.
     """
     if num_nodes < 1:
         raise ValueError("need at least one node")
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
     if crashes < 0 or container_kills < 0 or degraded < 0:
+        raise ValueError("fault counts must be >= 0")
+    if link_degraded < 0 or link_flaky < 0 or rack_partitions < 0:
         raise ValueError("fault counts must be >= 0")
     if crashes + degraded >= num_nodes:
         raise ValueError(
@@ -153,4 +284,52 @@ def generate_fault_plan(
         node_id = int(healthy[int(rng.integers(len(healthy)))])
         t = float(rng.uniform(0.20, 0.80)) * horizon
         faults.append(Fault(time=t, kind="container_kill", node_id=node_id))
+    # -- network faults: every draw below is new; keep them after all
+    # legacy draws so legacy-knob plans replay bit-identically.
+    for _ in range(link_degraded):
+        node_id = int(healthy[int(rng.integers(len(healthy)))])
+        t = float(rng.uniform(0.10, 0.50)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="link_degrade",
+                node_id=node_id,
+                net_factor=float(rng.uniform(0.20, 0.60)),
+                recover_time=float(rng.uniform(0.20, 0.50)) * horizon,
+            )
+        )
+    for _ in range(link_flaky):
+        node_id = int(healthy[int(rng.integers(len(healthy)))])
+        t = float(rng.uniform(0.10, 0.60)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="link_flaky",
+                node_id=node_id,
+                fail_prob=float(rng.uniform(0.30, 0.80)),
+                duration=float(rng.uniform(0.20, 0.50)) * horizon,
+            )
+        )
+    for _ in range(rack_partitions):
+        node_id = int(healthy[int(rng.integers(len(healthy)))])
+        t = float(rng.uniform(0.15, 0.60)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="rack_partition",
+                node_id=node_id,
+                duration=float(rng.uniform(0.10, 0.30)) * horizon,
+            )
+        )
     return FaultPlan(tuple(faults))
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "generate_fault_plan",
+    "plan_from_json",
+    "plan_to_json",
+]

@@ -13,17 +13,19 @@ category-3 (hot-swappable) updates land mid-task.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Dict, Generator, List, Set, Tuple
 
 from repro.cluster.container import Container
+from repro.cluster.node import Node
 from repro.core import parameters as P
 from repro.core.configuration import Configuration
 from repro.mapreduce import task_context as tc
+from repro.mapreduce.jobspec import TaskId
 from repro.mapreduce.shuffle import SHUFFLE_STREAM_BW
 from repro.mapreduce.sortspill import plan_reduce_merge
 from repro.mapreduce.task_context import TaskContext
 from repro.monitor.statistics import TaskStats
-from repro.sim.events import AllOf, Event
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt
 from repro.sim.resources import Link
 
 MB = 1024 * 1024
@@ -36,6 +38,163 @@ SHUFFLE_POLL_INTERVAL = 5.0
 def attempt_output_dir(output_path: str, task_id: object, attempt: int) -> str:
     """Temporary output directory of one reduce attempt (pre-commit)."""
     return f"{output_path}/_temporary/{task_id}_att{attempt}"
+
+
+def _shuffle_with_recovery(
+    ctx: TaskContext,
+    reduce_index: int,
+    node: Node,
+    config: Configuration,
+    copier_link: Link,
+    task_id: TaskId,
+    attempt: int,
+    stats: TaskStats,
+) -> Generator[Event, object, Tuple[float, int]]:
+    """Per-source shuffle with Hadoop-style fetch-failure recovery.
+
+    Active only when ``ctx.fetch`` is armed (a plan with network fault
+    kinds).  Each segment is fetched from its *source* node through
+    :meth:`Network.fetch_from`, up to ``shuffle.parallelcopies`` at a
+    time; a fetch races a per-fetch timeout, retries with exponential
+    backoff on timeout or (flaky-window) connection failure, and after
+    the retry budget is spent the source lands in this reducer's
+    penalty box and one fetch-failure report goes to the AM.  A segment
+    whose output was declared lost stays pending until the re-executed
+    map registers its replacement (cursor entries are never consumed
+    twice: ``done``/``pending`` membership dedupes re-registrations).
+    """
+    sim = ctx.sim
+    fetch = ctx.fetch
+    assert fetch is not None
+    s = fetch.settings
+    catalog = ctx.catalog
+    network = ctx.cluster.network
+    bus = sim.telemetry
+    task_tel = bus is not None and bus.wants("task")
+
+    fetched_bytes = 0.0
+    cursor = 0
+    done: Set[int] = set()
+    pending: List[int] = []
+    #: source node_id -> simulated time its penalty box opens again
+    penalized: Dict[int, float] = {}
+    seq = 0
+    cancelled = False
+
+    def fetch_segment(m: int) -> Generator[Event, object, Tuple[str, int, int, float]]:
+        nonlocal seq
+        retries = 0
+        backoff = s.backoff_base
+        while True:
+            if cancelled:
+                return ("cancelled", m, -1, 0.0)
+            if not catalog.has_output(m):
+                # Declared lost while queued; the parent keeps it
+                # pending until the re-run registers a replacement.
+                return ("gone", m, -1, 0.0)
+            src_id = catalog.node_of(m)
+            nbytes = catalog.partition_bytes(m, reduce_index)
+            if nbytes <= 0:
+                # Zero-length segment: only the header exchange, free.
+                return ("ok", m, src_id, 0.0)
+            src = ctx.cluster.node(src_id)
+            if fetch.draw_failure(src_id, node.node_id):
+                reason = "connection"
+                yield sim.timeout(s.failure_latency)
+            else:
+                seq += 1
+                label = f"{task_id}.shuffle.m{m}.f{seq}"
+                flow = network.fetch_from(
+                    src, node, nbytes, extra_links=[copier_link], label=label
+                )
+                idx, _value = yield AnyOf(sim, [flow, sim.timeout(s.fetch_timeout)])
+                if idx == 0:
+                    return ("ok", m, src_id, nbytes)
+                # Timed out: abandon the stalled flow before retrying.
+                network.scheduler.cancel_prefix(label)
+                reason = "timeout"
+            retries += 1
+            stats.fetch_retries += 1
+            if bus is not None:
+                bus.increment("shuffle.fetch_retries")
+            if task_tel:
+                from repro.telemetry.events import FetchRetry
+
+                bus.emit(
+                    FetchRetry(
+                        time=sim.now,
+                        task=str(task_id),
+                        attempt=attempt,
+                        map_index=m,
+                        src_node_id=src_id,
+                        dst_node_id=node.node_id,
+                        reason=reason,
+                        retry=retries,
+                    )
+                )
+            if retries > s.max_retries:
+                return ("failed", m, src_id, 0.0)
+            stats.fetch_penalty_seconds += backoff
+            yield sim.timeout(backoff)
+            backoff = min(s.backoff_max, backoff * 2.0)
+
+    while True:
+        cursor, fresh = catalog.new_outputs_since(cursor)
+        for m in fresh:
+            if m not in done and m not in pending:
+                pending.append(m)
+        if len(done) >= catalog.num_maps:
+            break
+        now = sim.now
+        ready = [
+            m
+            for m in pending
+            if catalog.has_output(m) and penalized.get(catalog.node_of(m), 0.0) <= now
+        ]
+        if ready:
+            # parallelcopies is hot-swappable: it bounds both the
+            # copier pool's aggregate rate and the fetch fan-out.
+            copies = max(1, int(config[P.SHUFFLE_PARALLELCOPIES]))
+            copier_link.capacity = copies * SHUFFLE_STREAM_BW
+            batch = ready[:copies]
+            procs = [
+                sim.process(fetch_segment(m), name=f"{task_id}.fetch.m{m}")
+                for m in batch
+            ]
+            try:
+                results = yield AllOf(sim, procs)
+            except Interrupt:
+                # Killed mid-round (preemption, photo-finish loss): the
+                # flag makes orphaned fetchers drain at their next wake
+                # instead of fetching for a dead reducer.
+                cancelled = True
+                raise
+            for outcome, m, src_id, nbytes in results:
+                if outcome == "ok":
+                    done.add(m)
+                    pending.remove(m)
+                    fetched_bytes += nbytes
+                elif outcome == "failed":
+                    penalized[src_id] = sim.now + s.penalty_seconds
+                    fetch.report_failure(m, src_id, str(task_id))
+                # "gone" stays pending until re-registered (or the AM
+                # closes the catalog for good).
+            if ctx.progress is not None:
+                ctx.progress.update(
+                    task_id, attempt, 0.33 * len(done) / max(1, catalog.num_maps)
+                )
+            continue
+        # Nothing fetchable right now: wait for news, but re-poll on a
+        # timer too so penalty-box expiry is noticed without an event.
+        live = [m for m in pending if catalog.has_output(m)]
+        if catalog.maps_done and not pending:
+            break
+        if catalog.closed and not live:
+            # Remaining segments are permanently gone (a map failed for
+            # good); stop fetching so the job fails instead of hanging.
+            break
+        yield AnyOf(sim, [catalog.wait_for_news(), sim.timeout(SHUFFLE_POLL_INTERVAL)])
+    return fetched_bytes, len(done)
 
 
 def run_reduce_task(
@@ -105,36 +264,43 @@ def run_reduce_task(
     # Phase 1: shuffle.  One aggregated fetch per availability round.
     # ------------------------------------------------------------------
     copier_link = Link(f"{task_id}.copiers", SHUFFLE_STREAM_BW)
-    cursor = 0
-    fetched_bytes = 0.0
-    num_segments = 0
     shuffle_start = sim.now
-    while True:
-        cursor, fresh = ctx.catalog.new_outputs_since(cursor)
-        if fresh:
-            batch = ctx.catalog.batch_bytes_for_reducer(fresh, reduce_index)
-            num_segments += len(fresh)
-            if batch > 0:
-                # parallelcopies is hot-swappable: refresh the copier
-                # pool's aggregate service rate each round.
-                copies = max(1, int(config[P.SHUFFLE_PARALLELCOPIES]))
-                copier_link.capacity = copies * SHUFFLE_STREAM_BW
-                yield ctx.cluster.network.fetch_into(
-                    node, batch, extra_links=[copier_link], label=f"{task_id}.shuffle"
-                )
-                fetched_bytes += batch
-            if ctx.progress is not None:
-                ctx.progress.update(
-                    task_id, attempt, 0.33 * cursor / max(1, ctx.catalog.num_maps)
-                )
-        elif ctx.catalog.maps_done:
-            break
-        else:
-            yield ctx.catalog.wait_for_news()
-            # Batch availability into poll windows (Hadoop's fetchers
-            # likewise poll completion events periodically) so a burst
-            # of map completions becomes one aggregated fetch.
-            yield sim.timeout(SHUFFLE_POLL_INTERVAL)
+    if ctx.fetch is not None:
+        # Gray-failure fetch path: per-source fetches with timeout,
+        # retry/backoff, penalty box, and AM failure reports.
+        fetched_bytes, num_segments = yield from _shuffle_with_recovery(
+            ctx, reduce_index, node, config, copier_link, task_id, attempt, stats
+        )
+    else:
+        cursor = 0
+        fetched_bytes = 0.0
+        num_segments = 0
+        while True:
+            cursor, fresh = ctx.catalog.new_outputs_since(cursor)
+            if fresh:
+                batch = ctx.catalog.batch_bytes_for_reducer(fresh, reduce_index)
+                num_segments += len(fresh)
+                if batch > 0:
+                    # parallelcopies is hot-swappable: refresh the copier
+                    # pool's aggregate service rate each round.
+                    copies = max(1, int(config[P.SHUFFLE_PARALLELCOPIES]))
+                    copier_link.capacity = copies * SHUFFLE_STREAM_BW
+                    yield ctx.cluster.network.fetch_into(
+                        node, batch, extra_links=[copier_link], label=f"{task_id}.shuffle"
+                    )
+                    fetched_bytes += batch
+                if ctx.progress is not None:
+                    ctx.progress.update(
+                        task_id, attempt, 0.33 * cursor / max(1, ctx.catalog.num_maps)
+                    )
+            elif ctx.catalog.maps_done:
+                break
+            else:
+                yield ctx.catalog.wait_for_news()
+                # Batch availability into poll windows (Hadoop's fetchers
+                # likewise poll completion events periodically) so a burst
+                # of map completions becomes one aggregated fetch.
+                yield sim.timeout(SHUFFLE_POLL_INTERVAL)
 
     input_records = int(round(fetched_bytes / max(1.0, profile.map_output_record_size)))
     stats.shuffled_bytes = fetched_bytes

@@ -9,16 +9,27 @@ Per-fetch throughput is bounded by ``shuffle.parallelcopies`` times a
 per-stream service rate: serving a map segment is a seek-bound read on
 the source node, so a single copier stream cannot saturate a NIC --
 which is exactly why the parameter is worth tuning (S6.3).
+
+Under network faults the aggregated rounds are replaced by per-source
+fetches with real failure semantics (timeout, exponential backoff,
+capped retries, per-source penalty box) coordinated through a
+:class:`ShuffleFetchService`; exhausted retries are reported to the app
+master, which may declare the map output lost (:meth:`mark_lost`) and
+re-execute the map.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import Cluster
 
 MB = 1024 * 1024
 
@@ -39,7 +50,7 @@ class MapOutputCatalog:
         self._outputs: Dict[int, tuple[int, np.ndarray]] = {}
         self._completed_order: List[int] = []
         self._waiters: List[Event] = []
-        self.maps_done = False
+        self._closed = False
 
     # -- producer side -----------------------------------------------------
     def register_map_output(
@@ -50,7 +61,10 @@ class MapOutputCatalog:
         With speculative execution two attempts of the same map can both
         finish; the first registration wins and the loser's output is
         ignored (reducers have already fetched, or will fetch, the
-        winner's segments).
+        winner's segments).  An output that was declared lost
+        (:meth:`mark_lost`) may be registered again by the re-executed
+        map; the fresh registration is appended to the completion order
+        so polling reducers discover the new location.
         """
         if map_index in self._outputs:
             return False
@@ -61,14 +75,25 @@ class MapOutputCatalog:
             )
         self._outputs[map_index] = (node_id, np.asarray(partitions, dtype=float))
         self._completed_order.append(map_index)
-        if len(self._outputs) >= self.num_maps:
-            self.maps_done = True
+        self._wake()
+        return True
+
+    def mark_lost(self, map_index: int) -> bool:
+        """Retract a map output the AM declared lost; False if absent.
+
+        The completion-order log keeps the stale entry (reducer cursors
+        are positional and must never move backwards); consumers check
+        :meth:`has_output` before fetching.
+        """
+        entry = self._outputs.pop(map_index, None)
+        if entry is None:
+            return False
         self._wake()
         return True
 
     def mark_all_maps_done(self) -> None:
         """Called by the app master when no further map outputs will appear."""
-        self.maps_done = True
+        self._closed = True
         self._wake()
 
     def _wake(self) -> None:
@@ -77,6 +102,16 @@ class MapOutputCatalog:
             ev.succeed()
 
     # -- consumer side -----------------------------------------------------
+    @property
+    def maps_done(self) -> bool:
+        """True when every map output is live, or no more will appear."""
+        return self._closed or len(self._outputs) >= self.num_maps
+
+    @property
+    def closed(self) -> bool:
+        """True once the AM gave up on producing further outputs."""
+        return self._closed
+
     @property
     def completed_maps(self) -> int:
         return len(self._outputs)
@@ -91,6 +126,12 @@ class MapOutputCatalog:
         ev = self.sim.event()
         self._waiters.append(ev)
         return ev
+
+    def has_output(self, map_index: int) -> bool:
+        return map_index in self._outputs
+
+    def node_of(self, map_index: int) -> int:
+        return self._outputs[map_index][0]
 
     def partition_bytes(self, map_index: int, reduce_index: int) -> float:
         _node, parts = self._outputs[map_index]
@@ -108,3 +149,58 @@ class MapOutputCatalog:
 
     def source_nodes(self, map_indices: Sequence[int]) -> List[int]:
         return [self._outputs[m][0] for m in map_indices]
+
+
+@dataclass(frozen=True)
+class FetchRecoverySettings:
+    """Knobs of the gray-failure fetch path (Hadoop-flavored defaults).
+
+    ``fetch_timeout`` plays the role of ``mapreduce.reduce.shuffle.
+    read.timeout``: a fetch that has not completed by then is abandoned
+    and retried.  Retries back off exponentially from ``backoff_base``
+    up to ``backoff_max``; after ``max_retries`` failed attempts the
+    source lands in the reducer's penalty box for ``penalty_seconds``
+    and one fetch-failure report goes to the AM.
+    """
+
+    fetch_timeout: float = 15.0
+    max_retries: int = 3
+    backoff_base: float = 1.0
+    backoff_max: float = 8.0
+    penalty_seconds: float = 20.0
+    #: Simulated time a refused/failed connection burns before erroring
+    #: (a TCP-level failure is fast, not instant).
+    failure_latency: float = 0.5
+
+
+class ShuffleFetchService:
+    """Per-job coordinator of the per-fetch shuffle recovery path.
+
+    Installed on ``TaskContext.fetch`` by the app master only when the
+    network's gray-failure state is armed; reducers fall back to the
+    legacy aggregated rounds when it is absent, keeping fault-free and
+    legacy-fault digests byte-identical.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: "Cluster",
+        catalog: MapOutputCatalog,
+        settings: FetchRecoverySettings,
+        report_failure: Callable[[int, int, str], None],
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.catalog = catalog
+        self.settings = settings
+        #: ``report_failure(map_index, src_node_id, reducer_task_id)`` --
+        #: wired to the AM's fetch-failure aggregation.
+        self.report_failure = report_failure
+
+    def draw_failure(self, src_node_id: int, dst_node_id: int) -> bool:
+        """One connection-level failure draw against the flaky windows."""
+        state = self.cluster.network.faults
+        if state is None:
+            return False
+        return state.draw_fetch_failure(src_node_id, dst_node_id, self.sim.now)

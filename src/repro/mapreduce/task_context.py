@@ -9,7 +9,7 @@ from repro.cluster.topology import Cluster
 from repro.hdfs.filesystem import HdfsFileSystem
 from repro.mapreduce.dataflow import JobDataflow
 from repro.mapreduce.jobspec import JobSpec
-from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.mapreduce.shuffle import MapOutputCatalog, ShuffleFetchService
 from repro.monitor.statistics import ProgressBoard
 from repro.sim.engine import Simulator
 
@@ -40,6 +40,9 @@ class TaskContext:
     catalog: MapOutputCatalog
     #: Live attempt-progress reporting (feeds speculative execution).
     progress: Optional[ProgressBoard] = None
+    #: Per-fetch shuffle recovery; ``None`` keeps the legacy aggregated
+    #: fetch rounds (fault-free and legacy-fault runs).
+    fetch: Optional[ShuffleFetchService] = None
 
 
 def allocated_cores(node_cores_per_vcore: float, vcores: int) -> float:

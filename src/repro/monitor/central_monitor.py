@@ -36,6 +36,9 @@ class CentralMonitor:
         self.mem_timelines: Dict[int, UtilizationTimeline] = defaultdict(UtilizationTimeline)
         #: Subscribers notified of every completed task (the tuner).
         self.task_listeners: List[Callable[[TaskStats], None]] = []
+        #: Per-job count of fetch-retry-inflated measurements; these are
+        #: flagged so the tuner's cost evaluation can discount them.
+        self.fetch_inflated_count: Dict[str, int] = defaultdict(int)
         if bus is not None:
             self.subscribe_to(bus)
 
@@ -56,6 +59,8 @@ class CentralMonitor:
 
     def on_task_stats(self, stats: TaskStats) -> None:
         self.task_stats.append(stats)
+        if stats.fetch_retries > 0:
+            self.fetch_inflated_count[stats.task_id.job_id] += 1
         for listener in self.task_listeners:
             listener(stats)
 
@@ -72,6 +77,13 @@ class CentralMonitor:
         if task_type is not None:
             out = [s for s in out if s.task_type is task_type]
         return out
+
+    def fetch_inflated_fraction(self, job_id: str) -> float:
+        """Fraction of *job_id*'s measurements inflated by fetch retries."""
+        total = sum(1 for s in self.task_stats if s.task_id.job_id == job_id)
+        if total == 0:
+            return 0.0
+        return self.fetch_inflated_count[job_id] / total
 
     def mean_cpu_utilization(self, since: float = 0.0) -> float:
         values = [tl.mean(since) for tl in self.cpu_timelines.values()]

@@ -49,6 +49,12 @@ class TaskStats:
     speculative: bool = False
     #: Wave index assigned by the launch gate (aggressive tuning).
     wave: int = -1
+    #: Failed shuffle fetch attempts (timeouts/connection errors) this
+    #: attempt retried through -- nonzero marks the measurement as
+    #: fetch-inflated for the tuner's stat discounting.
+    fetch_retries: int = 0
+    #: Simulated seconds this attempt spent in fetch backoff sleeps.
+    fetch_penalty_seconds: float = 0.0
 
     @property
     def duration(self) -> float:

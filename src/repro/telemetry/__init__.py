@@ -20,8 +20,11 @@ from repro.telemetry.events import (
     ContainerKilled,
     ContainerReleased,
     FaultInjected,
+    FetchFailureReport,
+    FetchRetry,
     JobFinished,
     JobSubmitted,
+    MapOutputLost,
     NodeBlacklisted,
     NodeLost,
     NodeSampled,
@@ -35,6 +38,7 @@ from repro.telemetry.events import (
     TaskPhaseSpan,
     TaskStatsRecorded,
     TelemetryEvent,
+    TunerRollback,
     WaveOpened,
 )
 from repro.telemetry.export import ChromeTraceExporter, JsonlExporter, MetricsSummary
@@ -49,9 +53,12 @@ __all__ = [
     "ContainerKilled",
     "ContainerReleased",
     "FaultInjected",
+    "FetchFailureReport",
+    "FetchRetry",
     "JobFinished",
     "JobSubmitted",
     "JsonlExporter",
+    "MapOutputLost",
     "MetricsSummary",
     "NodeBlacklisted",
     "NodeLost",
@@ -67,5 +74,6 @@ __all__ = [
     "TaskStatsRecorded",
     "TelemetryBus",
     "TelemetryEvent",
+    "TunerRollback",
     "WaveOpened",
 ]

@@ -174,6 +174,22 @@ class AttemptSpan(SpanEvent):
     speculative: bool = False
 
 
+@dataclass(frozen=True)
+class FetchRetry(TelemetryEvent):
+    """One failed shuffle fetch attempt (timeout or connection error)."""
+
+    category: ClassVar[str] = "task"
+    kind: ClassVar[str] = "fetch_retry"
+
+    task: str = ""
+    attempt: int = 0
+    map_index: int = -1
+    src_node_id: int = -1
+    dst_node_id: int = -1
+    reason: str = ""
+    retry: int = 0
+
+
 # ----------------------------------------------------------------------
 # stats / node: the monitor feeds
 # ----------------------------------------------------------------------
@@ -309,6 +325,33 @@ class AttemptRetry(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class FetchFailureReport(TelemetryEvent):
+    """A reducer reported repeated fetch failures against a map output."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "fetch_failure_report"
+
+    job_id: str = ""
+    map_index: int = -1
+    src_node_id: int = -1
+    reporter: str = ""
+    distinct_reporters: int = 0
+
+
+@dataclass(frozen=True)
+class MapOutputLost(TelemetryEvent):
+    """Fetch-failure reports crossed the threshold; the map re-executes."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "map_output_lost"
+
+    job_id: str = ""
+    map_index: int = -1
+    src_node_id: int = -1
+    reports: int = 0
+
+
+@dataclass(frozen=True)
 class SpeculativeLaunch(TelemetryEvent):
     """The AM launched a backup attempt for a straggler."""
 
@@ -363,6 +406,21 @@ class RuleFired(TelemetryEvent):
     task_type: str = ""
     rule: str = ""
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class TunerRollback(TelemetryEvent):
+    """A candidate wave tripped the failure-cost gate; the search voided
+    it and re-proposed around the last-known-good configuration."""
+
+    category: ClassVar[str] = "tuner"
+    kind: ClassVar[str] = "tuner_rollback"
+
+    job_id: str = ""
+    task_type: str = ""
+    wave: int = 0
+    suspect_samples: int = 0
+    total_samples: int = 0
 
 
 @dataclass(frozen=True)

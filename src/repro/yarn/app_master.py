@@ -41,7 +41,11 @@ from repro.mapreduce.dataflow import JobDataflow
 from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType
 from repro.mapreduce.map_task import run_map_task
 from repro.mapreduce.reduce_task import attempt_output_dir, run_reduce_task
-from repro.mapreduce.shuffle import MapOutputCatalog
+from repro.mapreduce.shuffle import (
+    FetchRecoverySettings,
+    MapOutputCatalog,
+    ShuffleFetchService,
+)
 from repro.mapreduce.task_context import TaskContext
 from repro.monitor.statistics import ProgressBoard, TaskStats
 from repro.sim.engine import Simulator
@@ -58,7 +62,9 @@ REDUCE_RAMPUP_LIMIT = 0.5
 
 #: Failure kinds the environment (not the configuration) is to blame
 #: for; they consume the re-execution budget, never the config ladder.
-ENVIRONMENTAL_KINDS = frozenset({"preempted", "node_lost", "speculation"})
+ENVIRONMENTAL_KINDS = frozenset(
+    {"preempted", "node_lost", "speculation", "fetch_failure"}
+)
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,10 @@ class FaultToleranceSettings:
     max_env_retries: int = 4
     #: Environmental failures on one node before it is blacklisted.
     blacklist_threshold: int = 3
+    #: Fetch-failure reports against one map output before the AM
+    #: declares it lost and re-executes the map (capped at the number
+    #: of reducers, so small jobs still converge).
+    fetch_failure_threshold: int = 3
     #: None disables speculative execution (the default: a fault-free
     #: run must stay bit-identical to earlier versions of itself).
     speculation: Optional[SpeculationSettings] = None
@@ -252,6 +262,7 @@ class _TaskRun:
         "task_id", "task_type", "index", "attempt_counter", "running",
         "winner", "last_failure", "config_failures", "env_failures",
         "permanent", "done", "tier1_config", "inbox", "waiter",
+        "relaunch_on_settle",
     )
 
     def __init__(self, task_id: TaskId, task_type: TaskType, index: int) -> None:
@@ -271,6 +282,10 @@ class _TaskRun:
         self.tier1_config: Optional[Configuration] = None
         self.inbox: List[Tuple[_Attempt, TaskStats]] = []
         self.waiter: Optional[Event] = None
+        #: Set when this task's map output was declared lost while the
+        #: lifecycle was still settling attempts: re-execute once every
+        #: in-flight attempt has settled instead of finishing.
+        self.relaunch_on_settle = False
 
 
 def _reraise_runner_failure(ev: Event) -> None:
@@ -316,6 +331,14 @@ class MRAppMaster:
             sim, cluster, hdfs, spec, self.dataflow, self.catalog,
             progress=self.progress,
         )
+        if getattr(cluster.network, "faults", None) is not None:
+            # The injector armed the gray-failure network state before
+            # this job was submitted: switch reducers onto the per-fetch
+            # recovery path and accept their fetch-failure reports.
+            self.ctx.fetch = ShuffleFetchService(
+                sim, cluster, self.catalog,
+                FetchRecoverySettings(), self._on_fetch_failure_report,
+            )
         self._input_file = input_file
 
         self.completion: Event = sim.event()
@@ -337,6 +360,13 @@ class MRAppMaster:
         #: Per-node environmental failure counts and the resulting
         #: application-level blacklist (Hadoop's AM blacklisting).
         self._node_failures: Dict[int, int] = {}
+        #: Fetch-failure aggregation per map index: total report count
+        #: and the distinct reporting reducers (telemetry detail).
+        self._fetch_report_counts: Dict[int, int] = {}
+        self._fetch_reporters: Dict[int, Set[str]] = {}
+        #: Loss details awaiting a lifecycle to charge them, keyed by
+        #: task id: ``(map_index, src_node_id, report_count)``.
+        self._pending_loss: Dict[str, Tuple[int, int, int]] = {}
         self._blacklisted_nodes: Set[int] = set()
         #: Mean-duration inputs for the speculator, per task type.
         self._completed_durations: Dict[TaskType, List[float]] = {
@@ -718,7 +748,7 @@ class MRAppMaster:
         node's, so they never contribute (and fault-free tuning runs stay
         byte-identical to pre-blacklist behaviour).
         """
-        if stats.failure_kind not in ("preempted", "node_lost"):
+        if stats.failure_kind not in ("preempted", "node_lost", "fetch_failure"):
             return
         if stats.node_id < 0:
             return
@@ -745,10 +775,150 @@ class MRAppMaster:
         return set(self._blacklisted_nodes)
 
     # ------------------------------------------------------------------
+    # Fetch-failure aggregation (too many fetch failures => re-run map)
+    # ------------------------------------------------------------------
+    def _fetch_failure_threshold(self) -> int:
+        return max(1, min(self.ft.fetch_failure_threshold, self.dataflow.num_reducers))
+
+    def _on_fetch_failure_report(
+        self, map_index: int, src_node_id: int, reporter: str
+    ) -> None:
+        """One reducer exhausted its fetch retries against a map output.
+
+        Reports are counted per map output (every exhausted retry cycle
+        counts, so even a lone reducer eventually crosses the threshold
+        and the job cannot hang on a single stuck source); past the
+        threshold the output is declared lost and the map re-executes.
+        """
+        if not self.catalog.has_output(map_index):
+            return  # already retracted; the re-run is in flight
+        run = self._runs.get(str(self.spec.map_task_id(map_index)))
+        if run is None or run.permanent:
+            return
+        count = self._fetch_report_counts.get(map_index, 0) + 1
+        self._fetch_report_counts[map_index] = count
+        reporters = self._fetch_reporters.setdefault(map_index, set())
+        reporters.add(reporter)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.increment("shuffle.fetch_failure_reports")
+            if tel.wants("yarn"):
+                from repro.telemetry.events import FetchFailureReport
+
+                tel.emit(
+                    FetchFailureReport(
+                        time=self.sim.now,
+                        job_id=self.spec.job_id,
+                        map_index=map_index,
+                        src_node_id=src_node_id,
+                        reporter=reporter,
+                        distinct_reporters=len(reporters),
+                    )
+                )
+        if count >= self._fetch_failure_threshold():
+            self._declare_map_output_lost(map_index, src_node_id, count)
+
+    def _declare_map_output_lost(
+        self, map_index: int, src_node_id: int, reports: int
+    ) -> None:
+        """Retract a map output and re-execute the map that produced it."""
+        run = self._runs.get(str(self.spec.map_task_id(map_index)))
+        if run is None or run.permanent:
+            return
+        if not self.catalog.mark_lost(map_index):
+            return
+        self._fetch_report_counts.pop(map_index, None)
+        self._fetch_reporters.pop(map_index, None)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.increment("yarn.map_outputs_lost")
+            if tel.wants("yarn"):
+                from repro.telemetry.events import MapOutputLost
+
+                tel.emit(
+                    MapOutputLost(
+                        time=self.sim.now,
+                        job_id=self.spec.job_id,
+                        map_index=map_index,
+                        src_node_id=src_node_id,
+                        reports=reports,
+                    )
+                )
+        self._pending_loss[str(run.task_id)] = (map_index, src_node_id, reports)
+        if not run.done:
+            # Attempts (e.g. a speculative copy) are still settling; the
+            # lifecycle charges the loss once they have.
+            run.relaunch_on_settle = True
+            return
+        # The lifecycle already finished: rewind its completion
+        # accounting and restart it around a fresh attempt.
+        run.done = False
+        self._lifecycles_done -= 1
+        self._map_lifecycles_done -= 1
+        self._completed_maps -= 1
+        self._charge_output_loss(run)
+        if run.permanent:
+            run.done = True
+            self._finalize_run(run)
+            return
+        self.sim.process(
+            self._task_lifecycle(run, spawn_first=False),
+            name=f"{self.spec.job_id}-m{run.index}-redo",
+        )
+
+    def _charge_output_loss(self, run: _TaskRun) -> None:
+        """Book a lost map output against the env-retry budget and respawn.
+
+        The synthesized stats record carries ``fetch_failure`` (an
+        environmental kind: the node, not the config, is to blame) and
+        is flagged speculative so the tuner's wave accounting -- which
+        already consumed the original successful attempt -- skips it.
+        """
+        map_index, src_node_id, reports = self._pending_loss.pop(
+            str(run.task_id), (run.index, -1, 0)
+        )
+        winner, run.winner = run.winner, None
+        run.env_failures += 1
+        stats = TaskStats(
+            task_id=run.task_id,
+            task_type=run.task_type,
+            node_id=src_node_id,
+            attempt=winner.attempt if winner is not None else run.attempt_counter,
+            config=dict(winner.config) if winner is not None else {},
+            start_time=self.sim.now,
+            end_time=self.sim.now,
+            cpu_seconds=0.0,
+            allocated_cores=0.0,
+            working_set_bytes=0.0,
+            container_memory_bytes=0.0,
+            failed=True,
+            failure_reason=(
+                f"map output {map_index} lost after {reports} fetch-failure report(s)"
+            ),
+            failure_kind="fetch_failure",
+            speculative=True,
+            wave=winner.wave if winner is not None else -1,
+        )
+        run.last_failure = stats
+        self._record(stats)
+        self._note_attempt_failure(stats)
+        if run.env_failures > self.ft.max_env_retries:
+            run.permanent = True
+            return
+        # Repeated environmental losses escalate to the safe fallback,
+        # mirroring the kill/node-loss retry path.
+        tier = 1 if run.env_failures < 2 else 2
+        avoid = (src_node_id,) if src_node_id >= 0 else ()
+        self._spawn_attempt(run, tier=tier, avoid_nodes=avoid)
+
+    # ------------------------------------------------------------------
     # Task lifecycles (retry arbitration)
     # ------------------------------------------------------------------
-    def _task_lifecycle(self, run: _TaskRun) -> Generator[Event, object, None]:
-        self._spawn_attempt(run, speculative=False)
+    def _task_lifecycle(
+        self, run: _TaskRun, spawn_first: bool = True
+    ) -> Generator[Event, object, None]:
+        if spawn_first:
+            self._spawn_attempt(run, speculative=False)
         while True:
             while not run.inbox:
                 ev = self.sim.event()
@@ -757,6 +927,15 @@ class MRAppMaster:
             attempt, stats = run.inbox.pop(0)
             if stats.failed and run.winner is None and not run.permanent:
                 self._handle_failure(run, attempt, stats)
+            if run.relaunch_on_settle and not run.running:
+                # The map output was declared lost while attempts were
+                # still settling; now that they have, charge the loss
+                # and re-execute instead of finishing.
+                run.relaunch_on_settle = False
+                if not run.permanent:
+                    self._charge_output_loss(run)
+                    if not run.permanent:
+                        continue
             if (run.winner is not None or run.permanent) and not run.running:
                 break
         run.done = True

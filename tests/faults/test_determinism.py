@@ -40,3 +40,66 @@ class TestFaultDigest:
         (a,) = run_requests([plain], max_workers=1)
         (b,) = run_requests([faulted_request()], max_workers=1)
         assert a.digest() != b.digest()
+
+
+NETWORK_KNOBS = {
+    "link_flaky": 1,
+    "rack_partitions": 1,
+    "link_degraded": 1,
+    "horizon": 35.0,
+}
+
+#: Recorded from the network-fault scenario above (terasort, seed 1,
+#: 8 blocks / 4 reducers).  If it moves, a change altered the per-fetch
+#: recovery path's simulated behaviour -- fix it or re-record in a
+#: dedicated commit that says so.
+NETWORK_FAULT_DIGEST = (
+    "ccf9c4baf5b2ac219cf561bb6e04538866ba0589bc907c36f19323fe9c1074ab"
+)
+
+
+def network_request(tuning="none"):
+    return RunRequest.build(
+        "terasort", 1, num_blocks=8, num_reducers=4, tuning=tuning,
+        faults=NETWORK_KNOBS,
+    )
+
+
+class TestNetworkFaultDigest:
+    def test_serial_matches_pool(self):
+        requests = [network_request()]
+        serial = run_requests(requests, max_workers=1)
+        pooled = run_requests(requests, max_workers=4)
+        assert combined_digest(serial) == combined_digest(pooled)
+
+    def test_pinned_digest(self):
+        (outcome,) = run_requests([network_request()], max_workers=1)
+        assert outcome.succeeded
+        assert outcome.digest() == NETWORK_FAULT_DIGEST
+
+    def test_plan_replay_matches_knob_generation(self):
+        """A ("plan", json) request replays the knob-generated scenario
+        exactly (everything but the request itself is identical)."""
+        from dataclasses import replace
+
+        from repro.cluster.topology import ClusterSpec
+        from repro.faults import generate_fault_plan, plan_to_json
+        from repro.sim.rng import RngRegistry
+
+        plan = generate_fault_plan(
+            RngRegistry(1).stream("faults", "plan"),
+            num_nodes=ClusterSpec().num_slaves,
+            horizon=35.0,
+            link_degraded=1,
+            link_flaky=1,
+            rack_partitions=1,
+        )
+        replay = RunRequest.build(
+            "terasort", 1, num_blocks=8, num_reducers=4,
+            faults={"plan": plan_to_json(plan)},
+        )
+        (from_knobs,) = run_requests([network_request()], max_workers=1)
+        (from_plan,) = run_requests([replay], max_workers=1)
+        assert from_plan.injected_faults == from_knobs.injected_faults
+        # Same run in every respect but the request encoding.
+        assert replace(from_plan, request=from_knobs.request) == from_knobs

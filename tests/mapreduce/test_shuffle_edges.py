@@ -1,0 +1,102 @@
+"""Shuffle edge cases: empty map outputs, eager reducers, one copier.
+
+Each scenario runs twice -- once on the legacy aggregated fetch path
+and once with the per-fetch recovery path armed (a no-op
+``link_degrade`` with ``net_factor=1.0`` flips the gate without
+perturbing anything) -- so both shuffle implementations cover the same
+edges.
+"""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.configuration import Configuration
+from repro.core.parameters import SHUFFLE_PARALLELCOPIES
+from repro.experiments.harness import SimCluster
+from repro.faults import Fault, FaultPlan
+from repro.mapreduce.jobspec import JobSpec, TaskType, WorkloadProfile
+from repro.testing import assert_no_output_leaks
+from repro.workloads.datasets import DatasetSpec
+
+MB = 1024**2
+
+#: Arms the per-fetch shuffle path without changing any capacity.
+NOOP_NETWORK_PLAN = FaultPlan(
+    (Fault(time=0.0, kind="link_degrade", node_id=0, net_factor=1.0),)
+)
+
+
+def small_cluster(seed=0):
+    return SimCluster(
+        seed=seed,
+        cluster_spec=ClusterSpec(num_slaves=4, racks=(2, 2)),
+        start_monitors=False,
+    )
+
+
+def run_job(sc, output_ratio=1.0, slowstart=0.05, config=None, blocks=8, reducers=4):
+    DatasetSpec("tiny", num_blocks=blocks).load(sc.hdfs, "/in")
+    profile = WorkloadProfile(
+        name="t", map_output_ratio=output_ratio, map_output_record_size=100.0,
+        map_output_noise=0.0, partition_skew=0.0,
+        map_fixed_mem_bytes=150 * MB, reduce_fixed_mem_bytes=200 * MB,
+    )
+    spec = JobSpec(
+        name="t", workload=profile, input_path="/in", num_reducers=reducers,
+        base_config=config or Configuration(), slowstart=slowstart,
+    )
+    am = sc.submit(spec)
+    return sc.sim.run_until_complete(am.completion)
+
+
+@pytest.fixture(params=["legacy", "recovery"])
+def cluster(request):
+    sc = small_cluster()
+    if request.param == "recovery":
+        sc.inject_faults(plan=NOOP_NETWORK_PLAN)
+    return sc
+
+
+class TestShuffleEdges:
+    def test_zero_length_map_outputs(self, cluster):
+        result = run_job(cluster, output_ratio=0.0)
+        assert result.succeeded
+        ok_reds = [s for s in result.stats_of(TaskType.REDUCE) if not s.failed]
+        assert len(ok_reds) == 4
+        assert all(s.shuffled_bytes == 0 for s in ok_reds)
+        assert_no_output_leaks(cluster.hdfs)
+
+    def test_reducers_start_before_any_map_finishes(self, cluster):
+        result = run_job(cluster, slowstart=0.0)
+        assert result.succeeded
+        maps = result.stats_of(TaskType.MAP)
+        reds = [s for s in result.stats_of(TaskType.REDUCE) if not s.failed]
+        # With slowstart=0 every reducer launches immediately; at least
+        # one must have started before the first map finished.
+        first_map_done = min(s.end_time for s in maps)
+        assert any(r.start_time < first_map_done for r in reds)
+        assert all(r.shuffled_bytes > 0 for r in reds)
+        assert_no_output_leaks(cluster.hdfs)
+
+    def test_single_parallel_copy(self, cluster):
+        config = Configuration({SHUFFLE_PARALLELCOPIES: 1})
+        result = run_job(cluster, config=config)
+        assert result.succeeded
+        reds = [s for s in result.stats_of(TaskType.REDUCE) if not s.failed]
+        assert len(reds) == 4
+        assert all(r.shuffled_bytes > 0 for r in reds)
+        assert_no_output_leaks(cluster.hdfs)
+
+
+class TestPathEquivalence:
+    def test_noop_network_plan_matches_legacy_completion(self):
+        """Both paths deliver identical bytes; only timing may differ."""
+        plain = small_cluster()
+        r1 = run_job(plain)
+        armed = small_cluster()
+        armed.inject_faults(plan=NOOP_NETWORK_PLAN)
+        r2 = run_job(armed)
+        assert r1.succeeded and r2.succeeded
+        b1 = sorted(s.shuffled_bytes for s in r1.stats_of(TaskType.REDUCE))
+        b2 = sorted(s.shuffled_bytes for s in r2.stats_of(TaskType.REDUCE))
+        assert b1 == pytest.approx(b2)
