@@ -79,8 +79,11 @@ def emit(report: FigureReport) -> str:
 #: Version of the ``BENCH_*.json`` result schema.  v1 records wall time
 #: and -- when the caller passes the simulator's event counter --
 #: derived events/sec, so successive PRs leave a comparable perf
-#: trajectory under ``benchmarks/results/``.
-BENCH_SCHEMA_VERSION = 1
+#: trajectory under ``benchmarks/results/``.  v2 adds the optional
+#: ``samples_to_target`` field for search benchmarks (evaluations until
+#: the running best cost first enters the target band -- the optimizer
+#: tournament's convergence-speed metric).
+BENCH_SCHEMA_VERSION = 2
 
 
 def record_bench(
@@ -88,6 +91,7 @@ def record_bench(
     wall_time_s: float,
     events_executed: Optional[int] = None,
     extra: Optional[dict] = None,
+    samples_to_target: Optional[int] = None,
 ) -> pathlib.Path:
     """Persist one measurement as ``benchmarks/results/BENCH_<name>.json``.
 
@@ -95,6 +99,9 @@ def record_bench(
     measured run; events/sec is derived from it so throughput survives
     alongside raw wall time (wall time alone is meaningless across
     machines, events/sec at least normalises per-event cost).
+    ``samples_to_target`` carries a search benchmark's convergence
+    speed: cost evaluations spent before reaching the target band
+    (``None`` = not a search benchmark, or never reached).
     """
     events_per_sec = None
     if events_executed is not None and wall_time_s > 0:
@@ -105,6 +112,7 @@ def record_bench(
         "wall_time_s": round(float(wall_time_s), 6),
         "events_executed": events_executed,
         "events_per_sec": events_per_sec,
+        "samples_to_target": samples_to_target,
     }
     if extra:
         payload.update(extra)

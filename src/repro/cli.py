@@ -83,7 +83,9 @@ def cmd_expedited(args) -> int:
     from repro.workloads.suite import case_by_name
 
     case = case_by_name(args.case)
-    results = run_expedited_over_seeds(case, _seeds(args), max_workers=args.workers)
+    results = run_expedited_over_seeds(
+        case, _seeds(args), max_workers=args.workers, optimizer=args.optimizer
+    )
     default = _mean([r.default_time for r in results])
     offline = _mean([r.offline_time for r in results])
     mronline = _mean([r.mronline_time for r in results])
@@ -179,7 +181,13 @@ def cmd_digest(args) -> int:
     from repro.experiments.parallel import RunRequest, combined_digest, run_requests
 
     requests = [
-        RunRequest(case_name=name, seed=seed, num_blocks=blocks, num_reducers=reducers)
+        RunRequest(
+            case_name=name,
+            seed=seed,
+            tuning=_tuning_mode(args),
+            num_blocks=blocks,
+            num_reducers=reducers,
+        )
         for name, blocks, reducers in DIGEST_CASES
         for seed in _seeds(args)
     ]
@@ -242,7 +250,7 @@ def cmd_faults(args) -> int:
         case_name=args.case,
         seed=args.seed,
         levels=levels,
-        tuning=args.tuning,
+        tuning=_tuning_mode(args),
         num_blocks=args.blocks,
         num_reducers=args.reducers,
         max_workers=args.workers,
@@ -288,7 +296,7 @@ def cmd_trace(args) -> int:
     traced = run_traced_case(
         case_name=args.case,
         seed=args.seed,
-        tuning=args.tuning,
+        tuning=_tuning_mode(args),
         num_blocks=args.blocks,
         num_reducers=args.reducers,
         include_sim=args.include_sim,
@@ -331,6 +339,8 @@ def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None
     ``repro --workers 4 faults`` and ``repro faults --workers 4`` work
     (the subparser only overrides when the flag is actually given).
     """
+    from repro.core.optimizers import DEFAULT_OPTIMIZER, OPTIMIZER_BACKENDS
+
     d = argparse.SUPPRESS
     parser.add_argument(
         "--seed", type=int, default=d if suppress else 1, help="base replica seed"
@@ -348,6 +358,45 @@ def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         help="worker processes for replica fan-out (default: REPRO_WORKERS, "
         "then CPU count; 1 = exact serial path)",
     )
+    parser.add_argument(
+        "--optimizer",
+        default=d if suppress else DEFAULT_OPTIMIZER,
+        choices=OPTIMIZER_BACKENDS,
+        help="search backend for aggressive tuning sessions "
+        "(default: the paper's gray-box hill climber)",
+    )
+
+
+def _add_faults_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """The ``faults`` flags, declared root-and-subparser like the shared
+    set so ``repro --kinds ... faults`` and ``repro faults --kinds ...``
+    both parse."""
+    d = argparse.SUPPRESS
+    parser.add_argument(
+        "--kinds",
+        default=d if suppress else None,
+        help="comma-separated fault kinds to inject (e.g. link_flaky,rack_partition);"
+        " default: the legacy node/container levels",
+    )
+    parser.add_argument(
+        "--plan-json",
+        default=d if suppress else None,
+        metavar="PATH",
+        help="fault-plan JSON file: if it exists, replay it verbatim;"
+        " otherwise run normally and write the generated plan(s) there",
+    )
+
+
+def _tuning_mode(args) -> str:
+    """Compose the request tuning string from ``--tuning``/``--optimizer``.
+
+    A non-default backend rides as an ``aggressive:<backend>`` suffix;
+    conservative/none tuning ignores the backend (nothing searches).
+    """
+    tuning = args.tuning
+    if tuning == "aggressive" and args.optimizer != "hill_climb":
+        return f"aggressive:{args.optimizer}"
+    return tuning
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -356,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce MRONLINE (HPDC'14) experiments on the simulated cluster.",
     )
     _add_shared_options(parser, suppress=False)
+    _add_faults_options(parser, suppress=False)
     shared = argparse.ArgumentParser(add_help=False)
     _add_shared_options(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -385,10 +435,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--size-gb", type=float, default=20.0)
 
-    sub.add_parser(
+    p = sub.add_parser(
         "digest",
         help="stable hash of a small fixed experiment (CI determinism gate)",
         parents=[shared],
+    )
+    p.add_argument(
+        "--tuning",
+        default="none",
+        choices=("none", "conservative", "aggressive"),
+        help="tuning mode for the digested runs; with --optimizer this is "
+        "the per-backend determinism gate (default: untuned)",
     )
 
     p = sub.add_parser(
@@ -410,19 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--blocks", type=int, default=None, help="shrink the dataset (blocks)")
     p.add_argument("--reducers", type=int, default=None, help="override reducer count")
-    p.add_argument(
-        "--kinds",
-        default=None,
-        help="comma-separated fault kinds to inject (e.g. link_flaky,rack_partition);"
-        " default: the legacy node/container levels",
-    )
-    p.add_argument(
-        "--plan-json",
-        default=None,
-        metavar="PATH",
-        help="fault-plan JSON file: if it exists, replay it verbatim;"
-        " otherwise run normally and write the generated plan(s) there",
-    )
+    _add_faults_options(p, suppress=True)
 
     p = sub.add_parser(
         "trace",

@@ -9,6 +9,8 @@ This package implements the paper's primary contribution:
 - :mod:`repro.core.sampling` -- (weighted) Latin hypercube sampling.
 - :mod:`repro.core.cost` -- the Equation-1 cost function.
 - :mod:`repro.core.neighborhood` -- search-neighborhood geometry.
+- :mod:`repro.core.optimizers` -- the pluggable search-backend protocol
+  (hill climber, SPSA, random search, pure LHS) behind the tuner.
 - :mod:`repro.core.hill_climbing` -- Algorithm 1, the gray-box smart
   hill-climbing search.
 - :mod:`repro.core.rules` -- the Section-6 tuning rules.
@@ -22,6 +24,12 @@ This package implements the paper's primary contribution:
 from repro.core.configuration import Configuration, enforce_dependencies
 from repro.core.hill_climbing import GrayBoxHillClimber, HillClimbSettings
 from repro.core.knowledge_base import TuningKnowledgeBase
+from repro.core.optimizers import (
+    OPTIMIZER_BACKENDS,
+    Optimizer,
+    WaveOptimizer,
+    make_optimizer,
+)
 from repro.core.parameters import PARAMETER_SPACE, ParameterSpace, ParamSpec
 from repro.core.sampling import latin_hypercube, weighted_latin_hypercube
 
@@ -56,11 +64,15 @@ __all__ = [
     "DynamicConfigurator",
     "GrayBoxHillClimber",
     "HillClimbSettings",
+    "OPTIMIZER_BACKENDS",
     "OnlineTuner",
+    "Optimizer",
     "PARAMETER_SPACE",
     "ParamSpec",
     "ParameterSpace",
     "TunerSettings",
+    "WaveOptimizer",
+    "make_optimizer",
     "TuningKnowledgeBase",
     "TuningStrategy",
     "enforce_dependencies",

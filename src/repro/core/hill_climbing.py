@@ -19,21 +19,45 @@ the climber advances exactly as Algorithm 1 prescribes:
 The *gray-box* part: :attr:`bounds` is shared with the Section-6 tuning
 rules, which tighten it from monitored statistics between batches, so
 later samples concentrate where the evidence points.
+
+The climber is one backend behind the :class:`repro.core.optimizers.
+base.Optimizer` protocol (wave lifecycle, rollback, infeasible regions,
+and decision listeners live on the shared
+:class:`~repro.core.optimizers.base.WaveOptimizer`); alternative
+backends -- SPSA, random search, pure LHS -- plug into the same tuner
+loop via :func:`repro.core.optimizers.make_optimizer`.
 """
 
 from __future__ import annotations
 
-import enum
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.configuration import Configuration, enforce_dependencies
-from repro.core.neighborhood import INITIAL_SIZE, Bounds, Neighborhood
+from repro.core.neighborhood import INITIAL_SIZE, Neighborhood
+from repro.core.optimizers.base import (
+    INFEASIBLE_RADIUS,
+    Sample,
+    SearchPhase,
+    WaveOptimizer,
+    next_sample_id,
+    uniform_sample,
+)
 from repro.core.parameters import ParameterSpace
 from repro.core.sampling import latin_hypercube, weighted_latin_hypercube
+
+__all__ = [
+    "GrayBoxHillClimber",
+    "HillClimbSettings",
+    "INFEASIBLE_RADIUS",
+    "Sample",
+    "SearchPhase",
+    "drive_search",
+]
+
+#: Back-compat alias (pre-protocol name of the shared uniform sampler).
+_uniform = uniform_sample
 
 
 @dataclass(frozen=True)
@@ -66,49 +90,7 @@ class HillClimbSettings:
             raise ValueError("replicas must be >= 1")
 
 
-#: Chebyshev radius (in the unit cube) of the region around an
-#: OOM-observed point that is treated as infeasible.  Small enough not
-#: to wall off viable space, large enough to stop re-sampling the
-#: immediate vicinity of a known failure.
-INFEASIBLE_RADIUS = 0.06
-
-
-class SearchPhase(enum.Enum):
-    GLOBAL = "global"
-    LOCAL = "local"
-    DONE = "done"
-
-
-_sample_ids = itertools.count(1)
-
-
-def _uniform(rng: np.random.Generator, n: int, bounds) -> np.ndarray:
-    """Plain uniform sampling within per-dimension bounds (no strata)."""
-    lo = np.array([b[0] for b in bounds])
-    hi = np.array([b[1] for b in bounds])
-    return lo + rng.random((n, len(bounds))) * (hi - lo)
-
-
-@dataclass
-class Sample:
-    """One configuration point handed out for evaluation."""
-
-    sample_id: int
-    point: np.ndarray
-    phase: SearchPhase
-    costs: List[float] = field(default_factory=list)
-    #: True when this sample re-evaluates the current best point.  Task
-    #: costs are noisy (cluster context varies between waves), so the
-    #: incumbent rides along in every batch and comparisons stay
-    #: within-wave -- the noise-tolerance property Section 5 claims.
-    incumbent: bool = False
-
-    @property
-    def cost(self) -> Optional[float]:
-        return sum(self.costs) / len(self.costs) if self.costs else None
-
-
-class GrayBoxHillClimber:
+class GrayBoxHillClimber(WaveOptimizer):
     """Asynchronous Algorithm 1 over a (sub)space of parameters."""
 
     def __init__(
@@ -118,14 +100,11 @@ class GrayBoxHillClimber:
         settings: Optional[HillClimbSettings] = None,
         seed_point: Optional[np.ndarray] = None,
     ) -> None:
-        self.space = space
-        self.rng = rng
+        super().__init__(space, rng)
         self.settings = settings or HillClimbSettings()
-        self.bounds = Bounds(len(space))
+        self.replicas = self.settings.replicas
         self.phase = SearchPhase.GLOBAL
         self.global_rounds_without_improvement = 0
-        self._batch: List[Sample] = []
-        self._by_id: Dict[int, Sample] = {}
         self._current: Optional[Sample] = None  # Ccur
         self._best_ever: Optional[Sample] = None
         self.neighborhood: Optional[Neighborhood] = None
@@ -133,22 +112,6 @@ class GrayBoxHillClimber:
         #: Optional warm start (e.g. from the knowledge base): injected
         #: into the first global batch.
         self._seed_point = seed_point
-        #: Total samples handed out (diagnostics).
-        self.samples_proposed = 0
-        #: Centers of regions observed to be infeasible (OOM-prone).
-        self._infeasible_points: List[np.ndarray] = []
-        #: Total infeasibility marks received (diagnostics).
-        self.infeasible_marks = 0
-        #: Observers of search decisions, called as ``fn(decision, info)``
-        #: with a short decision string ("seed", "accept_local", ...) and
-        #: a plain-data info dict.  The climber stays simulation-agnostic;
-        #: the tuner bridges these onto the telemetry bus.
-        self.decision_listeners: List[Callable[[str, Dict[str, object]], None]] = []
-
-    def _notify(self, decision: str, **info: object) -> None:
-        if self.decision_listeners:
-            for listener in self.decision_listeners:
-                listener(decision, info)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -161,116 +124,10 @@ class GrayBoxHillClimber:
     def current_cost(self) -> Optional[float]:
         return self._current.cost if self._current else None
 
-    def best_point(self) -> Optional[np.ndarray]:
+    def _best_sample(self) -> Optional[Sample]:
         # The incumbent is the *validated* best (it survives within-wave
         # re-evaluation); raw best-ever may be a lucky noise draw.
-        best = self._current or self._best_ever
-        return None if best is None else best.point.copy()
-
-    def best_cost(self) -> Optional[float]:
-        best = self._current or self._best_ever
-        return None if best is None else best.cost
-
-    def best_config(self, base: Optional[Configuration] = None) -> Configuration:
-        """Decode the best point into a full configuration."""
-        base = base or Configuration()
-        point = self.best_point()
-        if point is None:
-            return base
-        return enforce_dependencies(base.updated(self.space.decode(point)))
-
-    # ------------------------------------------------------------------
-    # Batch protocol
-    # ------------------------------------------------------------------
-    def propose(self) -> List[Sample]:
-        """Hand out the current batch (creating it if needed).
-
-        Returns the same batch until it is fully observed; an empty list
-        means the search has terminated.
-        """
-        if self.phase is SearchPhase.DONE:
-            return []
-        if not self._batch:
-            self._batch = self._make_batch()
-            for s in self._batch:
-                self._by_id[s.sample_id] = s
-            self.samples_proposed += len(self._batch)
-        return list(self._batch)
-
-    def pending_samples(self) -> List[Sample]:
-        """Samples of the current batch still lacking observations."""
-        want = self.settings.replicas
-        return [s for s in self._batch if len(s.costs) < want]
-
-    def observe(self, sample_id: int, cost: float) -> None:
-        """Feed one evaluation back; advances the state when complete."""
-        sample = self._by_id.get(sample_id)
-        if sample is None:
-            raise KeyError(f"unknown sample id {sample_id}")
-        sample.costs.append(float(cost))
-        if not self.pending_samples() and self._batch:
-            self._advance()
-
-    def rollback(self) -> bool:
-        """Void the in-flight batch and fall back to last-known-good.
-
-        Safe-exploration escape hatch: when the caller decides a wave's
-        measurements are untrustworthy (e.g. fetch-retry-inflated under
-        network faults), the whole batch -- observations included -- is
-        discarded *without* advancing the search state, so the incumbent
-        ``Ccur`` (the last configuration whose measurements were clean)
-        stays in charge and the next :meth:`propose` re-draws around it.
-        Returns False when there is nothing to roll back to (no
-        incumbent yet, or no batch in flight).
-        """
-        if self._current is None or not self._batch:
-            return False
-        batch, self._batch = self._batch, []
-        for sample in batch:
-            sample.costs.clear()
-        self._notify(
-            "rollback",
-            voided=len(batch),
-            incumbent_cost=self._current.cost,
-        )
-        return True
-
-    # ------------------------------------------------------------------
-    # Infeasible regions
-    # ------------------------------------------------------------------
-    def mark_infeasible(self, sample_id: int) -> None:
-        """Remember *sample_id*'s point as the center of a bad region.
-
-        A configuration that OOMs is not merely expensive -- every point
-        near it will OOM too.  Marked regions are consulted through
-        :meth:`is_infeasible`, letting the caller auto-fail future
-        samples that land there instead of burning task attempts on
-        re-discovering the same wall.
-        """
-        sample = self._by_id.get(sample_id)
-        if sample is None:
-            raise KeyError(f"unknown sample id {sample_id}")
-        self.infeasible_marks += 1
-        self._notify(
-            "infeasible",
-            sample_id=sample_id,
-            regions=len(self._infeasible_points) + 1,
-        )
-        for known in self._infeasible_points:
-            if np.array_equal(known, sample.point):
-                return
-        self._infeasible_points.append(sample.point.copy())
-
-    def is_infeasible(self, point: np.ndarray) -> bool:
-        """True when *point* lies inside a known-infeasible region."""
-        for known in self._infeasible_points:
-            if float(np.max(np.abs(point - known))) <= INFEASIBLE_RADIUS:
-                return True
-        return False
-
-    @property
-    def infeasible_regions(self) -> int:
-        return len(self._infeasible_points)
+        return self._current or self._best_ever
 
     # ------------------------------------------------------------------
     # Algorithm 1 state transitions
@@ -283,11 +140,11 @@ class GrayBoxHillClimber:
                     self.rng, st.m, len(self.space), bounds=self.bounds.as_pairs()
                 )
             else:
-                points = _uniform(self.rng, st.m, self.bounds.as_pairs())
+                points = uniform_sample(self.rng, st.m, self.bounds.as_pairs())
             if self._seed_point is not None:
                 points[0] = self.bounds.clip(self._seed_point)
                 self._seed_point = None
-            batch = [Sample(next(_sample_ids), p, SearchPhase.GLOBAL) for p in points]
+            batch = [Sample(next_sample_id(), p, SearchPhase.GLOBAL) for p in points]
         else:
             assert self.neighborhood is not None
             box = self.neighborhood.sampling_bounds(self.bounds)
@@ -296,12 +153,12 @@ class GrayBoxHillClimber:
                     self.rng, st.n, self.neighborhood.center, box
                 )
             else:
-                points = _uniform(self.rng, st.n, box)
-            batch = [Sample(next(_sample_ids), p, SearchPhase.LOCAL) for p in points]
+                points = uniform_sample(self.rng, st.n, box)
+            batch = [Sample(next_sample_id(), p, SearchPhase.LOCAL) for p in points]
         if self._current is not None:
             batch.append(
                 Sample(
-                    next(_sample_ids),
+                    next_sample_id(),
                     self._current.point.copy(),
                     self.phase,
                     incumbent=True,
@@ -396,9 +253,9 @@ def drive_search(
     climber: "GrayBoxHillClimber",
     evaluate_batch: Callable[[Sequence[np.ndarray]], Sequence[float]],
 ) -> Optional[np.ndarray]:
-    """Run an asynchronous climber to completion with a batch evaluator.
+    """Run an asynchronous optimizer to completion with a batch evaluator.
 
-    The climber hands out whole waves (:meth:`GrayBoxHillClimber.propose`)
+    The optimizer hands out whole waves (:meth:`WaveOptimizer.propose`)
     whose samples are mutually independent, so *evaluate_batch* may
     price them concurrently -- e.g. one full simulated run per
     candidate fanned out over a process pool
@@ -406,7 +263,8 @@ def drive_search(
     Costs are fed back in proposal order regardless of completion
     order, so the search trajectory is identical for any degree of
     parallelism.  Samples wanting several replicas are re-presented
-    until fully observed.
+    until fully observed.  Works for any backend speaking the
+    :class:`repro.core.optimizers.base.Optimizer` protocol.
     """
     while not climber.finished:
         if not climber.propose():

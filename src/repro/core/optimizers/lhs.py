@@ -1,0 +1,33 @@
+"""Pure Latin-hypercube search: stratified waves, no local phase.
+
+The sampling-quality half of the climber without the hill-climbing
+half: every wave is a fresh Latin hypercube over the gray-box bounds
+(reusing :func:`repro.core.sampling.latin_hypercube`), so each wave's
+marginals are stratified but no neighborhood ever forms.  Comparing it
+against the full climber isolates how much of MRONLINE's win comes
+from LHS coverage versus the global/local alternation.
+
+Wave shape and termination are shared with
+:class:`~repro.core.optimizers.random_search.RandomSearchOptimizer`;
+only the draw differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimizers.random_search import (
+    RandomSearchOptimizer,
+    RandomSearchSettings,
+)
+from repro.core.sampling import latin_hypercube
+
+#: The LHS baseline reuses the random-search wave/termination knobs.
+LhsSettings = RandomSearchSettings
+
+
+class PureLhsOptimizer(RandomSearchOptimizer):
+    """Wave-per-wave Latin hypercube search (no neighborhood phase)."""
+
+    def _draw(self, n: int) -> np.ndarray:
+        return latin_hypercube(self.rng, n, len(self.space), bounds=self.bounds.as_pairs())

@@ -1,0 +1,120 @@
+"""Pure random search: the baseline every smarter backend must beat.
+
+Each wave draws ``wave_size`` uniform points inside the gray-box
+bounds (so the Section-6 rules still focus it) plus a re-evaluation of
+the best point found so far -- the incumbent sample that anchors
+rollback and keeps improvement tests within-wave, mirroring the hill
+climber's wave shape.  The search gives up after ``patience`` waves
+without improvement or ``max_waves`` waves total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.optimizers.base import (
+    Sample,
+    SearchPhase,
+    WaveOptimizer,
+    next_sample_id,
+    uniform_sample,
+)
+from repro.core.parameters import ParameterSpace
+
+
+@dataclass(frozen=True)
+class RandomSearchSettings:
+    """Wave shape and termination for the random/LHS baselines."""
+
+    #: Fresh samples per wave (matches the climber's global batch).
+    wave_size: int = 24
+    #: Waves without a within-wave improvement before giving up.
+    patience: int = 5
+    #: Hard cap on waves (runaway guard for noisy objectives).
+    max_waves: int = 40
+    #: Task evaluations per sample before its cost is trusted.
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.max_waves < 1:
+            raise ValueError("max_waves must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+class RandomSearchOptimizer(WaveOptimizer):
+    """Uniform random search behind the ``Optimizer`` protocol."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        rng: np.random.Generator,
+        settings: Optional[RandomSearchSettings] = None,
+        seed_point: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(space, rng)
+        self.settings = settings or RandomSearchSettings()
+        self.replicas = self.settings.replicas
+        self._seed_point = seed_point
+        self._best: Optional[Sample] = None
+        self.waves = 0
+        self._stale_waves = 0
+
+    def _best_sample(self) -> Optional[Sample]:
+        return self._best
+
+    def _draw(self, n: int) -> np.ndarray:
+        return uniform_sample(self.rng, n, self.bounds.as_pairs())
+
+    def _make_batch(self) -> List[Sample]:
+        points = self._draw(self.settings.wave_size)
+        if self._seed_point is not None:
+            points[0] = self.bounds.clip(np.asarray(self._seed_point, dtype=float))
+            self._seed_point = None
+        batch = [Sample(next_sample_id(), p, SearchPhase.GLOBAL) for p in points]
+        if self._best is not None:
+            batch.append(
+                Sample(
+                    next_sample_id(),
+                    self._best.point.copy(),
+                    SearchPhase.GLOBAL,
+                    incumbent=True,
+                )
+            )
+        return batch
+
+    def _advance(self) -> None:
+        st = self.settings
+        batch, self._batch = self._batch, []
+        fresh = [s for s in batch if not s.incumbent]
+        candidate = min(fresh, key=lambda s: (s.cost, s.sample_id))
+        incumbents = [s for s in batch if s.incumbent]
+        reference = incumbents[0] if incumbents else None
+        ref_cost = reference.cost if reference is not None else float("inf")
+        self.waves += 1
+        if candidate.cost < ref_cost:
+            self._best = candidate
+            self._stale_waves = 0
+            decision = "accept_wave"
+        else:
+            if incumbents:
+                self._best = incumbents[0]  # keep the cost fresh
+            self._stale_waves += 1
+            decision = "reject_wave"
+        if self._stale_waves >= st.patience or self.waves >= st.max_waves:
+            self._done = True
+            decision = "give_up"
+        self._notify(
+            decision,
+            wave=self.waves,
+            sample_id=candidate.sample_id,
+            cost=candidate.cost,
+            best_cost=self._best.cost,
+        )

@@ -1,0 +1,184 @@
+"""SPSA-style noisy gradient descent over the configuration space.
+
+Simultaneous Perturbation Stochastic Approximation (Spall), the
+optimizer the Hadoop auto-tuning line of work (arXiv 1611.10052) uses
+in place of MRONLINE's hill climber: each wave evaluates the current
+point plus ``pairs`` simultaneous-perturbation pairs
+``theta +- c_k * delta`` (``delta`` a Rademacher draw), estimates the
+gradient from the cost difference of each pair, and takes a decaying
+step ``a_k`` downhill.
+
+Two adaptations for the tuner's environment:
+
+* **parameter-scaled perturbations** -- both the perturbation and the
+  step are scaled per-dimension by the current gray-box bounds span, so
+  a dimension the Section-6 rules have tightened is probed (and moved)
+  proportionally less;
+* **bound clipping** -- perturbed points are clipped into the bounds
+  box, and the gradient divides by each pair's *actual* (post-clip)
+  displacement, so a ``theta`` pinned against a parameter bound never
+  divides by a vanished perturbation.
+
+Every wave re-evaluates ``theta`` as the incumbent sample, which keeps
+the tuner's rollback-on-suspect-wave anchor (last-known-good ``theta``)
+and cost trend tracking working exactly as they do for the climber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.optimizers.base import (
+    Sample,
+    SearchPhase,
+    WaveOptimizer,
+    next_sample_id,
+)
+from repro.core.parameters import ParameterSpace
+
+#: Displacements (in normalized coordinates) below this are treated as
+#: fully clipped: the pair carries no gradient signal on that dimension.
+_MIN_DISPLACEMENT = 1e-9
+
+
+@dataclass(frozen=True)
+class SpsaSettings:
+    """SPSA gain sequences and wave shape (Spall's guideline defaults)."""
+
+    #: Step-size scale ``a`` in ``a_k = a / (k + 1 + stability)^alpha``.
+    a: float = 0.35
+    #: Perturbation scale ``c`` (fraction of each dimension's bounded
+    #: span) in ``c_k = c / (k + 1)^gamma``.
+    c: float = 0.15
+    alpha: float = 0.602
+    gamma: float = 0.101
+    #: Spall's stability constant ``A`` (softens early steps).
+    stability: float = 2.0
+    #: Simultaneous-perturbation pairs averaged per wave.
+    pairs: int = 2
+    #: Gradient iterations (waves) before the search terminates.
+    iterations: int = 20
+    #: Waves without a new best observation before giving up early.
+    patience: int = 8
+    #: Task evaluations per sample before its cost is trusted.
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.c <= 0:
+            raise ValueError("gain scales a and c must be positive")
+        if self.pairs < 1:
+            raise ValueError("pairs must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+class SpsaOptimizer(WaveOptimizer):
+    """Noisy gradient descent behind the ``Optimizer`` protocol."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        rng: np.random.Generator,
+        settings: Optional[SpsaSettings] = None,
+        seed_point: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(space, rng)
+        self.settings = settings or SpsaSettings()
+        self.replicas = self.settings.replicas
+        self._seed_point = seed_point
+        self._theta: Optional[np.ndarray] = None
+        self._theta_cost: Optional[float] = None
+        self._best: Optional[Sample] = None
+        self._pairs: List[Tuple[Sample, Sample]] = []
+        self.iteration = 0
+        self._stale_waves = 0
+
+    def _spans(self) -> np.ndarray:
+        return np.asarray(self.bounds.hi - self.bounds.lo, dtype=float)
+
+    def _best_sample(self) -> Optional[Sample]:
+        return self._best
+
+    def _has_incumbent(self) -> bool:
+        # Rollback anchors on theta, the last point whose measurements
+        # were clean -- available once the first wave has been observed.
+        return self._theta_cost is not None
+
+    def _incumbent_cost(self) -> Optional[float]:
+        return self._theta_cost
+
+    def _make_batch(self) -> List[Sample]:
+        st = self.settings
+        if self._theta is None:
+            if self._seed_point is not None:
+                theta = self.bounds.clip(np.asarray(self._seed_point, dtype=float))
+                self._seed_point = None
+            else:
+                theta = (self.bounds.lo + self.bounds.hi) / 2.0
+            self._theta = np.asarray(theta, dtype=float)
+        ck = st.c / (self.iteration + 1) ** st.gamma
+        spans = self._spans()
+        self._pairs = []
+        batch: List[Sample] = []
+        for _ in range(st.pairs):
+            delta = self.rng.integers(0, 2, size=len(self.space)) * 2.0 - 1.0
+            step = ck * spans * delta
+            plus = Sample(
+                next_sample_id(), self.bounds.clip(self._theta + step), SearchPhase.LOCAL
+            )
+            minus = Sample(
+                next_sample_id(), self.bounds.clip(self._theta - step), SearchPhase.LOCAL
+            )
+            self._pairs.append((plus, minus))
+            batch.extend((plus, minus))
+        batch.append(
+            Sample(next_sample_id(), self._theta.copy(), SearchPhase.LOCAL, incumbent=True)
+        )
+        return batch
+
+    def _advance(self) -> None:
+        st = self.settings
+        batch, self._batch = self._batch, []
+        incumbent = next(s for s in batch if s.incumbent)
+        self._theta_cost = incumbent.cost
+        candidate = min(batch, key=lambda s: (s.cost, s.sample_id))
+        improved = self._best is None or candidate.cost < self._best.cost
+        if improved:
+            self._best = candidate
+
+        # Averaged gradient estimate in normalized (span-relative)
+        # coordinates, from each pair's actual post-clip displacement.
+        spans = np.maximum(self._spans(), _MIN_DISPLACEMENT)
+        gradient = np.zeros(len(self.space))
+        informative = 0
+        for plus, minus in self._pairs:
+            displacement = (plus.point - minus.point) / spans
+            mask = np.abs(displacement) > _MIN_DISPLACEMENT
+            if not mask.any():
+                continue  # both points fully clipped onto theta's bound
+            contribution = np.zeros_like(gradient)
+            contribution[mask] = (plus.cost - minus.cost) / displacement[mask]
+            gradient += contribution
+            informative += 1
+        if informative:
+            gradient /= informative
+        ak = st.a / (self.iteration + 1 + st.stability) ** st.alpha
+        self._theta = self.bounds.clip(self._theta - ak * gradient * spans)
+        self.iteration += 1
+        self._stale_waves = 0 if improved else self._stale_waves + 1
+        if self.iteration >= st.iterations or self._stale_waves >= st.patience:
+            self._done = True
+        self._notify(
+            "spsa_done" if self._done else "spsa_step",
+            iteration=self.iteration,
+            cost=incumbent.cost,
+            best_cost=self._best.cost,
+            step_scale=ak,
+        )

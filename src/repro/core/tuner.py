@@ -27,8 +27,9 @@ from repro.core import parameters as P
 from repro.core.configuration import Configuration, enforce_dependencies
 from repro.core.configurator import DynamicConfigurator
 from repro.core.cost import FAILURE_COST, CostModel, effective_duration, task_cost
-from repro.core.hill_climbing import GrayBoxHillClimber, HillClimbSettings
+from repro.core.hill_climbing import HillClimbSettings
 from repro.core.knowledge_base import TuningKnowledgeBase
+from repro.core.optimizers import DEFAULT_OPTIMIZER, OPTIMIZER_BACKENDS, make_optimizer
 from repro.core.parameters import PARAMETER_SPACE
 from repro.core.rules.base import RuleContext, TuningRule, default_rules
 from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType
@@ -74,6 +75,26 @@ class TunerSettings:
     conservative_window: int = 16
     #: Warm-start searches from the knowledge base when possible.
     use_knowledge_base: bool = True
+    #: Aggressive-strategy search backend (see repro.core.optimizers).
+    optimizer: str = DEFAULT_OPTIMIZER
+    #: Backend-specific settings object; ``None`` uses :attr:`hill_climb`
+    #: for the hill climber and the backend's own defaults otherwise.
+    optimizer_settings: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in OPTIMIZER_BACKENDS:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}, "
+                f"want one of {OPTIMIZER_BACKENDS}"
+            )
+
+    def search_settings(self) -> Optional[object]:
+        """The settings object handed to the selected backend."""
+        if self.optimizer_settings is not None:
+            return self.optimizer_settings
+        if self.optimizer == "hill_climb":
+            return self.hill_climb
+        return None
 
 
 class _SearchState:
@@ -84,16 +105,19 @@ class _SearchState:
         task_type: TaskType,
         names: List[str],
         rng: np.random.Generator,
-        settings: HillClimbSettings,
+        settings: Optional[object],
         seed_config: Optional[Configuration],
+        optimizer: str = DEFAULT_OPTIMIZER,
     ) -> None:
         self.task_type = task_type
         self.space = PARAMETER_SPACE.subspace(names)
         seed_point = None
         if seed_config is not None:
             seed_point = self.space.encode(seed_config.as_dict())
-        self.climber = GrayBoxHillClimber(
-            self.space, rng, settings, seed_point=seed_point
+        #: The search backend.  Historically always the hill climber,
+        #: hence the name; any Optimizer-protocol backend fits.
+        self.climber = make_optimizer(
+            optimizer, self.space, rng, settings, seed_point=seed_point
         )
         self.bindings: Dict[str, int] = {}  # task id -> sample id
         #: Completed (sample_id, stats) pairs of the in-flight batch.
@@ -229,13 +253,18 @@ class OnlineTuner:
         if self.settings.use_knowledge_base and input_bytes > 0:
             seed = self.knowledge_base.lookup(spec.workload.name, input_bytes)
         if self.strategy is TuningStrategy.AGGRESSIVE:
-            hc = self.settings.hill_climb
+            search = self.settings.search_settings()
             for task_type, names in (
                 (TaskType.MAP, MAP_TUNABLE),
                 (TaskType.REDUCE, REDUCE_TUNABLE),
             ):
                 state = _SearchState(
-                    task_type, names, self.rng, hc, seed_config=seed
+                    task_type,
+                    names,
+                    self.rng,
+                    search,
+                    seed_config=seed,
+                    optimizer=self.settings.optimizer,
                 )
                 job.search_states[task_type] = state
                 self._bridge_search_decisions(spec.job_id, state)
@@ -306,7 +335,7 @@ class OnlineTuner:
 
     # -- aggressive path ----------------------------------------------------
     def _open_batch(self, job: _JobTuning, state: _SearchState) -> None:
-        want = self.settings.hill_climb.replicas
+        want = state.climber.replicas
         while True:
             samples = state.climber.propose()
             if not samples:
@@ -398,7 +427,7 @@ class OnlineTuner:
         counts: Dict[int, int] = {}
         for sid, _s in state.result_buffer:
             counts[sid] = counts.get(sid, 0) + 1
-        want = self.settings.hill_climb.replicas
+        want = state.climber.replicas
         pending = state.climber.pending_samples()
         if not pending or any(counts.get(s.sample_id, 0) < want for s in pending):
             self._maybe_finish_starved(job, state)
@@ -621,6 +650,7 @@ class OnlineTuner:
             "rule_adjustments": len(self.rule_log(job_id)),
         }
         if self.strategy is TuningStrategy.AGGRESSIVE:
+            summary["optimizer"] = self.settings.optimizer
             searches = {}
             for task_type, state in job.search_states.items():
                 searches[task_type.value] = {
@@ -629,6 +659,9 @@ class OnlineTuner:
                     "tasks_evaluated": state.stats_seen,
                     "finished": state.climber.finished or state.search_done,
                     "best_cost": state.climber.best_cost(),
+                    # (observation index, running best cost) pairs; the
+                    # tournament derives samples-to-target from these.
+                    "cost_trajectory": list(state.climber.cost_trajectory),
                 }
             summary["searches"] = searches
         else:

@@ -79,13 +79,22 @@ def run_aggressive_tuning(
     case: BenchmarkCase,
     seed: int,
     hill_climb: Optional[HillClimbSettings] = None,
+    optimizer: str = "hill_climb",
 ) -> tuple:
-    """One aggressive tuning session; returns (tuning JobResult, config)."""
+    """One aggressive tuning session; returns (tuning JobResult, config).
+
+    *optimizer* selects the search backend (``hill_climb`` reproduces
+    the paper's protocol; see :mod:`repro.core.optimizers`).  The
+    *hill_climb* settings only apply to the hill-climber backend; other
+    backends run with their own defaults.
+    """
     sc = SimCluster(seed=seed)
     spec = make_job_spec(case, sc.hdfs)
     tuner = OnlineTuner(
         TuningStrategy.AGGRESSIVE,
-        settings=TunerSettings(hill_climb=hill_climb or HillClimbSettings()),
+        settings=TunerSettings(
+            hill_climb=hill_climb or HillClimbSettings(), optimizer=optimizer
+        ),
         rng=np.random.default_rng(derive_seed(seed, "tuner", case.name)),
     )
     am = tuner.submit(sc, spec)
@@ -100,19 +109,20 @@ def run_expedited_case(
     case: BenchmarkCase,
     seed: int,
     hill_climb: Optional[HillClimbSettings] = None,
+    optimizer: str = "hill_climb",
 ) -> ExpeditedCaseResult:
     """Full expedited protocol for one case and seed.
 
-    Memoized per (case, seed, settings): the execution-time figures
-    (4-6) and the spill figures (7-9) read the same runs.
+    Memoized per (case, seed, settings, backend): the execution-time
+    figures (4-6) and the spill figures (7-9) read the same runs.
     """
-    key = (case.name, seed, hill_climb)
+    key = (case.name, seed, hill_climb, optimizer)
     cached = _case_cache.get(key)
     if cached is not None:
         return cached
     default_result = run_default(case, seed)
     offline_result = run_with_config(case, seed, offline_guide_config(case))
-    tuning_result, recommended = run_aggressive_tuning(case, seed, hill_climb)
+    tuning_result, recommended = run_aggressive_tuning(case, seed, hill_climb, optimizer)
     mronline_result = run_with_config(case, seed, recommended)
     _case_cache[key] = result = ExpeditedCaseResult(
         case=case.name,
@@ -135,6 +145,7 @@ def run_expedited_over_seeds(
     seeds: List[int],
     hill_climb: Optional[HillClimbSettings] = None,
     max_workers: Optional[int] = None,
+    optimizer: str = "hill_climb",
 ) -> List[ExpeditedCaseResult]:
     """The expedited protocol for every seed, pool-backed.
 
@@ -148,16 +159,18 @@ def run_expedited_over_seeds(
 
     from repro.experiments.parallel import map_seeds
 
-    missing = [s for s in seeds if (case.name, s, hill_climb) not in _case_cache]
+    missing = [
+        s for s in seeds if (case.name, s, hill_climb, optimizer) not in _case_cache
+    ]
     if missing:
         computed = map_seeds(
-            partial(run_expedited_case, case, hill_climb=hill_climb),
+            partial(run_expedited_case, case, hill_climb=hill_climb, optimizer=optimizer),
             missing,
             max_workers=max_workers,
         )
         for seed, result in zip(missing, computed):
-            _case_cache[(case.name, seed, hill_climb)] = result
-    return [_case_cache[(case.name, s, hill_climb)] for s in seeds]
+            _case_cache[(case.name, seed, hill_climb, optimizer)] = result
+    return [_case_cache[(case.name, s, hill_climb, optimizer)] for s in seeds]
 
 
 def aggregate(results: List[ExpeditedCaseResult], attr: str) -> float:

@@ -82,8 +82,40 @@ class RunTimeoutError(TimeoutError):
 # ----------------------------------------------------------------------
 _TERASORT_SIZED = re.compile(r"^terasort-(\d+(?:\.\d+)?)gb$")
 
-#: Tuning modes a request may ask for.
+#: Base tuning modes a request may ask for.  Aggressive mode further
+#: accepts an optimizer-backend suffix, ``"aggressive:<backend>"``
+#: (e.g. ``"aggressive:spsa"``); bare ``"aggressive"`` means the
+#: default hill climber.  The backend rides inside the existing tuning
+#: string -- not a new ``RunRequest`` field -- so default requests
+#: hash exactly as they always did and the pinned CI digests stand.
 TUNING_MODES = ("none", "conservative", "aggressive")
+
+
+def parse_tuning(tuning: str) -> Tuple[str, str]:
+    """Split a tuning string into ``(mode, optimizer backend)``.
+
+    Raises ``ValueError`` for unknown modes, unknown backends, and
+    backend suffixes on non-aggressive modes (only the aggressive
+    strategy runs a search).
+    """
+    mode, sep, backend = tuning.partition(":")
+    if mode not in TUNING_MODES:
+        raise ValueError(f"unknown tuning mode {mode!r}, want one of {TUNING_MODES}")
+    if not sep:
+        from repro.core.optimizers import DEFAULT_OPTIMIZER
+
+        return mode, DEFAULT_OPTIMIZER
+    if mode != "aggressive":
+        raise ValueError(
+            f"tuning mode {mode!r} does not take an optimizer suffix ({tuning!r})"
+        )
+    from repro.core.optimizers import OPTIMIZER_BACKENDS
+
+    if backend not in OPTIMIZER_BACKENDS:
+        raise ValueError(
+            f"unknown optimizer backend {backend!r}, want one of {OPTIMIZER_BACKENDS}"
+        )
+    return mode, backend
 
 
 @dataclass(frozen=True)
@@ -117,8 +149,7 @@ class RunRequest:
     faults: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def __post_init__(self) -> None:
-        if self.tuning not in TUNING_MODES:
-            raise ValueError(f"unknown tuning mode {self.tuning!r}, want one of {TUNING_MODES}")
+        parse_tuning(self.tuning)  # raises on unknown mode/backend
         if self.num_blocks is not None and self.num_blocks < 1:
             raise ValueError("num_blocks override must be >= 1")
         if self.num_reducers is not None and self.num_reducers < 1:
@@ -324,24 +355,25 @@ def execute_request(request: RunRequest) -> RunOutcome:
             )
     spec = make_job_spec(case, sc.hdfs, base_config=request.config())
     recommended = None
-    if request.tuning == "none":
+    mode, optimizer = parse_tuning(request.tuning)
+    if mode == "none":
         result = sc.run_job(spec)
     else:
         from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
 
         strategy = (
             TuningStrategy.CONSERVATIVE
-            if request.tuning == "conservative"
+            if mode == "conservative"
             else TuningStrategy.AGGRESSIVE
         )
         tuner = OnlineTuner(
             strategy,
-            settings=TunerSettings(),
+            settings=TunerSettings(optimizer=optimizer),
             rng=np.random.default_rng(derive_seed(request.seed, "tuner", case.name)),
         )
         am = tuner.submit(sc, spec)
         result = sc.sim.run_until_complete(am.completion)
-        if request.tuning == "aggressive":
+        if mode == "aggressive":
             recommended = serialize_config(tuner.recommended_config(spec.job_id))
     return RunOutcome(
         request=request,
@@ -547,26 +579,31 @@ def offline_candidate_search(
     timeout: float = DEFAULT_RUN_TIMEOUT,
     num_blocks: Optional[int] = None,
     num_reducers: Optional[int] = None,
+    optimizer: str = "hill_climb",
 ):
-    """Drive Algorithm 1 with whole-job evaluations fanned out per wave.
+    """Drive a search backend with whole-job evaluations fanned out per wave.
 
     The online tuner evaluates candidates on live task waves inside one
-    simulation; this offline variant instead prices every LHS candidate
+    simulation; this offline variant instead prices every candidate
     with its own full simulated run -- the MRPerf-style search the
     paper defers to simulation tools.  Each wave's candidates are
     independent, so they fan out across the pool; costs are fed back in
-    proposal order, keeping the climber's trajectory identical for any
-    worker count.
+    proposal order, keeping the search trajectory identical for any
+    worker count.  *optimizer* selects the backend (default: the
+    paper's hill climber); *settings* is that backend's settings
+    object.
 
     Returns ``(best Configuration, best cost, samples evaluated)``.
     """
     import numpy as np
 
-    from repro.core.hill_climbing import GrayBoxHillClimber, drive_search
+    from repro.core.hill_climbing import drive_search
+    from repro.core.optimizers import make_optimizer
     from repro.core.parameters import PARAMETER_SPACE
     from repro.sim.rng import derive_seed
 
-    climber = GrayBoxHillClimber(
+    climber = make_optimizer(
+        optimizer,
         PARAMETER_SPACE,
         rng=np.random.default_rng(derive_seed(seed, "offline-search", case_name)),
         settings=settings,

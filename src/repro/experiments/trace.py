@@ -181,7 +181,7 @@ def run_traced_case(
     import numpy as np
 
     from repro.experiments.harness import SimCluster
-    from repro.experiments.parallel import RunRequest, resolve_case
+    from repro.experiments.parallel import RunRequest, parse_tuning, resolve_case
     from repro.telemetry import (
         DEFAULT_EXPORT_CATEGORIES,
         ChromeTraceExporter,
@@ -208,7 +208,8 @@ def run_traced_case(
     summary = MetricsSummary().attach(sc.telemetry, categories=cats)
 
     spec = make_job_spec(case, sc.hdfs)
-    if request.tuning == "none":
+    mode, optimizer = parse_tuning(request.tuning)
+    if mode == "none":
         result = sc.run_job(spec)
     else:
         from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
@@ -216,12 +217,12 @@ def run_traced_case(
 
         strategy = (
             TuningStrategy.CONSERVATIVE
-            if request.tuning == "conservative"
+            if mode == "conservative"
             else TuningStrategy.AGGRESSIVE
         )
         tuner = OnlineTuner(
             strategy,
-            settings=TunerSettings(),
+            settings=TunerSettings(optimizer=optimizer),
             rng=np.random.default_rng(derive_seed(seed, "tuner", case.name)),
         )
         am = tuner.submit(sc, spec)

@@ -102,6 +102,23 @@ class TestRunRequest:
         with pytest.raises(ValueError):
             RunRequest("terasort", 1, num_reducers=0)
 
+    def test_tuning_string_carries_optimizer_backend(self):
+        from repro.experiments.parallel import parse_tuning
+
+        assert parse_tuning("none") == ("none", "hill_climb")
+        assert parse_tuning("aggressive") == ("aggressive", "hill_climb")
+        assert parse_tuning("aggressive:spsa") == ("aggressive", "spsa")
+        assert parse_tuning("aggressive:lhs") == ("aggressive", "lhs")
+        with pytest.raises(ValueError):
+            parse_tuning("aggressive:bayesian")
+        with pytest.raises(ValueError):
+            parse_tuning("conservative:spsa")  # nothing searches
+        with pytest.raises(ValueError):
+            RunRequest("terasort", 1, tuning="aggressive:bayesian")
+        # Valid backend suffixes construct (and pickle) cleanly.
+        req = RunRequest("terasort", 1, tuning="aggressive:random")
+        assert pickle.loads(pickle.dumps(req)) == req
+
     def test_resolve_case_names_and_overrides(self):
         case = resolve_case(RunRequest("terasort-2gb", 1))
         assert case.name == "terasort-2gb"
@@ -146,6 +163,20 @@ class TestDeterminism:
         serial = run_requests([request], max_workers=1)
         pooled = run_requests([request], max_workers=2)
         assert run_digest(serial[0]) == run_digest(pooled[0])
+
+    @pytest.mark.parametrize("backend", ["hill_climb", "spsa", "random", "lhs"])
+    def test_every_optimizer_backend_is_deterministic_across_processes(self, backend):
+        """Satellite gate: each backend's tuned run has one digest,
+        serial or pooled (the CI job re-checks this via the CLI)."""
+        tuning = "aggressive" if backend == "hill_climb" else f"aggressive:{backend}"
+        request = RunRequest(
+            "terasort", 1, num_blocks=8, num_reducers=4, tuning=tuning
+        )
+        serial = run_requests([request], max_workers=1)
+        pooled = run_requests([request], max_workers=2)
+        assert run_digest(serial[0]) == run_digest(pooled[0])
+        assert serial[0].succeeded
+        assert serial[0].recommended is not None
 
 
 class TestPoolMechanics:

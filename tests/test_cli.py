@@ -23,6 +23,58 @@ class TestParser:
     def test_invalid_replicas(self):
         assert main(["--replicas", "0", "list"]) == 2
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--kinds", "link_flaky", "--plan-json", "plans.json", "faults"],
+            ["faults", "--kinds", "link_flaky", "--plan-json", "plans.json"],
+            ["--kinds", "link_flaky", "faults", "--plan-json", "plans.json"],
+        ],
+    )
+    def test_faults_flags_accepted_before_and_after_subcommand(self, argv):
+        # PR 2's shared-flags convention: root declares real defaults,
+        # the subparser re-declares with SUPPRESS, so either position
+        # (or a mix) parses identically.
+        args = build_parser().parse_args(argv)
+        assert args.kinds == "link_flaky"
+        assert args.plan_json == "plans.json"
+
+    def test_faults_flags_default_to_none(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.kinds is None
+        assert args.plan_json is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--optimizer", "spsa", "digest"],
+            ["digest", "--optimizer", "spsa"],
+        ],
+    )
+    def test_optimizer_flag_accepted_before_and_after_subcommand(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.optimizer == "spsa"
+
+    def test_optimizer_defaults_to_hill_climb(self):
+        args = build_parser().parse_args(["expedited"])
+        assert args.optimizer == "hill_climb"
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["digest", "--optimizer", "bayesian"])
+
+    def test_tuning_mode_composition(self):
+        from repro.cli import _tuning_mode
+
+        p = build_parser()
+        args = p.parse_args(["digest", "--tuning", "aggressive", "--optimizer", "spsa"])
+        assert _tuning_mode(args) == "aggressive:spsa"
+        args = p.parse_args(["digest", "--tuning", "aggressive"])
+        assert _tuning_mode(args) == "aggressive"
+        # Non-aggressive modes never grow a backend suffix.
+        args = p.parse_args(["digest", "--optimizer", "spsa"])
+        assert _tuning_mode(args) == "none"
+
 
 class TestCommands:
     def test_list(self, capsys):
