@@ -1,0 +1,96 @@
+"""Elastic churn: jobs survive decommission, join, and spot preemption.
+
+Not a paper figure -- MRONLINE's testbed was a fixed 32-node cluster --
+but the protocol extends the evaluation style to elastic capacity:
+fault-free baseline vs churn levels across the six workload profiles,
+plus an in-process replay proving the grace-window migration path
+actually fires (success without migrations would mean every preemption
+hit an idle node and the run proved nothing).
+"""
+
+from benchmarks.bench_common import BASE_SEED, emit, run_once
+from repro.experiments.elastic import run_elastic_experiment
+from repro.experiments.reporting import FigureReport
+
+
+def test_elastic_churn(benchmark):
+    def experiment():
+        return run_elastic_experiment(seed=BASE_SEED, levels=("low", "high"))
+
+    report_data = run_once(benchmark, experiment)
+    cases = sorted({row.case_name for row in report_data.rows})
+    report = FigureReport(
+        "Elastic churn", "Job slowdown under cluster churn", cases
+    )
+    for level in ("low", "high"):
+        report.add_series(
+            level,
+            [
+                next(
+                    row.slowdown
+                    for row in report_data.rows
+                    if row.case_name == case and row.level == level
+                )
+                for case in cases
+            ],
+        )
+    emit(report)
+
+    for _, baseline in report_data.baselines:
+        assert baseline.succeeded
+    for row in report_data.rows:
+        # Re-execution, speculation, and migration keep every arm alive.
+        assert row.churned.succeeded, (
+            f"{row.case_name} failed under {row.level} churn"
+        )
+        # Churn costs time but never an order of magnitude.
+        assert row.slowdown < 2.0, (
+            f"{row.case_name}/{row.level} slowed {row.slowdown:.2f}x"
+        )
+    high = [row for row in report_data.rows if row.level == "high"]
+    assert any(row.churned.killed_attempts >= 1 for row in high), (
+        "high churn never reclaimed a node with work running"
+    )
+
+
+def _replay_preempt_migration():
+    """Drive a preemption into a busy wave and return (result, elastic).
+
+    Deterministic by construction: both preempted nodes host reduces
+    when the notice lands, so the AM must migrate within the grace
+    window for the job to finish without crash-style re-execution.
+    """
+    from repro.experiments.harness import SimCluster
+    from repro.experiments.parallel import RunRequest, resolve_case
+    from repro.faults import Fault, FaultPlan
+    from repro.workloads.suite import make_job_spec
+    from repro.yarn.app_master import FaultToleranceSettings, SpeculationSettings
+
+    request = RunRequest.build(
+        "terasort", BASE_SEED, tuning="none", num_blocks=24, num_reducers=8
+    )
+    sc = SimCluster(
+        seed=BASE_SEED,
+        fault_tolerance=FaultToleranceSettings(speculation=SpeculationSettings()),
+    )
+    plan = FaultPlan(
+        (
+            Fault(time=6.0, kind="spot_preempt", node_id=3, duration=4.0),
+            Fault(time=7.0, kind="spot_preempt", node_id=7, duration=4.0),
+        )
+    )
+    sc.inject_faults(plan=plan)
+    spec = make_job_spec(resolve_case(request), sc.hdfs)
+    result = sc.run_job(spec)
+    return result, sc.fault_injector.elastic
+
+
+def test_preempt_migration_smoke(benchmark):
+    """The bench-smoke churn case: nonzero migrations, job success."""
+    result, elastic = run_once(benchmark, _replay_preempt_migration)
+    assert result.succeeded, "job failed under spot preemption"
+    assert elastic.migrations > 0, (
+        "preemptions landed but the grace-window migration never fired"
+    )
+    assert [node_id for node_id, kind in elastic.departed] == [3, 7]
+    assert all(kind == "spot_preempt" for _, kind in elastic.departed)

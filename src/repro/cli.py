@@ -10,6 +10,7 @@ Examples::
     python -m repro whatif --size-gb 20
     python -m repro digest --workers 4
     python -m repro faults --case terasort
+    python -m repro elastic --levels none,low
     python -m repro trace --case wordcount-wikipedia --out trace-out
 
 Each subcommand prints the same rows/series the corresponding paper
@@ -290,6 +291,40 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_elastic(args) -> int:
+    from repro.experiments.elastic import run_elastic_experiment
+
+    report = run_elastic_experiment(
+        seed=args.seed,
+        levels=tuple(args.levels.split(",")),
+        tuning=args.tuning,
+        max_workers=args.workers,
+    )
+    print(f"seed={report.seed}  tuning={report.tuning}")
+    current = None
+    for row in report.rows:
+        if row.case_name != current:
+            current = row.case_name
+            print(
+                f"\ncase: {row.case_name}"
+                f"  (fault-free baseline {row.baseline.job_time:.1f} s)"
+            )
+        status = "ok" if row.churned.succeeded else "FAILED"
+        reasons = ", ".join(
+            f"{k} x{n:.0f}" for k, n in row.churned.failure_reasons
+        )
+        print(
+            f"  churn '{row.level}': {row.churned.job_time:8.1f} s  [{status}]"
+            f"  slowdown {100 * row.slowdown:+.1f}%"
+            f"  killed={row.churned.killed_attempts:.0f}"
+            + (f"  ({reasons})" if reasons else "")
+        )
+        for line in row.churned.injected_faults:
+            print(f"      {line}")
+    print(f"\nelastic digest: {report.digest}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.experiments.trace import run_traced_case
 
@@ -323,7 +358,7 @@ def cmd_list(args) -> int:
         print(f"  {case.name}")
     print(
         "\nsubcommands: table3, expedited, single-run, jobsize, "
-        "multitenant, whatif, digest, faults, trace"
+        "multitenant, whatif, digest, faults, elastic, trace"
     )
     return 0
 
@@ -470,6 +505,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_options(p, suppress=True)
 
     p = sub.add_parser(
+        "elastic",
+        help="elastic-churn report: decommission/join/spot-preempt sweep "
+        "across the workload profiles",
+        parents=[shared],
+    )
+    p.add_argument(
+        "--levels",
+        default="none,low,high",
+        help="comma-separated churn levels (subset of none,low,high)",
+    )
+    p.add_argument(
+        "--tuning",
+        default="conservative",
+        choices=("conservative", "aggressive"),
+        help="tuning strategy co-executed with the churned runs",
+    )
+
+    p = sub.add_parser(
         "trace",
         help="run one case with telemetry exporters: JSONL + Chrome trace + summary",
         parents=[shared],
@@ -513,6 +566,7 @@ _COMMANDS = {
     "whatif": cmd_whatif,
     "digest": cmd_digest,
     "faults": cmd_faults,
+    "elastic": cmd_elastic,
     "trace": cmd_trace,
 }
 

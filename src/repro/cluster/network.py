@@ -68,6 +68,24 @@ class Network:
         #: ``None`` means the gray-failure fetch path stays dormant.
         self.faults: Optional["NetworkFaultState"] = None
 
+    # -- elastic membership -----------------------------------------------
+    def attach_node(self, node: Node) -> None:
+        """Wire a freshly joined node into the fabric.
+
+        The newcomer gets its own TX/RX links; its rack's uplink (and
+        the core) keep their provisioned capacity -- racking one more
+        machine into an existing ToR switch does not widen the trunk.
+        """
+        if node.node_id in self._tx:
+            raise ValueError(f"node {node.node_id} is already attached")
+        if node.rack not in self._uplink:
+            raise ValueError(f"node {node.node_id} names unknown rack {node.rack}")
+        bw = node.resources.nic_bw
+        self.nodes.append(node)
+        self._tx[node.node_id] = Link(f"{node.hostname}.tx", bw)
+        self._rx[node.node_id] = Link(f"{node.hostname}.rx", bw)
+        self._base_nic[node.node_id] = bw
+
     # -- fault surfaces ---------------------------------------------------
     def scale_node_nic(self, node_id: int, factor: float) -> None:
         """Rescale a node's TX and RX links to *factor* of nominal."""

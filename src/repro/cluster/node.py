@@ -95,6 +95,9 @@ class Node:
 
         #: Liveness and health (driven by the fault injector).
         self.alive = True
+        #: True once the node left the cluster through the elastic path
+        #: (graceful decommission or spot reclaim) rather than a crash.
+        self.departed = False
         self.cpu_slowdown = 1.0
         self.disk_slowdown = 1.0
         self._base_cpu_capacity = self.cpu_link.capacity
@@ -117,6 +120,18 @@ class Node:
         self.cpu.set_link_capacity(self.cpu_link, FROZEN_CAPACITY)
         self.disk.set_link_capacity(self.disk_read_link, FROZEN_CAPACITY)
         self.disk.set_link_capacity(self.disk_write_link, FROZEN_CAPACITY)
+
+    def depart(self) -> None:
+        """Remove the node from service through the elastic path.
+
+        Same frozen-links end state as :meth:`fail` -- the machine is
+        gone either way -- but flagged as an orderly departure so
+        diagnostics can tell a reclaimed node from a crashed one.  The
+        node object stays in ``Cluster.nodes`` (ids double as indices);
+        liveness filters everywhere key off ``alive``.
+        """
+        self.departed = True
+        self.fail()
 
     def degrade(self, cpu_factor: float = 1.0, disk_factor: float = 1.0) -> None:
         """Slow the node down: remaining work proceeds at a fraction of

@@ -61,6 +61,23 @@ class Cluster:
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
 
+    def add_node(self, rack: int) -> Node:
+        """Register a brand-new node mid-run (elastic join).
+
+        The newcomer gets the next sequential id (``node_id`` doubles as
+        the index into ``nodes``, so departed nodes stay in the list and
+        joins only ever append) and is attached to *rack*'s existing
+        fabric -- its NIC links join the rack uplink without changing
+        the uplink's capacity, exactly like racking a fresh machine into
+        a ToR switch that was provisioned ahead of time.
+        """
+        if not (0 <= rack < len(self.spec.racks)):
+            raise ValueError(f"unknown rack {rack}, have {len(self.spec.racks)} rack(s)")
+        node = Node(self.sim, len(self.nodes), rack, self.spec.node_resources)
+        self.nodes.append(node)
+        self.network.attach_node(node)
+        return node
+
     @property
     def total_yarn_memory(self) -> int:
         return sum(n.yarn_memory_total for n in self.nodes)
@@ -68,6 +85,19 @@ class Cluster:
     @property
     def total_yarn_vcores(self) -> int:
         return sum(n.yarn_vcores_total for n in self.nodes)
+
+    @property
+    def live_nodes(self) -> List[Node]:
+        """Nodes currently in service (not crashed, departed, or dead)."""
+        return [n for n in self.nodes if n.alive]
+
+    @property
+    def live_yarn_memory(self) -> int:
+        return sum(n.yarn_memory_total for n in self.nodes if n.alive)
+
+    @property
+    def live_yarn_vcores(self) -> int:
+        return sum(n.yarn_vcores_total for n in self.nodes if n.alive)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<Cluster {len(self.nodes)} slaves, {len(self.spec.racks)} racks>"

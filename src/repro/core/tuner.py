@@ -136,6 +136,10 @@ class _SearchState:
         #: jobs, or the tail of any job).
         self.admitted = 0
         self.stats_seen = 0
+        #: Set when cluster capacity changed while this batch was open;
+        #: the wave is voided rather than scored (its measurements mix
+        #: two different clusters).
+        self.capacity_shifted = False
 
 
 class _ConservativeState:
@@ -215,6 +219,10 @@ class OnlineTuner:
         self.configurator = configurator or DynamicConfigurator()
         self._jobs: Dict[str, _JobTuning] = {}
         self.configurator.assignment_listeners.append(self._on_assignment)
+        #: Times of elastic capacity changes (joins/departures); waves
+        #: spanning one are capacity-shifted and excluded from tuning.
+        self._capacity_changes: List[float] = []
+        self._elastic: Optional[object] = None
         #: Telemetry bus for ``tuner``-category events; :meth:`submit`
         #: picks it up from the cluster's simulator automatically.
         self.telemetry = None
@@ -311,7 +319,67 @@ class OnlineTuner:
         am = sim_cluster.submit(spec, config_provider=provider, gate=gate)
         am.stats_listeners.append(self.on_task_stats)
         am.completion.add_callback(lambda ev: self.finalize_job(spec.job_id, ev.value))
+        elastic = getattr(
+            getattr(sim_cluster, "fault_injector", None), "elastic", None
+        )
+        if elastic is not None and elastic is not self._elastic:
+            # Elastic churn is armed: learn about every membership change
+            # so waves spanning one are flagged capacity-shifted.
+            self._elastic = elastic
+            elastic.capacity_listeners.append(
+                lambda t, e=elastic: self.note_capacity_change(
+                    t, live_nodes=len(e.cluster.live_nodes)
+                )
+            )
         return am
+
+    # ------------------------------------------------------------------
+    # Elastic capacity changes
+    # ------------------------------------------------------------------
+    def note_capacity_change(self, time: float, live_nodes: int = 0) -> None:
+        """React to a node joining or leaving the cluster at *time*.
+
+        Open sample batches are flagged capacity-shifted (their wave is
+        voided rather than scored -- see :meth:`_on_stats_aggressive`),
+        and parallelism-style knobs re-clamp to the live capacity: more
+        parallel shuffle copies than live map hosts buys nothing, so the
+        search stops proposing them and single-run configs step down.
+        """
+        self._capacity_changes.append(time)
+        for job in self._jobs.values():
+            for state in job.search_states.values():
+                if not state.search_done:
+                    state.capacity_shifted = True
+        if live_nodes <= 0:
+            return
+        spec = PARAMETER_SPACE.spec(P.SHUFFLE_PARALLELCOPIES)
+        cap = float(max(int(spec.low), min(int(spec.high), live_nodes)))
+        for job_id, job in self._jobs.items():
+            for state in job.search_states.values():
+                if P.SHUFFLE_PARALLELCOPIES not in state.space:
+                    continue
+                dim = state.space.names.index(P.SHUFFLE_PARALLELCOPIES)
+                u = state.space.spec(P.SHUFFLE_PARALLELCOPIES).encode(cap)
+                state.climber.bounds.lower_upper(dim, u)
+                state.rule_log.append(
+                    f"capacity change at t={time:.1f}: "
+                    f"{P.SHUFFLE_PARALLELCOPIES} re-clamped to <= {cap:g} "
+                    f"({live_nodes} live nodes)"
+                )
+            current = float(
+                self.configurator.job_config(job_id)[P.SHUFFLE_PARALLELCOPIES]
+            )
+            if current > cap:
+                self.configurator.set_task_parameters(
+                    job_id, {P.SHUFFLE_PARALLELCOPIES: cap}
+                )
+
+    def _stats_capacity_shifted(self, stats: TaskStats) -> bool:
+        """True when a capacity change landed inside the measurement."""
+        return any(
+            stats.start_time <= t <= stats.end_time
+            for t in self._capacity_changes
+        )
 
     # ------------------------------------------------------------------
     # Statistics ingestion
@@ -445,13 +513,27 @@ class OnlineTuner:
             or s.fetch_retries > 0
         )
         total = len(state.result_buffer)
-        if suspect > 0 and suspect * 2 >= total and state.climber.rollback():
+        # A wave observed across a capacity change compares measurements
+        # taken on two different clusters: void it the same way.
+        shifted = state.capacity_shifted or any(
+            self._stats_capacity_shifted(s) for _sid, s in state.result_buffer
+        )
+        if (
+            (suspect > 0 and suspect * 2 >= total) or shifted
+        ) and state.climber.rollback():
             state.result_buffer = []
             state.window = []
-            line = (
-                f"wave {state.wave}: rolled back "
-                f"({suspect}/{total} samples fault-inflated)"
-            )
+            state.capacity_shifted = False
+            if shifted:
+                line = (
+                    f"wave {state.wave}: rolled back "
+                    f"(capacity-shifted: cluster membership changed mid-wave)"
+                )
+            else:
+                line = (
+                    f"wave {state.wave}: rolled back "
+                    f"({suspect}/{total} samples fault-inflated)"
+                )
             state.rule_log.append(line)
             tel = self._tel()
             if tel is not None:
@@ -480,6 +562,7 @@ class OnlineTuner:
         for sid, s in state.result_buffer:
             state.climber.observe(sid, task_cost(s, t_max))
         state.result_buffer = []
+        state.capacity_shifted = False
         # Wave complete: gray-box bound adjustment, then the next batch.
         # Fetch-inflated measurements (nonzero fetch_retries) are kept in
         # the history but excluded from the rule window: their durations
@@ -488,7 +571,10 @@ class OnlineTuner:
             task_type=state.task_type,
             space=state.space,
             bounds=state.climber.bounds,
-            window=[s for s in state.window if s.fetch_retries == 0],
+            window=[
+                s for s in state.window
+                if s.fetch_retries == 0 and not self._stats_capacity_shifted(s)
+            ],
             history=state.history,
             rng=self.rng,
             memo=state.memo,
@@ -548,9 +634,13 @@ class OnlineTuner:
             task_type=state.task_type,
             space=PARAMETER_SPACE,
             bounds=None,  # bounds are an aggressive-strategy concept
-            # Fetch-inflated stats stay in the history but are dropped
-            # from the rule window (see _on_stats_aggressive).
-            window=[s for s in state.window if s.fetch_retries == 0],
+            # Fetch-inflated and capacity-shifted stats stay in the
+            # history but are dropped from the rule window (see
+            # _on_stats_aggressive).
+            window=[
+                s for s in state.window
+                if s.fetch_retries == 0 and not self._stats_capacity_shifted(s)
+            ],
             history=state.history,
             rng=self.rng,
             memo=state.memo,

@@ -44,13 +44,16 @@ KIND_TO_KNOB: Dict[str, str] = {
     "link_degrade": "link_degraded",
     "link_flaky": "link_flaky",
     "rack_partition": "rack_partitions",
+    "node_decommission": "decommissions",
+    "node_join": "joins",
+    "spot_preempt": "spot_preempts",
 }
 
 #: Failure kind (``TaskStats.failure_kind``) -> the fault kind that
 #: causes it, for the per-kind failure breakdown.  ``oom`` stays
 #: unattributed: it is config-induced, not injected.
 FAILURE_TO_FAULT_KIND: Dict[str, str] = {
-    "preempted": "container_kill",
+    "preempted": "container_kill/spot_preempt",
     "node_lost": "node_crash",
     "speculation": "degrade",
     "fetch_failure": "link_flaky/rack_partition/node_crash",
@@ -60,18 +63,20 @@ FAILURE_TO_FAULT_KIND: Dict[str, str] = {
 def levels_for_kinds(kinds: Tuple[str, ...]) -> Dict[str, Dict[str, float]]:
     """Build ``low``/``high`` knob dicts restricted to *kinds*.
 
-    Low injects one fault of each selected kind; high injects two
-    (node crashes capped at one -- losing more nodes on a small test
-    cluster starves the job rather than stressing recovery).
+    Low injects one fault of each selected kind; high injects two.
+    Node-removing kinds (crashes, decommissions, spot preemptions) are
+    capped at one each -- losing more nodes on a small test cluster
+    starves the job rather than stressing recovery.
     """
     unknown = [k for k in kinds if k not in KIND_TO_KNOB]
     if unknown:
         raise ValueError(
             f"unknown fault kind(s) {unknown}, want a subset of {sorted(KIND_TO_KNOB)}"
         )
+    removes_node = {"node_crash", "node_decommission", "spot_preempt"}
     low = {KIND_TO_KNOB[k]: 1 for k in kinds}
     high = {
-        KIND_TO_KNOB[k]: (1 if k == "node_crash" else 2) for k in kinds
+        KIND_TO_KNOB[k]: (1 if k in removes_node else 2) for k in kinds
     }
     return {"none": {}, "low": low, "high": high}
 
@@ -251,6 +256,9 @@ def _level_plans(
             link_degraded=int(knobs.get("link_degraded", 0)),
             link_flaky=int(knobs.get("link_flaky", 0)),
             rack_partitions=int(knobs.get("rack_partitions", 0)),
+            decommissions=int(knobs.get("decommissions", 0)),
+            joins=int(knobs.get("joins", 0)),
+            spot_preempts=int(knobs.get("spot_preempts", 0)),
         )
         out.append((level, plan_to_json(plan)))
     return tuple(out)

@@ -73,6 +73,8 @@ class SimCluster:
         # the bus; slave monitors publish there (sink=None) rather than
         # calling the central monitor directly.
         self.monitor = CentralMonitor(self.sim, bus=self.telemetry)
+        self._monitor_interval = monitor_interval
+        self._monitors_started = start_monitors
         self.slave_monitors: List[SlaveMonitor] = [
             SlaveMonitor(
                 self.sim,
@@ -103,6 +105,9 @@ class SimCluster:
         link_degraded: int = 0,
         link_flaky: int = 0,
         rack_partitions: int = 0,
+        decommissions: int = 0,
+        joins: int = 0,
+        spot_preempts: int = 0,
     ) -> FaultPlan:
         """Arm fault injection, from an explicit *plan* or generated knobs.
 
@@ -128,6 +133,24 @@ class SimCluster:
                 link_degraded=link_degraded,
                 link_flaky=link_flaky,
                 rack_partitions=rack_partitions,
+                decommissions=decommissions,
+                joins=joins,
+                spot_preempts=spot_preempts,
+            )
+        elastic = None
+        if plan.has_elastic_faults:
+            # A fully wired membership manager: joined nodes get a slave
+            # monitor (when this harness runs them) and departed nodes'
+            # monitors stop, so the central monitor tracks the live set.
+            from repro.faults.elastic import ElasticCluster
+
+            elastic = ElasticCluster(
+                self.sim,
+                self.cluster,
+                self.node_managers,
+                self.rm,
+                start_node_monitor=self._start_slave_monitor,
+                stop_node_monitor=self._stop_slave_monitor,
             )
         self.fault_injector = FaultInjector(
             self.sim,
@@ -136,9 +159,28 @@ class SimCluster:
             self.rm,
             plan,
             fetch_rng=self.rngs.stream("faults", "fetch"),
+            elastic=elastic,
         )
         self.fault_injector.start()
         return plan
+
+    def _start_slave_monitor(self, nm: NodeManager) -> None:
+        """Give a freshly joined node the same monitoring as seed nodes."""
+        sm = SlaveMonitor(
+            self.sim,
+            nm,
+            sink=None,
+            interval=self._monitor_interval,
+            network=self.cluster.network,
+        )
+        self.slave_monitors.append(sm)
+        if self._monitors_started:
+            sm.start()
+
+    def _stop_slave_monitor(self, node_id: int) -> None:
+        for sm in self.slave_monitors:
+            if sm.nm.node.node_id == node_id:
+                sm.stop()
 
     def _make_scheduler(self, kind: str) -> SchedulerBase:
         if kind == "fifo":
@@ -178,6 +220,10 @@ class SimCluster:
         # Task stats reach the central monitor through the telemetry bus
         # (the AM emits a ``stats`` event per completed attempt), not a
         # hand-wired listener; see CentralMonitor.subscribe_to.
+        if self.fault_injector is not None and self.fault_injector.elastic is not None:
+            # Under elastic churn the AM receives preemption notices so
+            # it can migrate doomed attempts within the grace window.
+            self.fault_injector.elastic.register_app(am)
         am.start()
         return am
 

@@ -140,7 +140,8 @@ class RunRequest:
     #: Fault-scenario knobs as sorted ``(name, value)`` pairs -- the
     #: declarative input to :func:`repro.faults.generate_fault_plan`
     #: (``crashes``, ``container_kills``, ``degraded``, ``horizon``,
-    #: ``link_degraded``, ``link_flaky``, ``rack_partitions``).
+    #: ``link_degraded``, ``link_flaky``, ``rack_partitions``,
+    #: ``decommissions``, ``joins``, ``spot_preempts``).
     #: The plan itself is drawn worker-side from the run's own seeded
     #: ``("faults", "plan")`` stream, so the same request always yields
     #: the same scenario.  Alternatively a single ``("plan", json)``
@@ -166,6 +167,7 @@ class RunRequest:
             known = {
                 "crashes", "container_kills", "degraded", "horizon",
                 "link_degraded", "link_flaky", "rack_partitions",
+                "decommissions", "joins", "spot_preempts",
             }
             bad = [name for name, _v in self.faults if name not in known]
             if bad:
@@ -352,6 +354,9 @@ def execute_request(request: RunRequest) -> RunOutcome:
                 link_degraded=int(knobs.get("link_degraded", 0)),
                 link_flaky=int(knobs.get("link_flaky", 0)),
                 rack_partitions=int(knobs.get("rack_partitions", 0)),
+                decommissions=int(knobs.get("decommissions", 0)),
+                joins=int(knobs.get("joins", 0)),
+                spot_preempts=int(knobs.get("spot_preempts", 0)),
             )
     spec = make_job_spec(case, sc.hdfs, base_config=request.config())
     recommended = None

@@ -1,8 +1,10 @@
 """Fault injection: declarative plans applied to the live simulation."""
 
+from repro.faults.elastic import ElasticCluster
 from repro.faults.injector import FaultInjector
 from repro.faults.network_state import NetworkFaultState
 from repro.faults.plan import (
+    ELASTIC_FAULT_KINDS,
     FAULT_KINDS,
     NETWORK_FAULT_KINDS,
     Fault,
@@ -13,8 +15,10 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "ELASTIC_FAULT_KINDS",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",
+    "ElasticCluster",
     "Fault",
     "FaultPlan",
     "FaultInjector",

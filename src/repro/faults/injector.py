@@ -21,7 +21,11 @@ Faults act through the same surfaces real hardware does:
   ``link_flaky`` opens a per-fetch failure window drawn from the
   dedicated fetch RNG stream.  Any network kind in the plan arms
   :class:`~repro.faults.network_state.NetworkFaultState` on the
-  network, which switches reducers onto the per-fetch recovery path.
+  network, which switches reducers onto the per-fetch recovery path;
+* elastic churn (``node_decommission`` / ``node_join`` /
+  ``spot_preempt``) goes through an
+  :class:`~repro.faults.elastic.ElasticCluster` manager, likewise armed
+  only when the plan contains an elastic kind.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.yarn.node_manager import KillReason, NodeManager
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.topology import Cluster
+    from repro.faults.elastic import ElasticCluster
     from repro.sim.engine import Simulator
     from repro.yarn.resource_manager import ResourceManager
 
@@ -50,6 +55,7 @@ class FaultInjector:
         rm: "ResourceManager",
         plan: FaultPlan,
         fetch_rng: Optional[np.random.Generator] = None,
+        elastic: Optional["ElasticCluster"] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -57,6 +63,11 @@ class FaultInjector:
         self.rm = rm
         self.plan = plan
         self.fetch_rng = fetch_rng
+        #: Elastic membership manager; a caller with monitor wiring (the
+        #: harness) passes a fully hooked-up one, otherwise a bare
+        #: manager is built on demand in :meth:`start` when the plan
+        #: actually contains elastic kinds.
+        self.elastic = elastic
         #: ``(time, description)`` log of faults actually applied.
         self.applied: List[Tuple[float, str]] = []
         #: Planned faults skipped because their target was already dead.
@@ -80,6 +91,12 @@ class FaultInjector:
             rng = self.fetch_rng if self.fetch_rng is not None else np.random.default_rng(0)
             self.cluster.network.faults = NetworkFaultState(rng)
             self._network_mode = True
+        if self.plan.has_elastic_faults and self.elastic is None:
+            from repro.faults.elastic import ElasticCluster
+
+            self.elastic = ElasticCluster(
+                self.sim, self.cluster, self.node_managers, self.rm
+            )
         ordered = [self.node_managers[nid] for nid in sorted(self.node_managers)]
         self.rm.start_failure_detection(ordered)
         for fault in self.plan.faults:
@@ -107,6 +124,13 @@ class FaultInjector:
         self._emit(fault, True, detail)
 
     def _apply(self, fault: Fault) -> None:
+        if fault.kind == "node_join":
+            # The joining node does not exist yet, so this branch must
+            # run before any node/NM lookup; node_id names the anchor
+            # whose rack the newcomer enters.
+            node = self.elastic.join(fault.node_id)
+            self._applied(fault, f"{fault.describe()} -> node {node.node_id}")
+            return
         node = self.cluster.node(fault.node_id)
         nm = self.node_managers[fault.node_id]
         network = self.cluster.network
@@ -161,6 +185,18 @@ class FaultInjector:
                 self.sim.now + fault.duration, lambda r=rack: network.heal_rack(r)
             )
             self._applied(fault, fault.describe())
+        elif fault.kind == "node_decommission":
+            if self.elastic.decommission(fault.node_id):
+                self._applied(fault, fault.describe())
+            else:
+                self.skipped.append((self.sim.now, fault.describe()))
+                self._emit(fault, False, fault.describe())
+        elif fault.kind == "spot_preempt":
+            if self.elastic.preempt_notice(fault.node_id, fault.duration):
+                self._applied(fault, fault.describe())
+            else:
+                self.skipped.append((self.sim.now, fault.describe()))
+                self._emit(fault, False, fault.describe())
         else:  # container_kill
             killed = nm.kill_some(
                 fault.count,

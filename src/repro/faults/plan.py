@@ -30,12 +30,21 @@ FAULT_KINDS = (
     "link_degrade",
     "link_flaky",
     "rack_partition",
+    "node_decommission",
+    "node_join",
+    "spot_preempt",
 )
 
 #: Kinds that act on the network fabric rather than a node's CPU/disks.
 #: Their presence in a plan arms the gray-failure fetch path (per-fetch
 #: shuffle with timeout/retry/penalty-box recovery).
 NETWORK_FAULT_KINDS = frozenset({"link_degrade", "link_flaky", "rack_partition"})
+
+#: Kinds that change cluster membership (elastic churn).  Their presence
+#: in a plan arms the elastic-cluster machinery (drain states, dynamic
+#: registration, capacity-change notifications); fault-free runs and
+#: legacy fault plans never construct any of it.
+ELASTIC_FAULT_KINDS = frozenset({"node_decommission", "node_join", "spot_preempt"})
 
 
 @dataclass(frozen=True)
@@ -67,6 +76,20 @@ class Fault:
         The rack containing the node loses its uplink for ``duration``
         seconds: cross-rack flows stall (rack-local traffic is
         unaffected).
+    ``node_decommission``
+        Graceful drain starting at ``time``: the node stops accepting
+        new containers, running tasks finish undisturbed, and once the
+        last one settles the node deregisters and leaves the cluster.
+    ``node_join``
+        A brand-new node registers at ``time`` and enters scheduling.
+        ``node_id`` names an *anchor* node whose rack the newcomer
+        joins (the new node itself gets the next sequential id).
+    ``spot_preempt``
+        A spot-style preemption *notice* at ``time``: the node stops
+        accepting containers and ``duration`` seconds later whatever is
+        still running on it is hard-killed and the node is reclaimed.
+        During the grace window the AM proactively migrates the doomed
+        attempts to other nodes.
     """
 
     time: float
@@ -106,6 +129,8 @@ class Fault:
                 raise ValueError("link_flaky needs duration > 0")
         if self.kind == "rack_partition" and self.duration <= 0.0:
             raise ValueError("rack_partition needs duration > 0")
+        if self.kind == "spot_preempt" and self.duration <= 0.0:
+            raise ValueError("spot_preempt needs duration > 0 (the grace window)")
 
     def describe(self) -> str:
         if self.kind == "node_crash":
@@ -127,6 +152,15 @@ class Fault:
             return (
                 f"t={self.time:.1f}s partition rack of node {self.node_id} "
                 f"for {self.duration:.1f}s"
+            )
+        if self.kind == "node_decommission":
+            return f"t={self.time:.1f}s decommission node {self.node_id} (graceful drain)"
+        if self.kind == "node_join":
+            return f"t={self.time:.1f}s join a new node into the rack of node {self.node_id}"
+        if self.kind == "spot_preempt":
+            return (
+                f"t={self.time:.1f}s spot-preempt notice on node {self.node_id} "
+                f"(kill after {self.duration:.1f}s grace)"
             )
         recov = f", recovers +{self.recover_time:.1f}s" if self.recover_time > 0 else ""
         return (
@@ -164,6 +198,10 @@ class FaultPlan:
     @property
     def has_network_faults(self) -> bool:
         return any(f.kind in NETWORK_FAULT_KINDS for f in self.faults)
+
+    @property
+    def has_elastic_faults(self) -> bool:
+        return any(f.kind in ELASTIC_FAULT_KINDS for f in self.faults)
 
     def describe(self) -> List[str]:
         return [f.describe() for f in self.faults]
@@ -228,6 +266,9 @@ def generate_fault_plan(
     link_degraded: int = 0,
     link_flaky: int = 0,
     rack_partitions: int = 0,
+    decommissions: int = 0,
+    joins: int = 0,
+    spot_preempts: int = 0,
 ) -> FaultPlan:
     """Draw a random fault scenario from *rng*.
 
@@ -243,6 +284,12 @@ def generate_fault_plan(
     non-crashed nodes and are drawn strictly *after* every legacy draw,
     so a plan generated with only the legacy knobs is bit-identical to
     what earlier versions produced from the same stream.
+
+    Elastic churn (``decommissions`` graceful drains, ``joins`` new
+    nodes, ``spot_preempts`` notice-then-kill reclaims) follows the same
+    rule: its draws come after every legacy *and* network draw.  Drain
+    and preemption targets are distinct non-crashed nodes, and at least
+    one seed node always stays in service.
     """
     if num_nodes < 1:
         raise ValueError("need at least one node")
@@ -252,6 +299,13 @@ def generate_fault_plan(
         raise ValueError("fault counts must be >= 0")
     if link_degraded < 0 or link_flaky < 0 or rack_partitions < 0:
         raise ValueError("fault counts must be >= 0")
+    if decommissions < 0 or joins < 0 or spot_preempts < 0:
+        raise ValueError("fault counts must be >= 0")
+    if crashes + decommissions + spot_preempts >= num_nodes:
+        raise ValueError(
+            f"{crashes} crash(es) + {decommissions} decommission(s) + "
+            f"{spot_preempts} preemption(s) would empty a {num_nodes}-node cluster"
+        )
     if crashes + degraded >= num_nodes:
         raise ValueError(
             f"{crashes} crash(es) + {degraded} degraded node(s) needs at least "
@@ -321,10 +375,36 @@ def generate_fault_plan(
                 duration=float(rng.uniform(0.10, 0.30)) * horizon,
             )
         )
+    # -- elastic churn: drawn after all legacy and network draws for the
+    # same replay-stability reason.  Drain/preemption targets are
+    # sampled without replacement so one node is never both gracefully
+    # drained and spot-reclaimed in a single scenario.
+    if decommissions + spot_preempts > 0:
+        leaving = rng.choice(len(healthy), size=decommissions + spot_preempts, replace=False)
+        drain_nodes = sorted(int(healthy[i]) for i in leaving[:decommissions])
+        preempt_nodes = sorted(int(healthy[i]) for i in leaving[decommissions:])
+        for node_id in drain_nodes:
+            t = float(rng.uniform(0.15, 0.55)) * horizon
+            faults.append(Fault(time=t, kind="node_decommission", node_id=node_id))
+        for node_id in preempt_nodes:
+            t = float(rng.uniform(0.20, 0.60)) * horizon
+            faults.append(
+                Fault(
+                    time=t,
+                    kind="spot_preempt",
+                    node_id=node_id,
+                    duration=float(rng.uniform(0.08, 0.18)) * horizon,
+                )
+            )
+    for _ in range(joins):
+        anchor = int(rng.integers(num_nodes))
+        t = float(rng.uniform(0.10, 0.50)) * horizon
+        faults.append(Fault(time=t, kind="node_join", node_id=anchor))
     return FaultPlan(tuple(faults))
 
 
 __all__ = [
+    "ELASTIC_FAULT_KINDS",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",
     "Fault",

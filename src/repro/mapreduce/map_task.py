@@ -41,6 +41,10 @@ def run_map_task(
     node = container.node
     profile = ctx.spec.workload
     task_id = ctx.spec.map_task_id(map_index)
+    # Flow labels are attempt-scoped (and the container tag kills by the
+    # same prefix) so killing one attempt never cancels a concurrent
+    # sibling's in-flight flows.
+    tag = f"{task_id}.a{attempt}"
 
     tel = sim.telemetry
     if tel is None or not tel.wants("task"):
@@ -109,7 +113,7 @@ def run_map_task(
             profile.map_cpu_fixed_sec + profile.map_cpu_per_mb * input_bytes / MB
         )
         read_ev = ctx.hdfs.read_block(block, node)
-        cpu_ev = node.compute(burn, cores_cap, label=f"{task_id}.oom")
+        cpu_ev = node.compute(burn, cores_cap, label=f"{tag}.oom")
         yield AllOf(sim, [read_ev, cpu_ev])
         stats.cpu_seconds = burn
         stats.end_time = sim.now
@@ -131,7 +135,7 @@ def run_map_task(
     )
     phase_start = sim.now
     read_ev = ctx.hdfs.read_block(block, node)
-    cpu_ev = node.compute(cpu_work, cores_cap, label=f"{task_id}.map")
+    cpu_ev = node.compute(cpu_work, cores_cap, label=f"{tag}.map")
     yield AllOf(sim, [read_ev, cpu_ev])
     stats.cpu_seconds += cpu_work
     if tel is not None:
@@ -156,7 +160,7 @@ def run_map_task(
     )
     if plan.spill_write_bytes > 0:
         phase_start = sim.now
-        yield node.disk_write(plan.spill_write_bytes, label=f"{task_id}.spill")
+        yield node.disk_write(plan.spill_write_bytes, label=f"{tag}.spill")
         if tel is not None:
             _span(
                 "map.spill",
@@ -172,9 +176,9 @@ def run_map_task(
         yield AllOf(
             sim,
             [
-                node.disk_read(plan.merge_read_bytes, label=f"{task_id}.mrg.rd"),
-                node.disk_write(plan.merge_write_bytes, label=f"{task_id}.mrg.wr"),
-                node.compute(merge_cpu, cores_cap, label=f"{task_id}.mrg"),
+                node.disk_read(plan.merge_read_bytes, label=f"{tag}.mrg.rd"),
+                node.disk_write(plan.merge_write_bytes, label=f"{tag}.mrg.wr"),
+                node.compute(merge_cpu, cores_cap, label=f"{tag}.mrg"),
             ],
         )
         stats.cpu_seconds += merge_cpu

@@ -103,7 +103,10 @@ def _shuffle_with_recovery(
                 yield sim.timeout(s.failure_latency)
             else:
                 seq += 1
-                label = f"{task_id}.shuffle.m{m}.f{seq}"
+                # Attempt-scoped: two live attempts of the same reducer
+                # draw identical (m, seq) pairs, and the timeout cancel
+                # below must never abandon the sibling's flow.
+                label = f"{task_id}.a{attempt}.shuffle.m{m}.f{seq}"
                 flow = network.fetch_from(
                     src, node, nbytes, extra_links=[copier_link], label=label
                 )
@@ -210,6 +213,10 @@ def run_reduce_task(
     node = container.node
     profile = ctx.spec.workload
     task_id = ctx.spec.reduce_task_id(reduce_index)
+    # Flow labels are attempt-scoped (and the container tag kills by the
+    # same prefix) so killing one attempt never cancels a concurrent
+    # sibling's in-flight flows.
+    tag = f"{task_id}.a{attempt}"
 
     tel = sim.telemetry
     if tel is None or not tel.wants("task"):
@@ -286,7 +293,7 @@ def run_reduce_task(
                     copies = max(1, int(config[P.SHUFFLE_PARALLELCOPIES]))
                     copier_link.capacity = copies * SHUFFLE_STREAM_BW
                     yield ctx.cluster.network.fetch_into(
-                        node, batch, extra_links=[copier_link], label=f"{task_id}.shuffle"
+                        node, batch, extra_links=[copier_link], label=f"{tag}.shuffle"
                     )
                     fetched_bytes += batch
                 if ctx.progress is not None:
@@ -355,15 +362,15 @@ def run_reduce_task(
     sort_start = sim.now
     shuffle_disk_in = plan.direct_to_disk_bytes + plan.inmem_spill_bytes
     if shuffle_disk_in > 0:
-        yield node.disk_write(shuffle_disk_in, label=f"{task_id}.shufspill")
+        yield node.disk_write(shuffle_disk_in, label=f"{tag}.shufspill")
     if plan.disk_merge_rounds > 0:
         merge_cpu = tc.MERGE_CPU_PER_MB * plan.disk_merge_write_bytes / MB
         yield AllOf(
             sim,
             [
-                node.disk_read(plan.disk_merge_read_bytes, label=f"{task_id}.mrg.rd"),
-                node.disk_write(plan.disk_merge_write_bytes, label=f"{task_id}.mrg.wr"),
-                node.compute(merge_cpu, cores_cap, label=f"{task_id}.mrg"),
+                node.disk_read(plan.disk_merge_read_bytes, label=f"{tag}.mrg.rd"),
+                node.disk_write(plan.disk_merge_write_bytes, label=f"{tag}.mrg.wr"),
+                node.compute(merge_cpu, cores_cap, label=f"{tag}.mrg"),
             ],
         )
         stats.cpu_seconds += merge_cpu
@@ -384,9 +391,9 @@ def run_reduce_task(
     cpu_work = (
         profile.reduce_cpu_fixed_sec + profile.reduce_cpu_per_mb * fetched_bytes / MB
     )
-    waits = [node.compute(cpu_work, cores_cap, label=f"{task_id}.reduce")]
+    waits = [node.compute(cpu_work, cores_cap, label=f"{tag}.reduce")]
     if plan.final_read_bytes > 0:
-        waits.append(node.disk_read(plan.final_read_bytes, label=f"{task_id}.final.rd"))
+        waits.append(node.disk_read(plan.final_read_bytes, label=f"{tag}.final.rd"))
     yield AllOf(sim, waits)
     stats.cpu_seconds += cpu_work
     if tel is not None:

@@ -39,6 +39,11 @@ class CentralMonitor:
         #: Per-job count of fetch-retry-inflated measurements; these are
         #: flagged so the tuner's cost evaluation can discount them.
         self.fetch_inflated_count: Dict[str, int] = defaultdict(int)
+        #: Elastic membership: node_id -> time it left / joined.  Fed by
+        #: ``capacity_change`` telemetry so aggregation tracks the live
+        #: set instead of averaging over ghosts.
+        self.departed_nodes: Dict[int, float] = {}
+        self.joined_nodes: Dict[int, float] = {}
         if bus is not None:
             self.subscribe_to(bus)
 
@@ -50,12 +55,25 @@ class CentralMonitor:
         bus.subscribe(self.on_event, categories=("stats", "node"))
 
     def on_event(self, event: "TelemetryEvent") -> None:
-        from repro.telemetry.events import NodeSampled, TaskStatsRecorded
+        from repro.telemetry.events import (
+            CapacityChange,
+            NodeSampled,
+            TaskStatsRecorded,
+        )
 
         if isinstance(event, TaskStatsRecorded):
             self.on_task_stats(event.stats)
         elif isinstance(event, NodeSampled):
             self.on_node_stats(event.stats)
+        elif isinstance(event, CapacityChange):
+            self.on_capacity_change(event.node_id, event.action, event.time)
+
+    def on_capacity_change(self, node_id: int, action: str, time: float) -> None:
+        """Track elastic membership so queries follow the live set."""
+        if action == "depart":
+            self.departed_nodes.setdefault(node_id, time)
+        elif action == "join":
+            self.joined_nodes.setdefault(node_id, time)
 
     def on_task_stats(self, stats: TaskStats) -> None:
         self.task_stats.append(stats)
@@ -86,17 +104,35 @@ class CentralMonitor:
         return self.fetch_inflated_count[job_id] / total
 
     def mean_cpu_utilization(self, since: float = 0.0) -> float:
-        values = [tl.mean(since) for tl in self.cpu_timelines.values()]
-        return sum(values) / len(values) if values else 0.0
+        return self._mean_over(self.cpu_timelines, since)
 
     def mean_memory_utilization(self, since: float = 0.0) -> float:
-        values = [tl.mean(since) for tl in self.mem_timelines.values()]
+        return self._mean_over(self.mem_timelines, since)
+
+    def _mean_over(
+        self, timelines: Dict[int, UtilizationTimeline], since: float
+    ) -> float:
+        """Per-node time-weighted means averaged over *current* capacity.
+
+        A node that departed before the window opened contributes
+        nothing; one that departed mid-window contributes only up to its
+        departure.  Joined nodes start contributing from their first
+        sample, so the denominator always tracks the live membership.
+        """
+        values = []
+        for node_id in sorted(timelines):
+            departed = self.departed_nodes.get(node_id)
+            if departed is not None and departed <= since:
+                continue
+            values.append(timelines[node_id].mean(since, until=departed))
         return sum(values) / len(values) if values else 0.0
 
     def hot_nodes(self, cpu_threshold: float = 0.9) -> List[int]:
         """Nodes whose latest CPU sample exceeds *cpu_threshold* (hot spots)."""
         hot = []
         for node_id, tl in self.cpu_timelines.items():
+            if node_id in self.departed_nodes:
+                continue  # a ghost's stale last sample is not a hot spot
             latest = tl.latest()
             if latest is not None and latest >= cpu_threshold:
                 hot.append(node_id)

@@ -177,10 +177,14 @@ class UtilizationTimeline:
         self.times.append(time)
         self.values.append(value)
 
-    def mean(self, since: float = 0.0) -> float:
+    def mean(self, since: float = 0.0, until: Optional[float] = None) -> float:
         pairs = []
         boundary = None  # last sample at or before the window start
         for t, v in zip(self.times, self.values):
+            if until is not None and t > until:
+                # Samples are appended in time order; everything past the
+                # cap (a node's departure, say) is outside the window.
+                break
             if t >= since:
                 pairs.append((t, v))
             else:

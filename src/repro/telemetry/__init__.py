@@ -16,6 +16,7 @@ from repro.telemetry.events import (
     DEFAULT_EXPORT_CATEGORIES,
     AttemptRetry,
     AttemptSpan,
+    CapacityChange,
     ContainerGranted,
     ContainerKilled,
     ContainerReleased,
@@ -26,8 +27,12 @@ from repro.telemetry.events import (
     JobSubmitted,
     MapOutputLost,
     NodeBlacklisted,
+    NodeDecommission,
+    NodeJoin,
     NodeLost,
     NodeSampled,
+    PreemptKill,
+    PreemptNotice,
     ProcessFinished,
     ProcessStarted,
     RuleFired,
@@ -48,6 +53,7 @@ __all__ = [
     "DEFAULT_EXPORT_CATEGORIES",
     "AttemptRetry",
     "AttemptSpan",
+    "CapacityChange",
     "ChromeTraceExporter",
     "ContainerGranted",
     "ContainerKilled",
@@ -61,8 +67,12 @@ __all__ = [
     "MapOutputLost",
     "MetricsSummary",
     "NodeBlacklisted",
+    "NodeDecommission",
+    "NodeJoin",
     "NodeLost",
     "NodeSampled",
+    "PreemptKill",
+    "PreemptNotice",
     "ProcessFinished",
     "ProcessStarted",
     "RuleFired",

@@ -310,6 +310,67 @@ class NodeBlacklisted(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class NodeDecommission(TelemetryEvent):
+    """A node entered graceful drain: no new containers, running tasks
+    finish, then the node leaves the cluster."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "node_decommission"
+
+    node_id: int = -1
+    running_containers: int = 0
+
+
+@dataclass(frozen=True)
+class NodeJoin(TelemetryEvent):
+    """A new node registered mid-run and entered scheduling."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "node_join"
+
+    node_id: int = -1
+    rack: int = 0
+
+
+@dataclass(frozen=True)
+class PreemptNotice(TelemetryEvent):
+    """A spot-preemption notice landed: the node will be hard-killed at
+    ``deadline`` and stops accepting containers immediately."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "preempt_notice"
+
+    node_id: int = -1
+    deadline: float = 0.0
+    running_containers: int = 0
+
+
+@dataclass(frozen=True)
+class PreemptKill(TelemetryEvent):
+    """The grace window expired: remaining containers were killed and
+    the node was reclaimed."""
+
+    category: ClassVar[str] = "yarn"
+    kind: ClassVar[str] = "preempt_kill"
+
+    node_id: int = -1
+    killed_containers: int = 0
+
+
+@dataclass(frozen=True)
+class CapacityChange(TelemetryEvent):
+    """Cluster capacity changed: a node joined or departed."""
+
+    category: ClassVar[str] = "node"
+    kind: ClassVar[str] = "capacity_change"
+
+    node_id: int = -1
+    action: str = ""  # "join" | "depart"
+    live_nodes: int = 0
+    live_yarn_memory_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
 class AttemptRetry(TelemetryEvent):
     """An AM re-queued a failed attempt (the retry ladder)."""
 

@@ -232,6 +232,7 @@ class _Attempt:
     __slots__ = (
         "number", "speculative", "tier", "wave", "config",
         "container", "process", "runner", "avoid_nodes", "settled",
+        "migration",
     )
 
     def __init__(
@@ -241,6 +242,7 @@ class _Attempt:
         tier: int,
         config: Optional[Configuration] = None,
         avoid_nodes: Tuple[int, ...] = (),
+        migration: bool = False,
     ) -> None:
         self.number = number
         self.speculative = speculative
@@ -253,6 +255,10 @@ class _Attempt:
         self.runner: Optional[Process] = None
         self.avoid_nodes = avoid_nodes
         self.settled = False
+        #: A grace-window replacement launched on a preemption notice;
+        #: while one is live the doomed primary's death triggers no
+        #: crash-style re-execution.
+        self.migration = migration
 
 
 class _TaskRun:
@@ -368,6 +374,9 @@ class MRAppMaster:
         #: task id: ``(map_index, src_node_id, report_count)``.
         self._pending_loss: Dict[str, Tuple[int, int, int]] = {}
         self._blacklisted_nodes: Set[int] = set()
+        #: Attempts proactively migrated off preemption-noticed nodes
+        #: during the grace window (elastic churn only).
+        self.preempt_migrations = 0
         #: Mean-duration inputs for the speculator, per task type.
         self._completed_durations: Dict[TaskType, List[float]] = {
             TaskType.MAP: [], TaskType.REDUCE: [],
@@ -490,11 +499,12 @@ class MRAppMaster:
         tier: int = 1,
         config: Optional[Configuration] = None,
         avoid_nodes: Tuple[int, ...] = (),
+        migration: bool = False,
     ) -> _Attempt:
         run.attempt_counter += 1
         attempt = _Attempt(
             run.attempt_counter, speculative, tier,
-            config=config, avoid_nodes=avoid_nodes,
+            config=config, avoid_nodes=avoid_nodes, migration=migration,
         )
         run.running.append(attempt)
         attempt.runner = self.sim.process(
@@ -559,7 +569,10 @@ class MRAppMaster:
                 priority=priority,
                 preferred_nodes=preferred,
                 blacklisted_nodes=self._blacklist_for(attempt),
-                tag=task_id,
+                # Attempt-scoped kill prefix (trailing dot so "a1" never
+                # matches an "a10" label): killing this container cancels
+                # only this attempt's flows, not a live sibling's.
+                tag=f"{task_id}.a{attempt.number}.",
             )
             grant_ev = self.rm.allocate(request)
             container = yield grant_ev
@@ -572,8 +585,13 @@ class MRAppMaster:
                 config = self._launch_config(task_id, config)
                 attempt.config = config
             nm = self.node_managers[container.node.node_id]
-            if nm.decommissioned or self.rm.is_node_lost(container.node.node_id):
-                # The node died while the grant was in flight.
+            if (
+                nm.decommissioned
+                or nm.draining
+                or self.rm.is_node_lost(container.node.node_id)
+            ):
+                # The node died (or started draining) while the grant
+                # was in flight.
                 stats = self._synthesize_failure(
                     run, attempt, "node_lost",
                     f"{container.node.hostname} lost before launch",
@@ -946,11 +964,28 @@ class MRAppMaster:
     ) -> None:
         run.last_failure = stats
         if attempt.speculative:
-            # A lost backup never triggers retries; the primary's fate
-            # decides the task.  (If the primary is also gone, its own
-            # settlement drives the policy below.)
-            return
+            if (
+                attempt.migration
+                and not run.running
+                and run.winner is None
+                and not run.permanent
+            ):
+                # The migration replacement was the task's only live
+                # attempt (the doomed primary already settled when the
+                # grace window closed).  Fall through and retry like a
+                # primary failure so the task cannot strand.
+                pass
+            else:
+                # A lost backup never triggers retries; the primary's
+                # fate decides the task.  (If the primary is also gone,
+                # its own settlement drives the policy below.)
+                return
         if stats.failure_kind in ENVIRONMENTAL_KINDS:
+            if any(a.migration and not a.settled for a in run.running):
+                # A grace-window migration already covers this task:
+                # the doomed primary's death needs no crash-style
+                # re-execution (and burns no environmental budget).
+                return
             run.env_failures += 1
             if run.env_failures > self.ft.max_env_retries:
                 run.permanent = True
@@ -1127,6 +1162,69 @@ class MRAppMaster:
             self._spawn_attempt(
                 run, speculative=True, tier=primary.tier,
                 config=primary.config, avoid_nodes=avoid,
+            )
+
+    # ------------------------------------------------------------------
+    # Elastic churn: grace-window migration
+    # ------------------------------------------------------------------
+    def on_preempt_notice(self, node_id: int, deadline: float) -> None:
+        """Proactively migrate attempts doomed by a spot preemption.
+
+        Called by :class:`~repro.faults.elastic.ElasticCluster` when a
+        preemption *notice* lands on *node_id*; the hard kill follows at
+        *deadline*.  Every task whose only live attempt runs on the
+        doomed node gets a replacement launched elsewhere right away --
+        a checkpoint-via-speculation restart that reuses the primary's
+        exact configuration, rides outside the wave gate like any
+        backup, and settles through the usual first-finisher-wins
+        arbitration.  This is distinct from crash re-execution: the
+        replacement starts *before* the kill, so the grace window (not
+        a liveness expiry) bounds the lost work.
+        """
+        del deadline  # the kill schedule is the ElasticCluster's business
+        if self.completion.triggered:
+            return
+        for key in sorted(self._runs):
+            run = self._runs[key]
+            if run.done or run.winner is not None or run.permanent:
+                continue
+            doomed = [
+                a for a in run.running
+                if not a.settled
+                and a.container is not None
+                and a.container.node.node_id == node_id
+            ]
+            if not doomed:
+                continue
+            if any(
+                not a.settled
+                and (a.container is None or a.container.node.node_id != node_id)
+                for a in run.running
+            ):
+                # A live copy already exists (or is pending placement)
+                # off the doomed node; the scheduler no longer places on
+                # draining nodes, so that copy covers the task.
+                continue
+            primary = doomed[0]
+            self.preempt_migrations += 1
+            self.counters.increment(Counter.SPECULATIVE_TASK_ATTEMPTS)
+            tel = self._telemetry("yarn")
+            if tel is not None:
+                from repro.telemetry.events import SpeculativeLaunch
+
+                tel.emit(
+                    SpeculativeLaunch(
+                        time=self.sim.now,
+                        job_id=self.spec.job_id,
+                        task=str(run.task_id),
+                        attempt=run.attempt_counter + 1,
+                    )
+                )
+                tel.increment("elastic.preempt_migrations")
+            self._spawn_attempt(
+                run, speculative=True, tier=primary.tier,
+                config=primary.config, avoid_nodes=(node_id,),
+                migration=True,
             )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,15 @@ class FairScheduler(SchedulerBase):
         return self.app_memory_usage.get(app_id, 0) / weight
 
     def assign_once(self) -> Optional[Tuple[ContainerRequest, Node]]:
+        # Under elastic churn the whole live set can momentarily be
+        # draining (e.g. a preemption notice on the last free node);
+        # bail out before the per-app scan rather than probing every
+        # pending request against an empty cluster.  Shares themselves
+        # need no rebalancing on a capacity change: they are relative
+        # (usage / weight), so the most-starved ordering is invariant
+        # under the cluster growing or shrinking.
+        if not self._pending or not self.schedulable_nodes():
+            return None
         # Apps with pending requests, most-starved first.
         apps = sorted(
             {r.app_id for r in self._pending},

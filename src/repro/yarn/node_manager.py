@@ -53,6 +53,11 @@ class NodeManager:
         self.node = node
         self.network = network
         self.decommissioned = False
+        #: Graceful-drain state (elastic decommission / preemption
+        #: notice): no new launches are accepted, but running containers
+        #: keep executing and the heartbeat loop stays up until the node
+        #: actually departs.
+        self.draining = False
         self._running: Dict[int, Process] = {}
         self._container_of: Dict[int, Container] = {}
         #: Completed-container observers (e.g. monitors).
@@ -72,6 +77,10 @@ class NodeManager:
         if self.decommissioned:
             raise SimulationError(
                 f"{self.node.hostname} is decommissioned; cannot launch {container!r}"
+            )
+        if self.draining:
+            raise SimulationError(
+                f"{self.node.hostname} is draining; cannot launch {container!r}"
             )
         container.state = ContainerState.RUNNING
         process = self.sim.process(task, name=f"container-{container.container_id}")
@@ -135,6 +144,10 @@ class NodeManager:
         """Mark the node unusable and kill everything still running on it."""
         self.decommissioned = True
         return self.kill_all(reason)
+
+    def drain(self) -> None:
+        """Stop accepting new containers; running tasks finish undisturbed."""
+        self.draining = True
 
     # -- heartbeats ---------------------------------------------------------
     def start_heartbeats(self, rm: "ResourceManager") -> Process:

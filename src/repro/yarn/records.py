@@ -55,7 +55,7 @@ class ContainerRequest:
     #: speculation's "not where the original attempt runs").  Ignored when
     #: honouring it would leave no usable node at all.
     blacklisted_nodes: Tuple[int, ...] = ()
-    tag: Optional[object] = None  # typically a TaskId
+    tag: Optional[object] = None  # typically an attempt-scoped flow prefix
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

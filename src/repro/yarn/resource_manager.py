@@ -48,6 +48,7 @@ class ResourceManager:
         self._node_managers: Dict[int, NodeManager] = {}
         self._last_heartbeat: Dict[int, float] = {}
         self._lost_nodes: Dict[int, float] = {}  # node_id -> time declared lost
+        self._departed_nodes: Dict[int, float] = {}  # node_id -> departure time
         self._failure_detection = False
 
     # ------------------------------------------------------------------
@@ -82,11 +83,48 @@ class ResourceManager:
         self._last_heartbeat[node_id] = self.sim.now
 
     def is_node_lost(self, node_id: int) -> bool:
-        return node_id in self._lost_nodes
+        return node_id in self._lost_nodes or node_id in self._departed_nodes
 
     @property
     def lost_nodes(self) -> List[int]:
         return sorted(self._lost_nodes)
+
+    @property
+    def departed_nodes(self) -> List[int]:
+        return sorted(self._departed_nodes)
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def register_node_manager(self, nm: NodeManager) -> None:
+        """Bring a freshly joined node into RM bookkeeping.
+
+        With failure detection armed the newcomer starts heartbeating
+        immediately; either way a dispatch pass is scheduled so pending
+        requests can land on the new capacity.
+        """
+        node_id = nm.node.node_id
+        if self._failure_detection and node_id not in self._node_managers:
+            self._node_managers[node_id] = nm
+            self._last_heartbeat[node_id] = self.sim.now
+            nm.start_heartbeats(self)
+        self._schedule_dispatch()
+
+    def deregister_node(self, node_id: int) -> None:
+        """Retire a node that left through the elastic path.
+
+        Heartbeat tracking is dropped *before* the liveness sweep can
+        misread the silence as a crash, and the scheduler excludes the
+        node from every future placement.  Unlike
+        :meth:`_declare_node_lost` nothing is killed here -- graceful
+        departures finish (or migrate) their work first.
+        """
+        self._node_managers.pop(node_id, None)
+        self._last_heartbeat.pop(node_id, None)
+        if node_id not in self._departed_nodes:
+            self._departed_nodes[node_id] = self.sim.now
+        self.scheduler.mark_node_lost(node_id)
+        self._schedule_dispatch()
 
     def _liveness_sweep(self) -> Generator[Event, object, None]:
         while True:

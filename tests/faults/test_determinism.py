@@ -103,3 +103,65 @@ class TestNetworkFaultDigest:
         assert from_plan.injected_faults == from_knobs.injected_faults
         # Same run in every respect but the request encoding.
         assert replace(from_plan, request=from_knobs.request) == from_knobs
+
+
+ELASTIC_KNOBS = {
+    "decommissions": 1,
+    "joins": 1,
+    "spot_preempts": 1,
+    "horizon": 35.0,
+}
+
+DENSE_ELASTIC_KNOBS = {
+    "decommissions": 2,
+    "joins": 1,
+    "spot_preempts": 3,
+    "horizon": 35.0,
+}
+
+#: Recorded from the elastic-churn scenarios below (terasort, seed 1;
+#: sparse = 8 blocks / 4 reducers, dense = 24 blocks / 8 reducers).
+#: If one moves, a change altered decommission draining, mid-run node
+#: registration, or the preempt grace-window migration path -- fix it
+#: or re-record in a dedicated commit that says so.
+ELASTIC_SPARSE_DIGEST = (
+    "2aeaeabac1177c12b7ec6753b6ab6cc62d3df1d9a57adb8bf300ef031babaca6"
+)
+ELASTIC_DENSE_DIGEST = (
+    "6bf44f9ca5a989be48cc379899cc18beeaba78197080e5c8e43debca44c76c19"
+)
+
+
+def elastic_requests():
+    sparse = RunRequest.build(
+        "terasort", 1, num_blocks=8, num_reducers=4, faults=ELASTIC_KNOBS
+    )
+    dense = RunRequest.build(
+        "terasort", 1, num_blocks=24, num_reducers=8,
+        faults=DENSE_ELASTIC_KNOBS,
+    )
+    return [sparse, dense]
+
+
+class TestElasticFaultDigest:
+    def test_serial_matches_pool(self):
+        requests = elastic_requests()
+        serial = run_requests(requests, max_workers=1)
+        pooled = run_requests(requests, max_workers=4)
+        assert combined_digest(serial) == combined_digest(pooled)
+
+    def test_pinned_digests(self):
+        sparse, dense = run_requests(elastic_requests(), max_workers=1)
+        assert sparse.succeeded
+        assert sparse.digest() == ELASTIC_SPARSE_DIGEST
+        assert dense.succeeded
+        assert dense.digest() == ELASTIC_DENSE_DIGEST
+
+    def test_dense_churn_exercises_preemption(self):
+        """The dense scenario reclaims nodes with work running: attempts
+        are killed, yet every reduce commits and the job succeeds."""
+        (_, dense) = run_requests(elastic_requests(), max_workers=1)
+        assert dense.succeeded
+        assert dense.killed_attempts >= 1
+        assert dict(dense.failure_reasons).get("preempted", 0) >= 1
+        assert len(dense.injected_faults) == 6

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.faults import Fault, FaultPlan, generate_fault_plan
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    generate_fault_plan,
+    plan_from_json,
+    plan_to_json,
+)
 
 
 class TestFaultValidation:
@@ -118,3 +124,82 @@ class TestGenerateFaultPlan:
             generate_fault_plan(
                 np.random.default_rng(0), num_nodes=4, horizon=10.0, crashes=-1
             )
+
+
+class TestElasticFaults:
+    def elastic_plan(self):
+        return FaultPlan(
+            (
+                Fault(time=5.0, kind="node_join", node_id=2),
+                Fault(time=12.0, kind="node_decommission", node_id=0),
+                Fault(time=20.0, kind="spot_preempt", node_id=1, duration=4.0),
+            )
+        )
+
+    def test_json_round_trip_with_elastic_kinds(self):
+        plan = self.elastic_plan()
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_spot_preempt_needs_grace_window(self):
+        with pytest.raises(ValueError, match="grace window"):
+            Fault(time=1.0, kind="spot_preempt", node_id=0)
+        with pytest.raises(ValueError, match="grace window"):
+            Fault(time=1.0, kind="spot_preempt", node_id=0, duration=0.0)
+
+    def test_describe_mentions_elastic_faults(self):
+        descriptions = "\n".join(self.elastic_plan().describe())
+        for needle in ("join", "decommission", "preempt"):
+            assert needle in descriptions
+
+    def test_has_elastic_faults_flag(self):
+        assert self.elastic_plan().has_elastic_faults
+        legacy = FaultPlan((Fault(time=1.0, kind="node_crash", node_id=0),))
+        assert not legacy.has_elastic_faults
+
+    def test_generated_drain_and_preempt_targets_disjoint(self):
+        plan = generate_fault_plan(
+            np.random.default_rng(11), num_nodes=8, horizon=100.0,
+            decommissions=2, joins=1, spot_preempts=2,
+        )
+        drained = [f.node_id for f in plan if f.kind == "node_decommission"]
+        preempted = [f.node_id for f in plan if f.kind == "spot_preempt"]
+        assert len(drained) == 2 and len(preempted) == 2
+        assert not set(drained) & set(preempted)
+        assert sum(1 for f in plan if f.kind == "node_join") == 1
+        for f in plan:
+            if f.kind == "spot_preempt":
+                assert f.duration > 0
+
+    def test_generation_rejects_cluster_emptying_churn(self):
+        with pytest.raises(ValueError, match="empty"):
+            generate_fault_plan(
+                np.random.default_rng(0), num_nodes=4, horizon=50.0,
+                crashes=1, decommissions=2, spot_preempts=1,
+            )
+
+    def test_elastic_knobs_are_replay_stable(self):
+        """Adding elastic churn must not perturb the legacy draws."""
+        base = generate_fault_plan(
+            np.random.default_rng(9), num_nodes=10, horizon=100.0,
+            crashes=1, container_kills=2, degraded=1,
+        )
+        churned = generate_fault_plan(
+            np.random.default_rng(9), num_nodes=10, horizon=100.0,
+            crashes=1, container_kills=2, degraded=1,
+            decommissions=1, joins=1, spot_preempts=1,
+        )
+        legacy = [f for f in churned if f.kind in ("node_crash", "container_kill", "degrade")]
+        assert sorted(legacy, key=lambda f: (f.time, f.kind)) == sorted(
+            base, key=lambda f: (f.time, f.kind)
+        )
+
+    def test_levels_for_kinds_covers_elastic(self):
+        from repro.experiments.faults import levels_for_kinds
+
+        levels = levels_for_kinds(
+            ("node_decommission", "node_join", "spot_preempt")
+        )
+        assert levels["none"] == {}
+        assert levels["low"] == {"decommissions": 1, "joins": 1, "spot_preempts": 1}
+        # Node-removing kinds stay capped at one even at the high level.
+        assert levels["high"] == {"decommissions": 1, "joins": 2, "spot_preempts": 1}
