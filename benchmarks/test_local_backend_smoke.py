@@ -1,0 +1,92 @@
+"""Local-process backend throughput smoke.
+
+Not a paper figure: a nightly canary for the *real* execution path.
+One small wordcount wave (every task fits in a single pool dispatch)
+runs on :class:`LocalProcessBackend`, the output is checked against a
+pure-Python reference, and the measured tasks/sec lands in
+``benchmarks/results/BENCH_local_backend.json``.  Absolute throughput
+is machine-dependent -- the JSON exists to expose *trends* across
+nightly runs, while the assertions only guard sanity (the job
+completes, produces correct output, and is not absurdly slow).
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import re
+import tempfile
+import time
+
+from repro.backends.local import (
+    LocalProcessBackend,
+    generate_corpus,
+    local_job_spec,
+)
+from repro.mapreduce.counters import Counter
+
+from benchmarks.bench_common import record_bench
+
+#: Small wordcount wave: 8 maps + 2 reducers = 10 real tasks.
+NUM_SPLITS = 8
+SPLIT_KB = 16
+NUM_REDUCERS = 2
+
+#: Sanity floor: even a slow CI box clears 2 tasks/sec on 16 KB splits
+#: by a wide margin (local runs measure hundreds).
+MIN_TASKS_PER_SEC = 2.0
+
+BEST_OF = 3
+
+
+def test_local_backend_wordcount_wave_throughput():
+    with tempfile.TemporaryDirectory(prefix="repro-bench-local-") as td:
+        corpus = os.path.join(td, "corpus")
+        generate_corpus(corpus, num_splits=NUM_SPLITS, split_kb=SPLIT_KB, seed=1)
+
+        best_wall = float("inf")
+        result = None
+        backend = None
+        for i in range(BEST_OF):
+            spec = local_job_spec("wordcount", corpus, num_reducers=NUM_REDUCERS)
+            backend = LocalProcessBackend(workspace=os.path.join(td, f"ws{i}"))
+            try:
+                start = time.perf_counter()
+                result = backend.run_job(spec)
+                wall = time.perf_counter() - start
+            finally:
+                out = backend.read_output(spec)
+                backend.close()
+            assert result.succeeded, result.failure_reasons
+            best_wall = min(best_wall, wall)
+
+        # Correctness before speed: the committed output must match a
+        # single-process reference count.
+        reference = collections.Counter()
+        for name in sorted(os.listdir(corpus)):
+            with open(os.path.join(corpus, name), encoding="utf-8") as fh:
+                reference.update(re.findall(r"[a-z']+", fh.read().lower()))
+        assert {k: int(v) for k, v in out.items()} == dict(reference)
+
+        num_tasks = NUM_SPLITS + NUM_REDUCERS
+        tasks_per_sec = num_tasks / best_wall
+        assert tasks_per_sec >= MIN_TASKS_PER_SEC, (
+            f"local backend ran {tasks_per_sec:.1f} tasks/sec "
+            f"(floor {MIN_TASKS_PER_SEC})"
+        )
+        record_bench(
+            "local_backend",
+            wall_time_s=round(best_wall, 4),
+            extra={
+                "workload": "wordcount",
+                "num_maps": NUM_SPLITS,
+                "num_reducers": NUM_REDUCERS,
+                "split_kb": SPLIT_KB,
+                "tasks_per_sec": round(tasks_per_sec, 1),
+                "map_output_records": result.counters.get(
+                    Counter.MAP_OUTPUT_RECORDS
+                ),
+                "spilled_records": result.counters.get(Counter.SPILLED_RECORDS),
+                "best_of": BEST_OF,
+            },
+        )

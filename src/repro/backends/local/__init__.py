@@ -1,0 +1,26 @@
+"""Local-process execution backend: real MapReduce over local files."""
+
+from repro.backends.local.backend import (
+    LocalJobHandle,
+    LocalProcessBackend,
+    knobs_from_config,
+)
+from repro.backends.local.corpus import (
+    corpus_splits,
+    generate_corpus,
+    local_job_spec,
+    local_workload_profile,
+)
+from repro.backends.local.worker import LOCAL_WORKLOADS, TaskKnobs
+
+__all__ = [
+    "LOCAL_WORKLOADS",
+    "LocalJobHandle",
+    "LocalProcessBackend",
+    "TaskKnobs",
+    "corpus_splits",
+    "generate_corpus",
+    "knobs_from_config",
+    "local_job_spec",
+    "local_workload_profile",
+]

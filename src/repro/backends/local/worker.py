@@ -1,0 +1,558 @@
+"""Real mapper/reducer task bodies for the local-process backend.
+
+Everything here is a top-level, picklable function or frozen dataclass:
+:func:`run_map_task` and :func:`run_reduce_task` execute inside
+``ProcessPoolExecutor`` workers, so they receive declarative specs and
+return slim reports -- no live backend state crosses the process
+boundary.
+
+The task bodies are a faithful miniature of Hadoop's task runtime:
+
+* **Map**: stream the split, collect ``(key, value)`` records into a
+  sort buffer; when the buffer passes ``sort_buffer_bytes x
+  spill_threshold`` (Table 2: ``io.sort.mb`` x ``sort.spill.percent``),
+  sort, run the combiner, and spill a partitioned run to disk.  Spill
+  runs merge in passes of at most ``merge_factor`` (``io.sort.factor``)
+  into one sorted segment per reducer partition.
+* **Reduce**: fetch one segment per map with ``fetch_parallelism``
+  concurrent copiers (``shuffle.parallelcopies``); segments accumulate
+  in memory until ``inmem_merge_records`` (``merge.inmem.threshold``)
+  forces a sorted on-disk run; a final ``heapq.merge`` feeds the reduce
+  function key group by key group.
+
+Partitioning uses ``zlib.crc32`` -- the builtin ``hash`` is randomized
+per process and would scatter keys differently in every worker.
+
+Attempt isolation mirrors the HDFS commit protocol: every attempt
+writes under ``<job dir>/_temporary/<attempt>/`` and commits via atomic
+``os.replace`` into its final location, so a killed attempt can never
+leave a partial file where committed output lives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import re
+import shutil
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Bytes-per-record bookkeeping overhead in the sort buffer (Hadoop's
+#: kvmeta accounting entry is 16 bytes per record).
+RECORD_OVERHEAD = 16
+
+#: Resident footprint of the task runtime itself, before any buffer --
+#: the KB-scaled stand-in for the JVM + user-code fixed working set.
+FIXED_TASK_FOOTPRINT = 64 * 1024
+
+#: Fraction of the container grant usable as heap (mirrors
+#: :data:`repro.core.configuration.HEAP_FRACTION`).
+HEAP_FRACTION = 0.8
+
+_WORD_RE = re.compile(r"[a-z']+")
+
+#: The text-search (grep) workload's fixed needle, in the spirit of the
+#: paper's "text search" benchmark: count matching words.
+GREP_NEEDLE = "ing"
+
+
+# ----------------------------------------------------------------------
+# Workload functions (resolved by name inside the worker process)
+# ----------------------------------------------------------------------
+def _wordcount_map(doc_id: str, text: str) -> Iterator[Tuple[str, str]]:
+    for word in _WORD_RE.findall(text.lower()):
+        yield word, "1"
+
+
+def _grep_map(doc_id: str, text: str) -> Iterator[Tuple[str, str]]:
+    for word in _WORD_RE.findall(text.lower()):
+        if GREP_NEEDLE in word:
+            yield word, "1"
+
+
+def _inverted_index_map(doc_id: str, text: str) -> Iterator[Tuple[str, str]]:
+    for word in set(_WORD_RE.findall(text.lower())):
+        yield word, doc_id
+
+
+def _sum_reduce(key: str, values: Iterable[str]) -> Iterator[Tuple[str, str]]:
+    yield key, str(sum(int(v) for v in values))
+
+
+def _postings_reduce(key: str, values: Iterable[str]) -> Iterator[Tuple[str, str]]:
+    yield key, ",".join(sorted(set(values)))
+
+
+def _sum_combine(key: str, values: List[str]) -> List[str]:
+    return [str(sum(int(v) for v in values))]
+
+
+_MAP_FNS: Dict[str, Callable[[str, str], Iterator[Tuple[str, str]]]] = {
+    "wordcount": _wordcount_map,
+    "grep": _grep_map,
+    "inverted-index": _inverted_index_map,
+}
+
+_REDUCE_FNS: Dict[str, Callable[[str, Iterable[str]], Iterator[Tuple[str, str]]]] = {
+    "sum": _sum_reduce,
+    "postings": _postings_reduce,
+}
+
+_COMBINE_FNS: Dict[str, Callable[[str, List[str]], List[str]]] = {
+    "sum": _sum_combine,
+}
+
+
+@dataclass(frozen=True)
+class LocalWorkload:
+    """One runnable workload: map/reduce/combine function names."""
+
+    name: str
+    map_fn: str
+    reduce_fn: str
+    combine_fn: Optional[str] = None
+
+
+#: The three real workloads the local backend executes.
+LOCAL_WORKLOADS: Dict[str, LocalWorkload] = {
+    "wordcount": LocalWorkload("wordcount", "wordcount", "sum", "sum"),
+    "grep": LocalWorkload("grep", "grep", "sum", "sum"),
+    "inverted-index": LocalWorkload("inverted-index", "inverted-index", "postings"),
+}
+
+
+# ----------------------------------------------------------------------
+# Knobs: Python-level stand-ins for the Table-2 parameters
+# ----------------------------------------------------------------------
+#: Table-2 "MB" quantities scale to KB here: a toy corpus of tens of
+#: kilobytes per split exercises the same spill/merge/OOM mechanics a
+#: 128-MB split does on a real cluster, at test-suite speed.
+KB_SCALE = 1024
+
+
+@dataclass(frozen=True)
+class TaskKnobs:
+    """The per-task execution knobs (decoded from a Configuration)."""
+
+    #: ``io.sort.mb`` x :data:`KB_SCALE`: map sort-buffer capacity.
+    sort_buffer_bytes: int
+    #: ``map.sort.spill.percent``: buffer fill fraction that spills.
+    spill_threshold: float
+    #: ``io.sort.factor``: max runs merged per pass.
+    merge_factor: int
+    #: ``reduce.shuffle.parallelcopies``: concurrent segment fetchers.
+    fetch_parallelism: int
+    #: ``reduce.merge.inmem.threshold``: in-memory records before an
+    #: on-disk run is forced (0 = everything goes to disk).
+    inmem_merge_records: int
+    #: ``{map,reduce}.memory.mb`` x :data:`KB_SCALE`: container grant.
+    container_memory_bytes: int
+    #: ``{map,reduce}.cpu.vcores``.
+    allocated_cores: float
+
+    @property
+    def heap_bytes(self) -> int:
+        return int(self.container_memory_bytes * HEAP_FRACTION)
+
+
+@dataclass(frozen=True)
+class MapTaskSpec:
+    """Declarative input to :func:`run_map_task`."""
+
+    job_id: str
+    index: int
+    attempt: int
+    input_path: str
+    workload: str
+    num_partitions: int
+    job_dir: str
+    knobs: TaskKnobs
+    #: The backend's ``time.monotonic()`` epoch; start/end times are
+    #: reported relative to it (CLOCK_MONOTONIC is system-wide).
+    epoch: float
+
+
+@dataclass(frozen=True)
+class ReduceTaskSpec:
+    """Declarative input to :func:`run_reduce_task`."""
+
+    job_id: str
+    partition: int
+    attempt: int
+    num_maps: int
+    workload: str
+    job_dir: str
+    knobs: TaskKnobs
+    epoch: float
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """What one attempt reports back across the process boundary."""
+
+    index: int
+    attempt: int
+    start_time: float
+    end_time: float
+    cpu_seconds: float
+    working_set_bytes: int
+    output_records: int = 0
+    output_bytes: int = 0
+    combine_output_records: int = 0
+    spilled_records: int = 0
+    merge_passes: int = 0
+    shuffled_bytes: int = 0
+    reduce_input_records: int = 0
+    failed: bool = False
+    failure_kind: str = ""
+    failure_reason: str = ""
+
+
+def partition_of(key: str, num_partitions: int) -> int:
+    """Deterministic hash partitioner (stable across processes)."""
+    return zlib.crc32(key.encode("utf-8")) % num_partitions
+
+
+def _attempt_dir(job_dir: str, kind: str, index: int, attempt: int) -> str:
+    return os.path.join(
+        job_dir, "_temporary", f"{kind}_{index:05d}_att{attempt}"
+    )
+
+
+def map_output_path(job_dir: str, map_index: int, partition: int) -> str:
+    return os.path.join(
+        job_dir, "map", f"m_{map_index:05d}", f"part-{partition:05d}"
+    )
+
+
+def reduce_output_path(job_dir: str, partition: int) -> str:
+    return os.path.join(job_dir, "out", f"part-r-{partition:05d}")
+
+
+def _write_run(path: str, records: List[Tuple[str, str]]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for key, value in records:
+            fh.write(f"{key}\t{value}\n")
+
+
+def _read_run(path: str) -> Iterator[Tuple[str, str]]:
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            key, _sep, value = line.rstrip("\n").partition("\t")
+            yield key, value
+
+
+def _combine(
+    records: List[Tuple[str, str]], combine_fn_name: Optional[str]
+) -> Tuple[List[Tuple[str, str]], int]:
+    """Run the combiner over a *sorted* record run; returns (run, emitted)."""
+    if combine_fn_name is None:
+        return records, 0
+    combine = _COMBINE_FNS[combine_fn_name]
+    out: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(records):
+        j = i
+        key = records[i][0]
+        while j < len(records) and records[j][0] == key:
+            j += 1
+        for value in combine(key, [v for _k, v in records[i:j]]):
+            out.append((key, value))
+        i = j
+    return out, len(out)
+
+
+def _merge_runs(
+    run_paths: List[str], scratch_dir: str, merge_factor: int
+) -> Tuple[List[str], int, int]:
+    """Reduce *run_paths* to at most ``merge_factor`` runs.
+
+    Returns ``(paths, merge_passes, re_spilled_records)`` -- Hadoop
+    counts records rewritten by intermediate merge passes as spills.
+    """
+    passes = 0
+    respilled = 0
+    merged_seq = 0
+    paths = list(run_paths)
+    while len(paths) > merge_factor:
+        batch, paths = paths[:merge_factor], paths[merge_factor:]
+        merged = list(heapq.merge(*(list(_read_run(p)) for p in batch)))
+        out = os.path.join(scratch_dir, f"merge_{merged_seq:05d}")
+        merged_seq += 1
+        _write_run(out, merged)
+        for p in batch:
+            os.remove(p)
+        paths.append(out)
+        passes += 1
+        respilled += len(merged)
+    return paths, passes, respilled
+
+
+def _commit(src: str, dest: str) -> None:
+    """Atomically promote an attempt file to its final location."""
+    os.makedirs(os.path.dirname(dest), exist_ok=True)
+    os.replace(src, dest)
+
+
+# ----------------------------------------------------------------------
+# Map task
+# ----------------------------------------------------------------------
+def run_map_task(spec: MapTaskSpec) -> TaskReport:
+    start = time.monotonic() - spec.epoch
+    cpu0 = time.process_time()
+    knobs = spec.knobs
+    attempt_dir = _attempt_dir(spec.job_dir, "m", spec.index, spec.attempt)
+    os.makedirs(attempt_dir, exist_ok=True)
+
+    def report(**kw) -> TaskReport:
+        return TaskReport(
+            index=spec.index,
+            attempt=spec.attempt,
+            start_time=start,
+            end_time=time.monotonic() - spec.epoch,
+            cpu_seconds=time.process_time() - cpu0,
+            **kw,
+        )
+
+    # Feasibility boundary: the sort buffer must fit inside the heap
+    # with room for the task runtime itself -- the real-execution twin
+    # of the simulator's OOM model.  An infeasible sampled config fails
+    # here *before* doing work, exactly like a container OOM kill.
+    if knobs.sort_buffer_bytes + FIXED_TASK_FOOTPRINT > knobs.heap_bytes:
+        return report(
+            working_set_bytes=knobs.sort_buffer_bytes + FIXED_TASK_FOOTPRINT,
+            failed=True,
+            failure_kind="oom",
+            failure_reason=(
+                f"sort buffer {knobs.sort_buffer_bytes}B exceeds heap "
+                f"{knobs.heap_bytes}B"
+            ),
+        )
+
+    workload = LOCAL_WORKLOADS[spec.workload]
+    map_fn = _MAP_FNS[workload.map_fn]
+    spill_trigger = max(
+        RECORD_OVERHEAD + 1, int(knobs.sort_buffer_bytes * knobs.spill_threshold)
+    )
+    with open(spec.input_path, encoding="utf-8") as fh:
+        text = fh.read()
+    doc_id = os.path.splitext(os.path.basename(spec.input_path))[0]
+
+    buffer: List[Tuple[str, str]] = []
+    buffer_bytes = 0
+    peak_bytes = FIXED_TASK_FOOTPRINT
+    output_records = 0
+    output_bytes = 0
+    combine_records = 0
+    spilled = 0
+    spill_seq = 0
+    #: Per-partition sorted run files produced by spills.
+    partition_runs: List[List[str]] = [[] for _ in range(spec.num_partitions)]
+
+    def spill() -> None:
+        nonlocal buffer, buffer_bytes, spilled, spill_seq, combine_records
+        if not buffer:
+            return
+        buffer.sort()
+        run, emitted = _combine(buffer, workload.combine_fn)
+        combine_records += emitted
+        by_partition: List[List[Tuple[str, str]]] = [
+            [] for _ in range(spec.num_partitions)
+        ]
+        for key, value in run:
+            by_partition[partition_of(key, spec.num_partitions)].append((key, value))
+        for p, records in enumerate(by_partition):
+            if not records:
+                continue
+            path = os.path.join(attempt_dir, f"spill_{spill_seq:05d}_p{p:05d}")
+            _write_run(path, records)
+            partition_runs[p].append(path)
+            spilled += len(records)
+        spill_seq += 1
+        buffer = []
+        buffer_bytes = 0
+
+    try:
+        for key, value in map_fn(doc_id, text):
+            buffer.append((key, value))
+            buffer_bytes += len(key) + len(value) + RECORD_OVERHEAD
+            output_records += 1
+            output_bytes += len(key) + len(value) + 2
+            if buffer_bytes >= spill_trigger:
+                peak_bytes = max(peak_bytes, FIXED_TASK_FOOTPRINT + buffer_bytes)
+                spill()
+        peak_bytes = max(peak_bytes, FIXED_TASK_FOOTPRINT + buffer_bytes)
+        spill()
+
+        # Merge the spill runs into one sorted segment per partition.
+        merge_passes = 0
+        for p in range(spec.num_partitions):
+            runs = partition_runs[p]
+            final = os.path.join(attempt_dir, f"part-{p:05d}")
+            if not runs:
+                _write_run(final, [])
+            elif len(runs) == 1:
+                os.replace(runs[0], final)
+            else:
+                runs, passes, respilled = _merge_runs(
+                    runs, attempt_dir, knobs.merge_factor
+                )
+                merge_passes += passes
+                spilled += respilled
+                merged = list(heapq.merge(*(list(_read_run(r)) for r in runs)))
+                merged, emitted = _combine(merged, workload.combine_fn)
+                combine_records += emitted
+                _write_run(final, merged)
+                merge_passes += 1
+                for r in runs:
+                    os.remove(r)
+            _commit(final, map_output_path(spec.job_dir, spec.index, p))
+    except Exception as exc:  # pragma: no cover - defensive
+        return report(
+            working_set_bytes=peak_bytes,
+            failed=True,
+            failure_kind="env",
+            failure_reason=f"{type(exc).__name__}: {exc}",
+        )
+    shutil.rmtree(attempt_dir, ignore_errors=True)
+    return report(
+        working_set_bytes=peak_bytes,
+        output_records=output_records,
+        output_bytes=output_bytes,
+        combine_output_records=combine_records,
+        spilled_records=spilled,
+        merge_passes=merge_passes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reduce task
+# ----------------------------------------------------------------------
+def run_reduce_task(spec: ReduceTaskSpec) -> TaskReport:
+    start = time.monotonic() - spec.epoch
+    cpu0 = time.process_time()
+    knobs = spec.knobs
+    attempt_dir = _attempt_dir(spec.job_dir, "r", spec.partition, spec.attempt)
+    os.makedirs(attempt_dir, exist_ok=True)
+
+    def report(**kw) -> TaskReport:
+        return TaskReport(
+            index=spec.partition,
+            attempt=spec.attempt,
+            start_time=start,
+            end_time=time.monotonic() - spec.epoch,
+            cpu_seconds=time.process_time() - cpu0,
+            **kw,
+        )
+
+    workload = LOCAL_WORKLOADS[spec.workload]
+    reduce_fn = _REDUCE_FNS[workload.reduce_fn]
+    segment_paths = [
+        map_output_path(spec.job_dir, m, spec.partition)
+        for m in range(spec.num_maps)
+    ]
+
+    def fetch(path: str) -> bytes:
+        if not os.path.exists(path):
+            return b""
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    peak_bytes = FIXED_TASK_FOOTPRINT
+    try:
+        # The copy phase: parallelcopies concurrent fetchers, results
+        # consumed in map order so the merge is deterministic.
+        with ThreadPoolExecutor(max_workers=knobs.fetch_parallelism) as pool:
+            segments = list(pool.map(fetch, segment_paths))
+        shuffled_bytes = sum(len(seg) for seg in segments)
+
+        # In-memory accumulation with threshold-forced disk runs.
+        mem_records: List[Tuple[str, str]] = []
+        mem_bytes = 0
+        disk_runs: List[str] = []
+        run_seq = 0
+        spilled = 0
+        inmem_limit = max(0, knobs.inmem_merge_records)
+
+        def flush_to_disk() -> None:
+            nonlocal mem_records, mem_bytes, run_seq, spilled
+            if not mem_records:
+                return
+            mem_records.sort()
+            path = os.path.join(attempt_dir, f"run_{run_seq:05d}")
+            run_seq += 1
+            _write_run(path, mem_records)
+            disk_runs.append(path)
+            spilled += len(mem_records)
+            mem_records = []
+            mem_bytes = 0
+
+        reduce_input = 0
+        for seg in segments:
+            for line in seg.decode("utf-8").splitlines():
+                key, _sep, value = line.partition("\t")
+                mem_records.append((key, value))
+                mem_bytes += len(key) + len(value) + RECORD_OVERHEAD
+                reduce_input += 1
+            peak_bytes = max(peak_bytes, FIXED_TASK_FOOTPRINT + mem_bytes)
+            if inmem_limit and len(mem_records) > inmem_limit:
+                flush_to_disk()
+            elif not inmem_limit and mem_records:
+                flush_to_disk()
+
+        merge_passes = 0
+        if disk_runs:
+            disk_runs, passes, respilled = _merge_runs(
+                disk_runs, attempt_dir, knobs.merge_factor
+            )
+            merge_passes += passes
+            spilled += respilled
+        mem_records.sort()
+        streams = [iter(mem_records)] + [_read_run(p) for p in disk_runs]
+        merged = heapq.merge(*streams)
+
+        # Group by key and reduce.
+        out_path = os.path.join(attempt_dir, f"part-r-{spec.partition:05d}")
+        output_records = 0
+        output_bytes = 0
+        with open(out_path, "w", encoding="utf-8") as out:
+            current: Optional[str] = None
+            values: List[str] = []
+
+            def emit_group() -> None:
+                nonlocal output_records, output_bytes
+                if current is None:
+                    return
+                for k, v in reduce_fn(current, values):
+                    out.write(f"{k}\t{v}\n")
+                    output_records += 1
+                    output_bytes += len(k) + len(v) + 2
+            for key, value in merged:
+                if key != current:
+                    emit_group()
+                    current = key
+                    values = []
+                values.append(value)
+            emit_group()
+        _commit(out_path, reduce_output_path(spec.job_dir, spec.partition))
+    except Exception as exc:  # pragma: no cover - defensive
+        return report(
+            working_set_bytes=peak_bytes,
+            failed=True,
+            failure_kind="env",
+            failure_reason=f"{type(exc).__name__}: {exc}",
+        )
+    shutil.rmtree(attempt_dir, ignore_errors=True)
+    return report(
+        working_set_bytes=peak_bytes,
+        output_records=output_records,
+        output_bytes=output_bytes,
+        spilled_records=spilled,
+        merge_passes=merge_passes,
+        shuffled_bytes=shuffled_bytes,
+        reduce_input_records=reduce_input,
+    )

@@ -12,6 +12,7 @@ Examples::
     python -m repro faults --case terasort
     python -m repro elastic --levels none,low
     python -m repro trace --case wordcount-wikipedia --out trace-out
+    python -m repro real --workload wordcount --tuning aggressive
 
 Each subcommand prints the same rows/series the corresponding paper
 figure plots.  ``--replicas`` controls seed averaging (the paper uses
@@ -24,6 +25,11 @@ serial and parallel and fails on any mismatch.  ``faults`` runs the
 resilience report: job time and tuner gain at fault levels none/low/
 high (node crashes, container kills, degraded nodes) against the
 fault-free baseline, ending in its own determinism-gated digest.
+
+Simulated subcommands run on the ``sim`` execution backend; ``real``
+runs actual mapper/reducer worker processes over a local corpus on the
+``local`` backend (``--backend`` selects explicitly; see
+``docs/backends.md``).
 """
 
 from __future__ import annotations
@@ -350,15 +356,35 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_real(args) -> int:
+    from repro.experiments.real import render_real_report, run_real_case
+
+    result = run_real_case(
+        workload=args.workload,
+        seed=args.seed,
+        tuning=args.tuning,
+        num_splits=args.splits,
+        split_kb=args.split_kb,
+        num_reducers=args.reducers,
+        slots=args.slots,
+    )
+    print(render_real_report(result))
+    return 0 if result.succeeded else 1
+
+
 def cmd_list(args) -> int:
+    from repro.backends.local import LOCAL_WORKLOADS
     from repro.workloads.suite import table3_cases
 
     print("benchmark cases (Table 3):")
     for case in table3_cases():
         print(f"  {case.name}")
+    print("\nlocal-backend workloads (real subcommand):")
+    for name in sorted(LOCAL_WORKLOADS):
+        print(f"  {name}")
     print(
         "\nsubcommands: table3, expedited, single-run, jobsize, "
-        "multitenant, whatif, digest, faults, elastic, trace"
+        "multitenant, whatif, digest, faults, elastic, trace, real"
     )
     return 0
 
@@ -374,11 +400,19 @@ def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None
     ``repro --workers 4 faults`` and ``repro faults --workers 4`` work
     (the subparser only overrides when the flag is actually given).
     """
+    from repro.backends import BACKEND_NAMES
     from repro.core.optimizers import DEFAULT_OPTIMIZER, OPTIMIZER_BACKENDS
 
     d = argparse.SUPPRESS
     parser.add_argument(
         "--seed", type=int, default=d if suppress else 1, help="base replica seed"
+    )
+    parser.add_argument(
+        "--backend",
+        default=d if suppress else None,
+        choices=BACKEND_NAMES,
+        help="execution backend (default: sim for simulated experiments, "
+        "local for the 'real' subcommand)",
     )
     parser.add_argument(
         "--replicas",
@@ -553,6 +587,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also record the per-calendar-event 'sim' firehose (large)",
     )
+
+    p = sub.add_parser(
+        "real",
+        help="run real mapper/reducer worker processes on the local backend "
+        "and tune them (default vs tuned A/B)",
+        parents=[shared],
+    )
+    p.add_argument(
+        "--workload",
+        default="wordcount",
+        choices=("wordcount", "grep", "inverted-index"),
+        help="local workload to execute",
+    )
+    p.add_argument(
+        "--tuning",
+        default="aggressive",
+        choices=("conservative", "aggressive"),
+        help="tuning strategy co-executed with the real run",
+    )
+    p.add_argument(
+        "--splits", type=int, default=24, help="input splits (= map tasks)"
+    )
+    p.add_argument(
+        "--split-kb", type=int, default=32, help="approximate split size in KB"
+    )
+    p.add_argument("--reducers", type=int, default=4, help="reduce task count")
+    p.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="concurrent worker processes (default: small multiple of CPUs)",
+    )
     return parser
 
 
@@ -568,6 +634,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "elastic": cmd_elastic,
     "trace": cmd_trace,
+    "real": cmd_real,
 }
 
 
@@ -578,6 +645,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    # Backend routing: the simulated experiments only run on `sim`, the
+    # real-execution A/B only on `local`; `--backend` makes the choice
+    # explicit and rejects impossible pairings instead of ignoring them.
+    if args.command == "real":
+        if args.backend == "sim":
+            print(
+                "the 'real' subcommand runs actual worker processes; "
+                "it requires --backend local",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.backend == "local":
+        print(
+            f"subcommand {args.command!r} is simulator-only; "
+            "only 'real' runs on --backend local",
+            file=sys.stderr,
+        )
         return 2
     return _COMMANDS[args.command](args)
 

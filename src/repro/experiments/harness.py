@@ -300,9 +300,11 @@ def _run_case_replica(
     scheduler: str,
 ) -> JobResult:
     """Top-level (hence picklable) worker for one run_case replica."""
-    sc = SimCluster(seed=seed, scheduler=scheduler)
-    spec = make_job_spec(case, sc.hdfs, base_config=base_config)
-    return sc.run_job(spec)
+    from repro.backends.sim import SimBackend
+
+    backend = SimBackend(seed=seed, scheduler=scheduler)
+    spec = make_job_spec(case, backend.hdfs, base_config=base_config)
+    return backend.run_job(spec)
 
 
 class ExperimentRunner:
@@ -381,13 +383,20 @@ class ExperimentRunner:
                 self.seeds(),
                 max_workers=max_workers,
             )
+        from repro.backends.sim import SimBackend
+
         results = []
         for seed in self.seeds():
-            sc = SimCluster(seed=seed, scheduler=scheduler)
+            # The serial path runs behind the Backend protocol too; the
+            # factories keep receiving the live SimCluster they close over.
+            backend = SimBackend(seed=seed, scheduler=scheduler)
+            sc = backend.cluster
             spec = make_job_spec(case, sc.hdfs, base_config=base_config)
             provider = (
                 config_provider_factory(sc, spec) if config_provider_factory else None
             )
             gate = gate_factory(sc, spec) if gate_factory else None
-            results.append(sc.run_job(spec, config_provider=provider, gate=gate))
+            results.append(
+                backend.run_job(spec, config_provider=provider, gate=gate)
+            )
         return results

@@ -319,7 +319,7 @@ def execute_request(request: RunRequest) -> RunOutcome:
     """
     import numpy as np
 
-    from repro.experiments.harness import SimCluster
+    from repro.backends.sim import SimBackend
     from repro.mapreduce.counters import Counter
     from repro.mapreduce.jobspec import TaskType
     from repro.sim.rng import derive_seed
@@ -333,11 +333,16 @@ def execute_request(request: RunRequest) -> RunOutcome:
         # Faulted runs fight stragglers with LATE speculation; fault-free
         # runs keep it off so their digests stay bit-identical.
         fault_tolerance = FaultToleranceSettings(speculation=SpeculationSettings())
-    sc = SimCluster(
+    # Every digest-gated run flows through the Backend protocol: the
+    # adapter builds the SimCluster with identical arguments and drives
+    # it identically, so the pinned digests double as proof that the
+    # protocol seam is behavior-preserving.
+    backend = SimBackend(
         seed=request.seed,
         scheduler=request.scheduler,
         fault_tolerance=fault_tolerance,
     )
+    sc = backend.cluster
     plan = None
     if request.faults is not None:
         knobs = dict(request.faults)
@@ -362,7 +367,7 @@ def execute_request(request: RunRequest) -> RunOutcome:
     recommended = None
     mode, optimizer = parse_tuning(request.tuning)
     if mode == "none":
-        result = sc.run_job(spec)
+        result = backend.run_job(spec)
     else:
         from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
 
@@ -376,8 +381,8 @@ def execute_request(request: RunRequest) -> RunOutcome:
             settings=TunerSettings(optimizer=optimizer),
             rng=np.random.default_rng(derive_seed(request.seed, "tuner", case.name)),
         )
-        am = tuner.submit(sc, spec)
-        result = sc.sim.run_until_complete(am.completion)
+        handle = backend.attach_tuner(tuner, spec)
+        result = backend.wait(handle)
         if mode == "aggressive":
             recommended = serialize_config(tuner.recommended_config(spec.job_id))
     return RunOutcome(

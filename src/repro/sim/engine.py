@@ -61,6 +61,31 @@ def _sim_event_executed_cls():
     return _SIM_EVENT_EXECUTED_CLS
 
 
+# The trace= deprecation fires once per process, not once per Simulator:
+# replica fan-outs construct thousands of simulators, and a warning per
+# construction both floods output and defeats ``-W error`` triage.
+_TRACE_DEPRECATION_EMITTED = False
+
+
+def _warn_trace_deprecated() -> None:
+    global _TRACE_DEPRECATION_EMITTED
+    if _TRACE_DEPRECATION_EMITTED:
+        return
+    _TRACE_DEPRECATION_EMITTED = True
+    warnings.warn(
+        "Simulator(trace=True) is deprecated; attach a TelemetryBus "
+        "and subscribe to the 'sim' category instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_trace_deprecation() -> None:
+    """Re-arm the once-per-process trace= warning (test helper)."""
+    global _TRACE_DEPRECATION_EMITTED
+    _TRACE_DEPRECATION_EMITTED = False
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -80,12 +105,7 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         if trace:
-            warnings.warn(
-                "Simulator(trace=True) is deprecated; attach a TelemetryBus "
-                "and subscribe to the 'sim' category instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+            _warn_trace_deprecated()
         self.trace = trace
         self.trace_log: Deque[tuple[float, str]] = deque(maxlen=TRACE_LOG_LIMIT)
         #: Number of events executed so far (diagnostic counter).

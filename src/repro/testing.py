@@ -2,16 +2,41 @@
 
 from __future__ import annotations
 
+import os
+from typing import Union
+
 from repro.hdfs.filesystem import HdfsFileSystem
 
 
-def assert_no_output_leaks(hdfs: HdfsFileSystem) -> None:
-    """Assert every attempt-temporary HDFS file was committed or deleted.
+def _local_backend_leaks(target) -> list:
+    """Leaked attempt-temporaries of a LocalProcessBackend or directory."""
+    if hasattr(target, "leaked_temporaries"):
+        return list(target.leaked_temporaries())
+    leaks = []
+    for root, _dirs, files in os.walk(str(target)):
+        if "_temporary" in root.split(os.sep):
+            leaks.extend(os.path.join(root, name) for name in files)
+    return sorted(leaks)
 
-    Reduce attempts write under ``{output}/_temporary/{task}_att{n}/``
-    and either rename into place (the winner) or are swept by the app
-    master (failed, killed, and superseded attempts).  Anything still
-    under a ``_temporary`` directory after a job is a cleanup leak.
+
+def assert_no_output_leaks(target: Union[HdfsFileSystem, str, object]) -> None:
+    """Assert every attempt-temporary file was committed or deleted.
+
+    Both runtimes stage attempt output under a ``_temporary`` directory
+    and either rename it into place (the winning attempt) or sweep it
+    (failed, killed, and superseded attempts), so "anything left under
+    ``_temporary`` is a cleanup leak" is backend-independent:
+
+    - an :class:`HdfsFileSystem` (the simulator's store) is scanned via
+      ``list_files()``;
+    - a :class:`~repro.backends.local.LocalProcessBackend` is asked for
+      its :meth:`leaked_temporaries`;
+    - a plain path (e.g. a backend workspace that already closed) is
+      walked on disk.
     """
-    stale = [path for path in hdfs.list_files() if "/_temporary/" in path]
-    assert not stale, f"leaked attempt-temporary HDFS files: {stale}"
+    if isinstance(target, HdfsFileSystem):
+        stale = [path for path in target.list_files() if "/_temporary/" in path]
+        assert not stale, f"leaked attempt-temporary HDFS files: {stale}"
+        return
+    stale = _local_backend_leaks(target)
+    assert not stale, f"leaked attempt-temporary local files: {stale}"

@@ -131,3 +131,61 @@ class TestCommands:
         assert "wordcount-wikipedia" in out
         for name in ("trace.jsonl", "trace.chrome.json", "trace.summary.txt"):
             assert (out_dir / name).exists()
+
+
+class TestBackendFlag:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--backend", "sim", "digest"],
+            ["digest", "--backend", "sim"],
+        ],
+    )
+    def test_backend_flag_accepted_before_and_after_subcommand(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.backend == "sim"
+
+    def test_backend_defaults_to_none(self):
+        args = build_parser().parse_args(["digest"])
+        assert args.backend is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["digest", "--backend", "yarn"])
+
+    def test_local_backend_rejected_for_sim_commands(self, capsys):
+        assert main(["--backend", "local", "list"]) == 2
+        assert "simulator-only" in capsys.readouterr().err
+
+    def test_sim_backend_rejected_for_real(self, capsys):
+        assert main(["real", "--backend", "sim"]) == 2
+        assert "--backend local" in capsys.readouterr().err
+
+    def test_real_defaults(self):
+        args = build_parser().parse_args(["real"])
+        assert args.workload == "wordcount"
+        assert args.tuning == "aggressive"
+        assert args.splits == 24
+        assert args.split_kb == 32
+        assert args.reducers == 4
+        assert args.slots is None
+
+
+class TestRealCommand:
+    def test_real_small(self, capsys):
+        assert (
+            main(
+                [
+                    "real",
+                    "--workload", "wordcount",
+                    "--tuning", "aggressive",
+                    "--splits", "12",
+                    "--split-kb", "8",
+                    "--reducers", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "waves" in out
+        assert "default" in out and "tuned" in out
