@@ -12,6 +12,7 @@ Examples::
     python -m repro faults --case terasort
     python -m repro elastic --levels none,low
     python -m repro trace --case wordcount-wikipedia --out trace-out
+    python -m repro serve --tenants 3 --jobs 70
     python -m repro real --workload wordcount --tuning aggressive
 
 Each subcommand prints the same rows/series the corresponding paper
@@ -372,6 +373,52 @@ def cmd_real(args) -> int:
     return 0 if result.succeeded else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.service import (
+        ServiceConfig,
+        TenantSpec,
+        default_tenants,
+        run_service,
+        run_service_local,
+    )
+
+    backend = args.backend or "sim"
+    if backend == "sim":
+        config = ServiceConfig(
+            tenants=default_tenants(args.tenants, rate=1.0 / args.interarrival),
+            jobs_per_tenant=args.jobs,
+            seed=args.seed,
+            capacity=args.capacity,
+            warm_start=not args.cold,
+        )
+        report = run_service(config)
+    else:
+        # Smoke scale on real worker processes: two tenants mixing the
+        # local workloads, sequential dispatch, wall-clock latencies.
+        mixes = (("wordcount",), ("grep", "inverted-index"))
+        tenants = tuple(
+            TenantSpec(
+                name=f"tenant-{chr(ord('a') + i)}",
+                weight=float(len(mixes) - i),
+                rate=1.0 / 5.0,
+                profiles=mixes[i % len(mixes)],
+                slo_seconds=300.0,
+            )
+            for i in range(min(args.tenants, 2))
+        )
+        config = ServiceConfig(
+            tenants=tenants,
+            jobs_per_tenant=min(args.jobs, 2),
+            seed=args.seed,
+            capacity=1,
+            warm_start=not args.cold,
+        )
+        report = run_service_local(config)
+    print(report.render())
+    print(f"service digest: {report.digest()}")
+    return 0
+
+
 def cmd_list(args) -> int:
     from repro.backends.local import LOCAL_WORKLOADS
     from repro.workloads.suite import table3_cases
@@ -384,7 +431,7 @@ def cmd_list(args) -> int:
         print(f"  {name}")
     print(
         "\nsubcommands: table3, expedited, single-run, jobsize, "
-        "multitenant, whatif, digest, faults, elastic, trace, real"
+        "multitenant, whatif, digest, faults, elastic, trace, serve, real"
     )
     return 0
 
@@ -589,6 +636,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="continuous multi-tenant tuning service: seeded arrival stream, "
+        "fair-share dispatch, warm-started searches, steady-state report",
+        parents=[shared],
+    )
+    p.add_argument(
+        "--tenants", type=int, default=3, help="number of tenants in the stream"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=70, help="jobs per tenant (sim default: 70, "
+        "a 210-job stream; local smoke caps at 2)"
+    )
+    p.add_argument(
+        "--capacity", type=int, default=3, help="concurrent job slots"
+    )
+    p.add_argument(
+        "--interarrival",
+        type=float,
+        default=400.0,
+        help="mean inter-arrival time per tenant (simulated seconds)",
+    )
+    p.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable knowledge-base warm starts (the cold-start arm)",
+    )
+
+    p = sub.add_parser(
         "real",
         help="run real mapper/reducer worker processes on the local backend "
         "and tune them (default vs tuned A/B)",
@@ -634,6 +709,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "elastic": cmd_elastic,
     "trace": cmd_trace,
+    "serve": cmd_serve,
     "real": cmd_real,
 }
 
@@ -657,6 +733,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    elif args.command == "serve":
+        pass  # the service loop runs on either backend
     elif args.backend == "local":
         print(
             f"subcommand {args.command!r} is simulator-only; "

@@ -161,6 +161,13 @@ class WaveOptimizer:
         #: series the optimizer tournament reports.
         self.cost_trajectory: List[Tuple[int, float]] = []
         self._best_observed: Optional[float] = None
+        #: Waves handed out so far (a rollback re-draw counts as a new
+        #: wave -- it proposes fresh samples).
+        self.waves_started = 0
+        #: The wave during which the best-so-far cost was observed; the
+        #: tuning service compares this across warm- and cold-started
+        #: jobs ("warm starts reach their best in fewer waves").
+        self.wave_of_best: Optional[int] = None
         #: Centers of regions observed to be infeasible (OOM-prone).
         self._infeasible_points: List[np.ndarray] = []
         #: Total infeasibility marks received (diagnostics).
@@ -220,6 +227,7 @@ class WaveOptimizer:
             for s in self._batch:
                 self._by_id[s.sample_id] = s
             self.samples_proposed += len(self._batch)
+            self.waves_started += 1
         return list(self._batch)
 
     def pending_samples(self) -> List[Sample]:
@@ -237,6 +245,7 @@ class WaveOptimizer:
         if self._best_observed is None or float(cost) < self._best_observed:
             self._best_observed = float(cost)
             self.cost_trajectory.append((self.observations, self._best_observed))
+            self.wave_of_best = self.waves_started
         if not self.pending_samples() and self._batch:
             self._advance()
 

@@ -215,9 +215,17 @@ class OnlineTuner:
         self.settings = settings or TunerSettings()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.rules = rules if rules is not None else default_rules()
-        self.knowledge_base = knowledge_base or TuningKnowledgeBase()
+        # `or` would discard a caller's *empty* knowledge base (it is
+        # falsy via __len__), silently severing cross-job warm starts.
+        self.knowledge_base = (
+            knowledge_base if knowledge_base is not None else TuningKnowledgeBase()
+        )
         self.configurator = configurator or DynamicConfigurator()
         self._jobs: Dict[str, _JobTuning] = {}
+        #: job id -> the knowledge-base configuration that seeded its
+        #: search (None on a cold start).  The tuning service reads this
+        #: to report warm-start provenance and to assert determinism.
+        self.warm_start_seeds: Dict[str, Optional[Configuration]] = {}
         self.configurator.assignment_listeners.append(self._on_assignment)
         #: Times of elastic capacity changes (joins/departures); waves
         #: spanning one are capacity-shifted and excluded from tuning.
@@ -260,6 +268,7 @@ class OnlineTuner:
         seed = None
         if self.settings.use_knowledge_base and input_bytes > 0:
             seed = self.knowledge_base.lookup(spec.workload.name, input_bytes)
+        self.warm_start_seeds[spec.job_id] = seed
         if self.strategy is TuningStrategy.AGGRESSIVE:
             search = self.settings.search_settings()
             for task_type, names in (
@@ -310,13 +319,20 @@ class OnlineTuner:
 
         state.climber.decision_listeners.append(forward)
 
-    def submit(self, sim_cluster: "SimCluster", spec: JobSpec) -> MRAppMaster:
-        """Attach, submit, and wire statistics in one call."""
+    def submit(
+        self, sim_cluster: "SimCluster", spec: JobSpec, weight: float = 1.0
+    ) -> MRAppMaster:
+        """Attach, submit, and wire statistics in one call.
+
+        *weight* is the job's fair-share weight (the tuning service
+        submits each tenant's jobs under the tenant's weight); the
+        default of 1.0 preserves the historical single-tenant behavior.
+        """
         if self.telemetry is None:
             self.telemetry = sim_cluster.sim.telemetry
         input_bytes = sim_cluster.hdfs.get(spec.input_path).size_bytes
         provider, gate = self.attach_job(spec, input_bytes=input_bytes)
-        am = sim_cluster.submit(spec, config_provider=provider, gate=gate)
+        am = sim_cluster.submit(spec, config_provider=provider, gate=gate, weight=weight)
         am.stats_listeners.append(self.on_task_stats)
         am.completion.add_callback(lambda ev: self.finalize_job(spec.job_id, ev.value))
         elastic = getattr(
@@ -760,6 +776,9 @@ class OnlineTuner:
                     "tasks_evaluated": state.stats_seen,
                     "finished": state.climber.finished or state.search_done,
                     "best_cost": state.climber.best_cost(),
+                    # The wave in which the running best was last
+                    # improved (None when nothing was ever observed).
+                    "wave_of_best": getattr(state.climber, "wave_of_best", None),
                     # (observation index, running best cost) pairs; the
                     # tournament derives samples-to-target from these.
                     "cost_trajectory": list(state.climber.cost_trajectory),

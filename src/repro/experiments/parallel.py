@@ -228,23 +228,14 @@ def resolve_case(request: RunRequest):
     case afterwards (the dataset is renamed so a shrunk file can never
     alias its full-size sibling inside one cluster).
     """
-    from repro.workloads.suite import case_by_name, terasort_case
+    from repro.workloads.suite import case_by_name, shrink_case, terasort_case
 
     match = _TERASORT_SIZED.match(request.case_name)
     if match:
         case = terasort_case(float(match.group(1)))
     else:
         case = case_by_name(request.case_name)
-    if request.num_blocks is not None:
-        dataset = dataclasses.replace(
-            case.dataset,
-            name=f"{case.dataset.name}-x{request.num_blocks}",
-            num_blocks=request.num_blocks,
-        )
-        case = dataclasses.replace(case, dataset=dataset)
-    if request.num_reducers is not None:
-        case = dataclasses.replace(case, num_reducers=request.num_reducers)
-    return case
+    return shrink_case(case, request.num_blocks, request.num_reducers)
 
 
 # ----------------------------------------------------------------------

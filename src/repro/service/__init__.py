@@ -1,0 +1,49 @@
+"""The continuous multi-tenant tuning service.
+
+ROADMAP item 1: instead of fixed job batches, an open arrival stream
+(seeded Poisson or diurnal, per tenant) feeds a long-running resource
+manager through the execution-backend protocol.  Jobs queue per tenant
+behind a weighted fair-share dispatcher with preemption; every
+dispatched job gets its own tuning session whose search is warm-started
+from the tenant's accumulated knowledge base, and the run ends in a
+steady-state report (throughput, latency percentiles, SLO attainment,
+warm-vs-cold search speed) exported through the telemetry bus.
+
+See ``docs/service.md`` for the arrival models, fairness semantics,
+warm-start policy, and report schema.
+"""
+
+from repro.service.arrivals import (
+    ARRIVAL_PATTERNS,
+    JobArrival,
+    TenantSpec,
+    arrivals_digest,
+    generate_arrivals,
+)
+from repro.service.queues import FairShareDispatcher
+from repro.service.report import ServiceReport, TenantReport, percentile
+from repro.service.service import (
+    ServiceConfig,
+    default_tenants,
+    run_service,
+    run_service_local,
+)
+from repro.service.tuner_service import JobTuningRecord, TunerService
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "FairShareDispatcher",
+    "JobArrival",
+    "JobTuningRecord",
+    "ServiceConfig",
+    "ServiceReport",
+    "TenantReport",
+    "TenantSpec",
+    "TunerService",
+    "arrivals_digest",
+    "default_tenants",
+    "generate_arrivals",
+    "percentile",
+    "run_service",
+    "run_service_local",
+]

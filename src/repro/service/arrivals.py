@@ -1,0 +1,165 @@
+"""Trace-driven workload generation: per-tenant seeded arrival streams.
+
+Each tenant owns an independent RNG stream derived from the service
+seed and the tenant name, so adding a tenant never perturbs anyone
+else's trace.  Two arrival models:
+
+``poisson``
+    Homogeneous Poisson process at :attr:`TenantSpec.rate` jobs per
+    simulated second (exponential inter-arrivals).
+``diurnal``
+    Inhomogeneous Poisson process by thinning (Lewis & Shedler): the
+    instantaneous rate follows a cosine day-curve
+    ``rate * (1 + amplitude * cos(2*pi*(t - peak_time)/period))``,
+    peaking at ``peak_time`` every ``period`` seconds.
+
+Every arrival also draws its application profile from the tenant's job
+mix, so the full trace -- times and profiles -- replays bit-identically
+from the seed.  :func:`arrivals_digest` pins that property in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import derive_seed
+from repro.workloads.suite import SERVICE_PROFILES
+
+#: Supported arrival patterns.
+ARRIVAL_PATTERNS: Tuple[str, ...] = ("poisson", "diurnal")
+
+_KNOWN_PROFILES = tuple(name for name, _b, _r in SERVICE_PROFILES)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: fair-share weight, arrival model, job mix, and SLO."""
+
+    name: str
+    #: Fair-share weight (relative share of dispatch slots and, through
+    #: the fair scheduler, of cluster memory).
+    weight: float = 1.0
+    #: Mean arrival rate in jobs per simulated second.
+    rate: float = 1.0 / 600.0
+    pattern: str = "poisson"
+    #: Job mix: profiles are drawn uniformly from this tuple per arrival.
+    profiles: Tuple[str, ...] = ("wordcount-wikipedia",)
+    #: Per-job latency SLO (arrival to completion), simulated seconds.
+    slo_seconds: float = 4000.0
+    #: Diurnal shape: peak position, relative swing, and day length.
+    peak_time: float = 0.0
+    amplitude: float = 0.8
+    period: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be positive")
+        if self.rate <= 0:
+            raise ValueError(f"tenant {self.name!r}: rate must be positive")
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"tenant {self.name!r}: unknown pattern {self.pattern!r}, "
+                f"want one of {ARRIVAL_PATTERNS}"
+            )
+        if not self.profiles:
+            raise ValueError(f"tenant {self.name!r}: empty job mix")
+        for profile in self.profiles:
+            if profile in _KNOWN_PROFILES:
+                continue
+            # Local-backend smoke runs mix real workloads instead of
+            # Table-3 profiles; accept those names too.
+            from repro.backends.local.worker import LOCAL_WORKLOADS
+
+            if profile not in LOCAL_WORKLOADS:
+                raise ValueError(
+                    f"tenant {self.name!r}: unknown profile {profile!r}, "
+                    f"want one of {_KNOWN_PROFILES} "
+                    f"or {tuple(sorted(LOCAL_WORKLOADS))}"
+                )
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(
+                f"tenant {self.name!r}: amplitude must be in [0, 1] "
+                "(negative instantaneous rates are meaningless)"
+            )
+        if self.slo_seconds <= 0:
+            raise ValueError(f"tenant {self.name!r}: slo_seconds must be positive")
+        if self.period <= 0:
+            raise ValueError(f"tenant {self.name!r}: period must be positive")
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job submission in the trace."""
+
+    time: float
+    tenant: str
+    #: Per-tenant arrival index (0-based); (tenant, index) is unique.
+    index: int
+    profile: str
+
+
+def _diurnal_rate(spec: TenantSpec, t: float) -> float:
+    phase = 2.0 * math.pi * (t - spec.peak_time) / spec.period
+    return spec.rate * (1.0 + spec.amplitude * math.cos(phase))
+
+
+def _tenant_arrivals(
+    spec: TenantSpec, jobs: int, seed: int
+) -> List[JobArrival]:
+    rng = np.random.default_rng(derive_seed(seed, "arrivals", spec.name))
+    out: List[JobArrival] = []
+    t = 0.0
+    lam_max = spec.rate * (1.0 + spec.amplitude)
+    for index in range(jobs):
+        if spec.pattern == "poisson":
+            t += rng.exponential(1.0 / spec.rate)
+        else:
+            # Thinning: propose at the peak rate, accept with probability
+            # rate(t)/rate_max.  Each proposal draws exactly two numbers
+            # regardless of acceptance, keeping the stream replayable.
+            while True:
+                t += rng.exponential(1.0 / lam_max)
+                if rng.random() * lam_max <= _diurnal_rate(spec, t):
+                    break
+        profile = spec.profiles[int(rng.integers(len(spec.profiles)))]
+        out.append(JobArrival(time=t, tenant=spec.name, index=index, profile=profile))
+    return out
+
+
+def generate_arrivals(
+    tenants: Sequence[TenantSpec], jobs_per_tenant: int, seed: int
+) -> List[JobArrival]:
+    """The merged trace: every tenant's stream, in arrival-time order.
+
+    Per-tenant streams are independent (one derived RNG stream each),
+    so the same (tenants, jobs, seed) triple always yields the same
+    trace, and dropping or adding a tenant leaves the others' arrival
+    times untouched.
+    """
+    if jobs_per_tenant < 0:
+        raise ValueError("jobs_per_tenant must be >= 0")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+    merged: List[JobArrival] = []
+    for spec in tenants:
+        merged.extend(_tenant_arrivals(spec, jobs_per_tenant, seed))
+    # Ties are practically impossible across independent float streams,
+    # but the (tenant, index) tiebreak keeps the order total anyway.
+    merged.sort(key=lambda a: (a.time, a.tenant, a.index))
+    return merged
+
+
+def arrivals_digest(arrivals: Sequence[JobArrival]) -> str:
+    """A sha256 over the trace; pinned in tests to gate determinism."""
+    h = hashlib.sha256()
+    for a in arrivals:
+        h.update(f"{a.time!r}|{a.tenant}|{a.index}|{a.profile}\n".encode())
+    return h.hexdigest()

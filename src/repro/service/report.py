@@ -1,0 +1,218 @@
+"""The steady-state report: what a run of the service amounts to.
+
+All numbers are simulated-time quantities computed from the per-job
+completion records, so the report of a seeded run is bit-stable and
+:meth:`ServiceReport.digest` can be pinned in CI like every other
+subsystem digest.  Identity is (tenant, profile, arrival index)
+throughout -- never process-global job ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.service.tuner_service import JobTuningRecord
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class CompletedJob:
+    """One finished service job, stamped in simulated seconds."""
+
+    tenant: str
+    profile: str
+    index: int
+    arrival: float
+    dispatch: float
+    completion: float
+    slo_seconds: float
+    warm_started: bool = False
+    preempted_into: bool = False
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        return self.dispatch - self.arrival
+
+    @property
+    def execution(self) -> float:
+        return self.completion - self.dispatch
+
+    @property
+    def slo_met(self) -> bool:
+        return self.latency <= self.slo_seconds
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant slice of the steady state."""
+
+    tenant: str
+    weight: float
+    jobs: int
+    p50_latency: float
+    p95_latency: float
+    mean_queue_delay: float
+    slo_attainment: float
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """The end-of-run summary the service exports."""
+
+    seed: int
+    backend: str
+    warm_start: bool
+    jobs_completed: int
+    #: Last completion time (simulated seconds; wall seconds on local).
+    makespan: float
+    throughput_jobs_per_sec: float
+    p50_latency: float
+    p95_latency: float
+    slo_attainment: float
+    preemptions: int
+    tenants: Tuple[TenantReport, ...]
+    tuning: Tuple[JobTuningRecord, ...] = ()
+    #: Mean wave-of-best over warm-started / cold-started sessions
+    #: (0.0 when the group is empty).
+    warm_mean_wave_of_best: float = 0.0
+    cold_mean_wave_of_best: float = 0.0
+    warm_sessions: int = 0
+    cold_sessions: int = 0
+    #: Mean best Equation-1 cost per group (0.0 when empty).
+    warm_mean_best_cost: float = 0.0
+    cold_mean_best_cost: float = 0.0
+    #: Per-profile mean execution time, for tuned-vs-default deltas.
+    profile_mean_execution: Tuple[Tuple[str, float], ...] = ()
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.render().encode()).hexdigest()
+
+    def render(self) -> str:
+        lines = [
+            f"service report (seed={self.seed}, backend={self.backend}, "
+            f"warm_start={self.warm_start})",
+            f"  jobs completed:  {self.jobs_completed}",
+            f"  makespan:        {self.makespan:.3f} s",
+            f"  throughput:      {self.throughput_jobs_per_sec:.6f} jobs/s",
+            f"  latency p50/p95: {self.p50_latency:.3f} / {self.p95_latency:.3f} s",
+            f"  SLO attainment:  {self.slo_attainment:.4f}",
+            f"  preemptions:     {self.preemptions}",
+        ]
+        for t in self.tenants:
+            lines.append(
+                f"  tenant {t.tenant} (w={t.weight:g}): {t.jobs} jobs, "
+                f"p50={t.p50_latency:.3f} p95={t.p95_latency:.3f} "
+                f"queue={t.mean_queue_delay:.3f} slo={t.slo_attainment:.4f}"
+            )
+        if self.warm_sessions or self.cold_sessions:
+            lines.append(
+                f"  warm sessions:   {self.warm_sessions} "
+                f"(mean wave_of_best={self.warm_mean_wave_of_best:.3f}, "
+                f"mean best_cost={self.warm_mean_best_cost:.6f})"
+            )
+            lines.append(
+                f"  cold sessions:   {self.cold_sessions} "
+                f"(mean wave_of_best={self.cold_mean_wave_of_best:.3f}, "
+                f"mean best_cost={self.cold_mean_best_cost:.6f})"
+            )
+        for profile, mean_exec in self.profile_mean_execution:
+            lines.append(f"  profile {profile}: mean execution {mean_exec:.3f} s")
+        for record in self.tuning:
+            lines.append(f"  session {record.line()}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class _Accumulator:
+    jobs: List[CompletedJob] = field(default_factory=list)
+
+
+def build_report(
+    seed: int,
+    backend: str,
+    warm_start: bool,
+    completed: Sequence[CompletedJob],
+    tenant_weights: Dict[str, float],
+    tuning: Sequence[JobTuningRecord] = (),
+    preemptions: int = 0,
+) -> ServiceReport:
+    """Fold completion + tuning records into the steady-state report."""
+    jobs = sorted(completed, key=lambda j: (j.tenant, j.index))
+    latencies = [j.latency for j in jobs]
+    makespan = max((j.completion for j in jobs), default=0.0)
+    per_tenant: Dict[str, _Accumulator] = {
+        name: _Accumulator() for name in tenant_weights
+    }
+    for job in jobs:
+        per_tenant.setdefault(job.tenant, _Accumulator()).jobs.append(job)
+    tenant_reports = []
+    for name in sorted(per_tenant):
+        acc = per_tenant[name].jobs
+        tenant_reports.append(
+            TenantReport(
+                tenant=name,
+                weight=tenant_weights.get(name, 1.0),
+                jobs=len(acc),
+                p50_latency=percentile([j.latency for j in acc], 50),
+                p95_latency=percentile([j.latency for j in acc], 95),
+                mean_queue_delay=(
+                    sum(j.queue_delay for j in acc) / len(acc) if acc else 0.0
+                ),
+                slo_attainment=(
+                    sum(1 for j in acc if j.slo_met) / len(acc) if acc else 0.0
+                ),
+            )
+        )
+    records = sorted(tuning, key=lambda r: (r.tenant, r.profile, r.index))
+    warm = [r for r in records if r.warm_started]
+    cold = [r for r in records if not r.warm_started]
+
+    def _mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    by_profile: Dict[str, List[float]] = {}
+    for job in jobs:
+        by_profile.setdefault(job.profile, []).append(job.execution)
+    profile_means = tuple(
+        (profile, _mean(execs)) for profile, execs in sorted(by_profile.items())
+    )
+    return ServiceReport(
+        seed=seed,
+        backend=backend,
+        warm_start=warm_start,
+        jobs_completed=len(jobs),
+        makespan=makespan,
+        throughput_jobs_per_sec=(len(jobs) / makespan if makespan > 0 else 0.0),
+        p50_latency=percentile(latencies, 50),
+        p95_latency=percentile(latencies, 95),
+        slo_attainment=(
+            sum(1 for j in jobs if j.slo_met) / len(jobs) if jobs else 0.0
+        ),
+        preemptions=preemptions,
+        tenants=tuple(tenant_reports),
+        tuning=tuple(records),
+        warm_mean_wave_of_best=_mean([float(r.wave_of_best) for r in warm]),
+        cold_mean_wave_of_best=_mean([float(r.wave_of_best) for r in cold]),
+        warm_sessions=len(warm),
+        cold_sessions=len(cold),
+        warm_mean_best_cost=_mean([r.best_cost for r in warm]),
+        cold_mean_best_cost=_mean([r.best_cost for r in cold]),
+        profile_mean_execution=profile_means,
+    )

@@ -1,0 +1,421 @@
+"""The long-running service loop: arrivals in, steady-state report out.
+
+One simulated cluster under the fair scheduler serves the whole trace.
+Arrivals are scheduled as absolute-time callbacks on the simulation
+calendar; the fair-share dispatcher bounds concurrent jobs to the
+service ``capacity`` and picks who goes next; every dispatched job gets
+a tenant-weighted app-master registration (so the YARN fair scheduler
+applies the same weights *within* the cluster) and, when tuning is on,
+its own warm-startable tuning session from the :class:`TunerService`.
+
+Preemption: a job stuck at the head of its tenant's queue for
+``preempt_after`` seconds while the slot pool is full down-weights the
+most over-share running tenant's oldest job (scheduler-level weight
+drop -- "preemption without kill") and force-starts over capacity.
+
+The local-backend variant replays the same kind of trace against real
+worker processes at smoke scale: jobs run one at a time in dispatch
+order (the backend owns the machine's process slots), latencies are
+wall-clock, and no digest is pinned -- it proves the service loop works
+off-simulator, not that wall time is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.arrivals import JobArrival, TenantSpec, generate_arrivals
+from repro.service.queues import FairShareDispatcher
+from repro.service.report import CompletedJob, ServiceReport, build_report
+from repro.service.tuner_service import TunerService
+from repro.workloads.suite import make_job_spec, service_case
+
+#: Tenant templates for :func:`default_tenants`, cycled in order:
+#: (weight, pattern, job mix, SLO seconds).
+_TENANT_TEMPLATES: Tuple[Tuple[float, str, Tuple[str, ...], float], ...] = (
+    (3.0, "poisson", ("terasort", "bigram-freebase"), 5000.0),
+    (2.0, "diurnal", ("wordcount-wikipedia", "inverted-index-wikipedia"), 5000.0),
+    (1.0, "poisson", ("text-search-freebase", "bbp"), 5000.0),
+    (1.0, "diurnal", ("wordcount-wikipedia", "bbp"), 5000.0),
+)
+
+
+def default_tenants(count: int = 3, rate: float = 1.0 / 400.0) -> Tuple[TenantSpec, ...]:
+    """*count* tenants with distinct weights, mixes, and arrival shapes."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    tenants = []
+    for i in range(count):
+        weight, pattern, profiles, slo = _TENANT_TEMPLATES[i % len(_TENANT_TEMPLATES)]
+        tenants.append(
+            TenantSpec(
+                name=f"tenant-{chr(ord('a') + i)}",
+                weight=weight,
+                rate=rate,
+                pattern=pattern,
+                profiles=profiles,
+                slo_seconds=slo,
+                peak_time=1800.0 * i,
+                amplitude=0.8,
+                period=14400.0,
+            )
+        )
+    return tuple(tenants)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One service run, fully determined by its fields."""
+
+    tenants: Tuple[TenantSpec, ...]
+    jobs_per_tenant: int = 10
+    seed: int = 1
+    #: Concurrent job slots the dispatcher hands out.
+    capacity: int = 3
+    #: Tune every job (False = every job runs its default config).
+    tuned: bool = True
+    #: Seed searches from the tenant knowledge base (the warm/cold arm
+    #: switch; meaningless when ``tuned`` is False).
+    warm_start: bool = True
+    #: Head-of-queue wait that triggers preemption (None disables it).
+    preempt_after: Optional[float] = 2000.0
+    #: Victim down-weight multiplier on preemption.
+    preempt_weight_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        if self.jobs_per_tenant < 0:
+            raise ValueError("jobs_per_tenant must be >= 0")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.preempt_after is not None and self.preempt_after <= 0:
+            raise ValueError("preempt_after must be positive (or None)")
+        if not 0.0 < self.preempt_weight_factor <= 1.0:
+            raise ValueError("preempt_weight_factor must be in (0, 1]")
+
+
+@dataclass
+class _RunningJob:
+    tenant: str
+    arrival: JobArrival
+    dispatch_time: float
+    tuner: Optional[object]
+    forced: bool
+
+
+@dataclass
+class _ServiceState:
+    """Mutable bookkeeping of one in-flight service run."""
+
+    completed: List[CompletedJob] = field(default_factory=list)
+    running: Dict[str, _RunningJob] = field(default_factory=dict)
+    queued: set = field(default_factory=set)
+    preemptions: int = 0
+
+
+def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
+    """Serve the whole trace on the simulator; return the report.
+
+    *backend* may be a pre-built :class:`~repro.backends.sim.SimBackend`
+    (its cluster must use the fair scheduler); by default one is
+    constructed from the config seed.
+    """
+    from repro.backends.sim import SimBackend
+    from repro.telemetry.events import (
+        ServiceJobCompleted,
+        ServiceJobDispatched,
+        ServiceJobQueued,
+        ServicePreemption,
+        ServiceSteadyState,
+    )
+
+    if backend is None:
+        backend = SimBackend(seed=config.seed, scheduler="fair")
+    sc = backend.cluster
+    sim = sc.sim
+    bus = sc.telemetry
+    tenant_specs = {t.name: t for t in config.tenants}
+    arrivals = generate_arrivals(config.tenants, config.jobs_per_tenant, config.seed)
+    tuner_service = TunerService(config.seed, warm_start=config.warm_start)
+    dispatcher: FairShareDispatcher[JobArrival] = FairShareDispatcher(config.capacity)
+    for tenant in config.tenants:
+        dispatcher.add_tenant(tenant.name, tenant.weight)
+    state = _ServiceState()
+    total = len(arrivals)
+    done = sim.event()
+
+    def emit(event) -> None:
+        if bus.wants("service"):
+            bus.emit(event)
+
+    def launch(tenant: str, arrival: JobArrival, forced: bool = False) -> None:
+        state.queued.discard((tenant, arrival.index))
+        spec = make_job_spec(service_case(arrival.profile), sc.hdfs)
+        tuner = None
+        warm = False
+        if config.tuned:
+            tuner = tuner_service.tuner_for(tenant, arrival.profile, arrival.index)
+            am = tuner.submit(sc, spec, weight=tenant_specs[tenant].weight)
+            warm = tuner.warm_start_seeds.get(spec.job_id) is not None
+        else:
+            am = sc.submit(spec, weight=tenant_specs[tenant].weight)
+        state.running[spec.job_id] = _RunningJob(
+            tenant=tenant,
+            arrival=arrival,
+            dispatch_time=sim.now,
+            tuner=tuner,
+            forced=forced,
+        )
+        emit(
+            ServiceJobDispatched(
+                time=sim.now,
+                tenant=tenant,
+                job_id=spec.job_id,
+                job_name=spec.name,
+                queue_delay=sim.now - arrival.time,
+                warm_started=warm,
+            )
+        )
+        bus.increment("service.dispatched")
+        am.completion.add_callback(
+            lambda ev, job_id=spec.job_id: on_complete(job_id, ev.value)
+        )
+
+    def drain() -> None:
+        while True:
+            pick = dispatcher.start_next()
+            if pick is None:
+                return
+            launch(pick[0], pick[1])
+
+    def on_complete(job_id: str, result) -> None:
+        job = state.running.pop(job_id)
+        tenant = tenant_specs[job.tenant]
+        record = CompletedJob(
+            tenant=job.tenant,
+            profile=job.arrival.profile,
+            index=job.arrival.index,
+            arrival=job.arrival.time,
+            dispatch=job.dispatch_time,
+            completion=sim.now,
+            slo_seconds=tenant.slo_seconds,
+            warm_started=(
+                job.tuner is not None
+                and job.tuner.warm_start_seeds.get(job_id) is not None
+            ),
+            preempted_into=job.forced,
+        )
+        state.completed.append(record)
+        if job.tuner is not None:
+            tuner_service.record_session(
+                job.tenant, job.arrival.profile, job.arrival.index, job.tuner, job_id
+            )
+        dispatcher.finish(job.tenant)
+        emit(
+            ServiceJobCompleted(
+                time=sim.now,
+                tenant=job.tenant,
+                job_id=job_id,
+                job_name=job.arrival.profile,
+                latency=record.latency,
+                slo_met=record.slo_met,
+            )
+        )
+        bus.increment("service.completed")
+        if len(state.completed) == total:
+            done.succeed()
+        else:
+            drain()
+
+    def check_preemption(arrival: JobArrival) -> None:
+        key = (arrival.tenant, arrival.index)
+        if key not in state.queued:
+            return  # already dispatched (or completed)
+        if dispatcher.idle_capacity > 0:
+            drain()
+            return
+        if dispatcher.head(arrival.tenant) is not arrival:
+            return  # a sibling ahead of it will raise its own alarm
+        victim_tenant = dispatcher.preemption_victim(exclude=(arrival.tenant,))
+        if victim_tenant is None:
+            return  # every slot is already ours; just wait
+        # The victim's *oldest* job vacates share: it is furthest along
+        # and will release its containers soonest anyway.
+        victims = [
+            (job.dispatch_time, job_id)
+            for job_id, job in state.running.items()
+            if job.tenant == victim_tenant
+        ]
+        if not victims:
+            return
+        _, victim_job_id = min(victims)
+        new_weight = (
+            tenant_specs[victim_tenant].weight * config.preempt_weight_factor
+        )
+        sc.rm.set_app_weight(victim_job_id, new_weight)
+        state.preemptions += 1
+        emit(
+            ServicePreemption(
+                time=sim.now,
+                tenant=arrival.tenant,
+                victim_tenant=victim_tenant,
+                victim_job_id=victim_job_id,
+                waited=sim.now - arrival.time,
+            )
+        )
+        bus.increment("service.preemptions")
+        item = dispatcher.force_start(arrival.tenant)
+        launch(arrival.tenant, item, forced=True)
+
+    def on_arrival(arrival: JobArrival) -> None:
+        state.queued.add((arrival.tenant, arrival.index))
+        dispatcher.enqueue(arrival.tenant, arrival)
+        emit(
+            ServiceJobQueued(
+                time=sim.now,
+                tenant=arrival.tenant,
+                job_name=arrival.profile,
+                arrival=arrival.time,
+            )
+        )
+        bus.increment("service.queued")
+        drain()
+        if config.preempt_after is not None:
+            sim.call_at(
+                sim.now + config.preempt_after,
+                lambda a=arrival: check_preemption(a),
+            )
+
+    for arrival in arrivals:
+        sim.call_at(arrival.time, lambda a=arrival: on_arrival(a))
+    if total:
+        sim.run_until_complete(done)
+
+    report = build_report(
+        seed=config.seed,
+        backend="sim",
+        warm_start=config.warm_start,
+        completed=state.completed,
+        tenant_weights={t.name: t.weight for t in config.tenants},
+        tuning=tuner_service.records,
+        preemptions=state.preemptions,
+    )
+    emit(
+        ServiceSteadyState(
+            time=sim.now,
+            jobs_completed=report.jobs_completed,
+            throughput_jobs_per_sec=report.throughput_jobs_per_sec,
+            p50_latency=report.p50_latency,
+            p95_latency=report.p95_latency,
+            slo_attainment=report.slo_attainment,
+            preemptions=report.preemptions,
+        )
+    )
+    return report
+
+
+def run_service_local(
+    config: ServiceConfig,
+    num_splits: int = 6,
+    split_kb: int = 8,
+    num_reducers: int = 2,
+    workspace: Optional[str] = None,
+) -> ServiceReport:
+    """Smoke-scale service loop on the real local-process backend.
+
+    Tenants' profiles must name local workloads (``wordcount``,
+    ``grep``, ``inverted-index``).  Jobs run sequentially in arrival
+    order over one shared corpus; each still gets its own warm-startable
+    tuning session, so the warm-vs-cold bookkeeping is exercised against
+    real task executions.  Latencies are wall-clock and the report's
+    digest is *not* pinned anywhere.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.backends.local import (
+        LocalProcessBackend,
+        generate_corpus,
+        local_job_spec,
+    )
+
+    arrivals = generate_arrivals(config.tenants, config.jobs_per_tenant, config.seed)
+    tenant_specs = {t.name: t for t in config.tenants}
+    tuner_service = TunerService(config.seed, warm_start=config.warm_start)
+    own_workspace = workspace is None
+    if own_workspace:
+        workspace = tempfile.mkdtemp(prefix="repro-service-")
+    corpus_dir = os.path.join(workspace, "corpus")
+    generate_corpus(
+        corpus_dir, num_splits=num_splits, split_kb=split_kb, seed=config.seed
+    )
+    completed: List[CompletedJob] = []
+    backend = LocalProcessBackend(
+        workspace=os.path.join(workspace, "jobs"), seed=config.seed
+    )
+    try:
+        clock = 0.0
+        for arrival in arrivals:
+            # An open stream replayed at full speed: a job "arrives" at
+            # its trace time and starts when the machine frees up.
+            clock = max(clock, arrival.time)
+            spec = local_job_spec(
+                arrival.profile,
+                corpus_dir,
+                num_reducers,
+                name=f"{arrival.profile}-{arrival.tenant}-{arrival.index}",
+            )
+            import time as _time
+
+            start_wall = _time.monotonic()
+            if config.tuned:
+                tuner = tuner_service.tuner_for(
+                    arrival.tenant, arrival.profile, arrival.index
+                )
+                handle = tuner.submit_to(backend, spec)
+            else:
+                tuner = None
+                handle = backend.submit(spec)
+            backend.wait(handle)
+            execution = _time.monotonic() - start_wall
+            dispatch = clock
+            clock += execution
+            completed.append(
+                CompletedJob(
+                    tenant=arrival.tenant,
+                    profile=arrival.profile,
+                    index=arrival.index,
+                    arrival=arrival.time,
+                    dispatch=dispatch,
+                    completion=clock,
+                    slo_seconds=tenant_specs[arrival.tenant].slo_seconds,
+                    warm_started=(
+                        tuner is not None
+                        and tuner.warm_start_seeds.get(spec.job_id) is not None
+                    ),
+                )
+            )
+            if tuner is not None:
+                tuner_service.record_session(
+                    arrival.tenant,
+                    arrival.profile,
+                    arrival.index,
+                    tuner,
+                    spec.job_id,
+                )
+    finally:
+        backend.close()
+        if own_workspace:
+            shutil.rmtree(workspace, ignore_errors=True)
+    return build_report(
+        seed=config.seed,
+        backend="local",
+        warm_start=config.warm_start,
+        completed=completed,
+        tenant_weights={t.name: t.weight for t in config.tenants},
+        tuning=tuner_service.records,
+        preemptions=0,
+    )

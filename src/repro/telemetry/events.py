@@ -28,6 +28,9 @@ Categories
     Wave openings, rule firings, and hill-climber search decisions.
 ``job``
     Job submission and completion spans.
+``service``
+    The multi-tenant tuning service: queueing, dispatch, preemption,
+    per-job completion, and the steady-state report.
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ from repro.monitor.statistics import NodeStats, TaskStats
 
 #: Subscription keys, in the order exporters present them.
 CATEGORIES: Tuple[str, ...] = (
-    "sim", "task", "stats", "node", "yarn", "fault", "tuner", "job",
+    "sim", "task", "stats", "node", "yarn", "fault", "tuner", "job", "service",
 )
 
 #: Categories exported by default (everything but the per-event ``sim``
@@ -495,6 +498,78 @@ class SearchDecision(TelemetryEvent):
     task_type: str = ""
     decision: str = ""
     detail: Mapping[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# service: the multi-tenant tuning service
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceJobQueued(TelemetryEvent):
+    """A tenant's job arrived and entered its per-tenant queue."""
+
+    category: ClassVar[str] = "service"
+    kind: ClassVar[str] = "job_queued"
+
+    tenant: str = ""
+    job_name: str = ""
+    arrival: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServiceJobDispatched(TelemetryEvent):
+    """The fair-share dispatcher started a queued job on the cluster."""
+
+    category: ClassVar[str] = "service"
+    kind: ClassVar[str] = "job_dispatched"
+
+    tenant: str = ""
+    job_id: str = ""
+    job_name: str = ""
+    queue_delay: float = 0.0
+    warm_started: bool = False
+
+
+@dataclass(frozen=True)
+class ServicePreemption(TelemetryEvent):
+    """A starved tenant preempted capacity: the most over-share running
+    job was down-weighted and the waiting job dispatched over it."""
+
+    category: ClassVar[str] = "service"
+    kind: ClassVar[str] = "preemption"
+
+    tenant: str = ""
+    victim_tenant: str = ""
+    victim_job_id: str = ""
+    waited: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServiceJobCompleted(TelemetryEvent):
+    """One service job finished; latency is completion minus arrival."""
+
+    category: ClassVar[str] = "service"
+    kind: ClassVar[str] = "job_completed"
+
+    tenant: str = ""
+    job_id: str = ""
+    job_name: str = ""
+    latency: float = 0.0
+    slo_met: bool = True
+
+
+@dataclass(frozen=True)
+class ServiceSteadyState(TelemetryEvent):
+    """The end-of-run steady-state report, as one summary record."""
+
+    category: ClassVar[str] = "service"
+    kind: ClassVar[str] = "steady_state"
+
+    jobs_completed: int = 0
+    throughput_jobs_per_sec: float = 0.0
+    p50_latency: float = 0.0
+    p95_latency: float = 0.0
+    slo_attainment: float = 0.0
+    preemptions: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -9,9 +9,10 @@ job.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.configuration import Configuration
 from repro.hdfs.filesystem import HdfsFileSystem
@@ -141,6 +142,54 @@ def _terasort_row() -> BenchmarkCase:
     return BenchmarkCase(
         "terasort", dataset, terasort_profile(), 200, JobType.SHUFFLE, total, total
     )
+
+
+def shrink_case(
+    case: BenchmarkCase,
+    num_blocks: Optional[int] = None,
+    num_reducers: Optional[int] = None,
+) -> BenchmarkCase:
+    """Shrink a case's dataset and/or reducer count.
+
+    The dataset is renamed (``<name>-x<blocks>``) so a shrunk file can
+    never alias its full-size sibling inside one cluster.  This is the
+    single shrinking path shared by the declarative run requests and
+    the tuning service's profile catalog.
+    """
+    if num_blocks is not None:
+        dataset = dataclasses.replace(
+            case.dataset,
+            name=f"{case.dataset.name}-x{num_blocks}",
+            num_blocks=num_blocks,
+        )
+        case = dataclasses.replace(case, dataset=dataset)
+    if num_reducers is not None:
+        case = dataclasses.replace(case, num_reducers=num_reducers)
+    return case
+
+
+#: The six application profiles at service scale: one shrunk instance
+#: per distinct workload family of Table 3 -- shuffle-heavy (terasort,
+#: bigram), map-heavy (wordcount, inverted-index), compute-heavy
+#: (text-search, bbp) -- sized so a continuous stream of them keeps the
+#: cluster busy without any single job dominating the wall clock.
+SERVICE_PROFILES: Tuple[Tuple[str, int, int], ...] = (
+    ("terasort", 12, 4),
+    ("bigram-freebase", 8, 3),
+    ("wordcount-wikipedia", 8, 3),
+    ("inverted-index-wikipedia", 8, 3),
+    ("text-search-freebase", 8, 3),
+    ("bbp", 4, 1),
+)
+
+
+def service_case(profile: str) -> BenchmarkCase:
+    """The service-scale instance of one of the six profiles."""
+    for name, blocks, reducers in SERVICE_PROFILES:
+        if name == profile:
+            return shrink_case(case_by_name(name), blocks, reducers)
+    known = [name for name, _b, _r in SERVICE_PROFILES]
+    raise KeyError(f"unknown service profile {profile!r}, want one of {known}")
 
 
 def case_by_name(name: str) -> BenchmarkCase:

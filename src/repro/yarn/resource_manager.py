@@ -60,6 +60,10 @@ class ResourceManager:
     def unregister_app(self, app_id: str) -> None:
         self.scheduler.remove_app(app_id)
 
+    def set_app_weight(self, app_id: str, weight: float) -> bool:
+        """Re-weight a live app's fair share (service-level preemption)."""
+        return self.scheduler.set_app_weight(app_id, weight)
+
     # ------------------------------------------------------------------
     # Node liveness
     # ------------------------------------------------------------------

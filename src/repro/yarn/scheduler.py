@@ -45,6 +45,23 @@ class SchedulerBase:
             raise ValueError("app weight must be positive")
         self._app_weight[app_id] = weight
 
+    def set_app_weight(self, app_id: str, weight: float) -> bool:
+        """Re-weight a live app's fair share mid-run.
+
+        This is the service-level preemption mechanism: instead of
+        killing containers, a job being preempted is down-weighted so
+        every future allocation favors the starved tenant, and the
+        victim finishes on the containers it already holds (Hadoop's
+        "preemption without kill").  Returns False when the app has
+        already completed (re-weighting then is a harmless no-op race).
+        """
+        if weight <= 0:
+            raise ValueError("app weight must be positive")
+        if app_id not in self._app_weight:
+            return False
+        self._app_weight[app_id] = weight
+        return True
+
     def remove_app(self, app_id: str) -> None:
         self._app_weight.pop(app_id, None)
         self.app_memory_usage.pop(app_id, None)

@@ -1,0 +1,298 @@
+"""Property-based tests for the weighted fair-share dispatcher.
+
+The three defining properties of the service's WFQ dispatcher, checked
+over randomly generated tenant sets, weights, and arrival orders:
+
+1. work conservation -- ``start_next`` returns ``None`` only when every
+   queue is empty or every slot is busy; a drain loop never leaves idle
+   capacity while anything is queued;
+2. weighted-share convergence -- under sustained backlog each tenant's
+   dispatch count tracks ``w_i / sum(w)`` of the total to within the
+   per-tenant WFQ lag bound;
+3. no starvation -- a backlogged tenant is dispatched within a bounded
+   number of competitor dispatches, no matter how small its weight.
+
+Hypothesis runs derandomized so CI never flakes on a lucky draw; a
+seeded ``random`` sweep mirrors the same invariants without Hypothesis.
+"""
+
+import random
+
+import pytest
+
+from repro.service.queues import FairShareDispatcher
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the test extra
+    HAVE_HYPOTHESIS = False
+
+    def given(*_a, **_k):  # type: ignore[misc]
+        return lambda fn: fn
+
+    def settings(*_a, **_k):  # type: ignore[misc]
+        return lambda fn: fn
+
+    class st:  # type: ignore[no-redef]
+        @staticmethod
+        def lists(*_a, **_k):
+            return None
+
+        @staticmethod
+        def floats(*_a, **_k):
+            return None
+
+        @staticmethod
+        def integers(*_a, **_k):
+            return None
+
+
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+#: Weights bounded away from 0 and each other by at most 16x so the
+#: lag-bound tolerances below stay small.
+weights_strategy = st.lists(
+    st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+def make_dispatcher(weights, capacity=1):
+    d = FairShareDispatcher(capacity)
+    for i, w in enumerate(weights):
+        d.add_tenant(f"t{i}", w)
+    return d
+
+
+def drain_with_immediate_finish(d, n):
+    """Dispatch *n* jobs, finishing each immediately (capacity 1 churn)."""
+    order = []
+    for _ in range(n):
+        pick = d.start_next()
+        if pick is None:
+            break
+        tenant, _item = pick
+        order.append(tenant)
+        d.finish(tenant)
+    return order
+
+
+# ----------------------------------------------------------------------
+# 1. Work conservation
+# ----------------------------------------------------------------------
+@needs_hypothesis
+@given(
+    weights=weights_strategy,
+    capacity=st.integers(min_value=1, max_value=4),
+    backlog=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5),
+)
+@settings(max_examples=80, deadline=None, derandomize=True)
+def test_work_conservation(weights, capacity, backlog):
+    d = make_dispatcher(weights, capacity)
+    for i, w in enumerate(weights):
+        for j in range(backlog[i % len(backlog)]):
+            d.enqueue(f"t{i}", (i, j))
+    while True:
+        pick = d.start_next()
+        if pick is None:
+            break
+    # None was returned: either no work remains, or no capacity remains.
+    assert d.total_queued == 0 or d.idle_capacity == 0
+    # And never over capacity through the normal path.
+    assert d.running_total <= capacity
+
+
+# ----------------------------------------------------------------------
+# 2. Weighted-share convergence
+# ----------------------------------------------------------------------
+@needs_hypothesis
+@given(weights=weights_strategy)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_weighted_share_convergence(weights):
+    n = 400
+    d = make_dispatcher(weights)
+    # Sustained backlog: every tenant always has work.
+    for i in range(len(weights)):
+        for j in range(n):
+            d.enqueue(f"t{i}", j)
+    drain_with_immediate_finish(d, n)
+    total_w = sum(weights)
+    min_w = min(weights)
+    for i, w in enumerate(weights):
+        ideal = n * w / total_w
+        got = d.dispatched(f"t{i}")
+        # WFQ lag bound: backlogged vtimes stay within one service
+        # quantum (1/min_w), so counts are within w/min_w + 1 of ideal.
+        assert abs(got - ideal) <= w / min_w + 1.0, (
+            f"tenant {i}: {got} dispatches vs ideal {ideal:.1f} "
+            f"(weights={weights})"
+        )
+
+
+# ----------------------------------------------------------------------
+# 3. No starvation
+# ----------------------------------------------------------------------
+@needs_hypothesis
+@given(
+    competitor_weights=st.lists(
+        st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+        min_size=1,
+        max_size=4,
+    ),
+    low_weight=st.floats(min_value=0.1, max_value=0.5, allow_nan=False),
+    warmup=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_no_starvation_of_low_weight_tenant(competitor_weights, low_weight, warmup):
+    d = make_dispatcher(competitor_weights)
+    d.add_tenant("low", low_weight)
+    for i in range(len(competitor_weights)):
+        for j in range(1000):
+            d.enqueue(f"t{i}", j)
+    # Competitors churn for a while before the low-weight tenant shows
+    # up (its vtime re-syncs to the virtual clock on enqueue).
+    drain_with_immediate_finish(d, warmup)
+    d.enqueue("low", "the one job")
+    # Once enqueued at vclock, each competitor must advance past
+    # vclock + 1/w_low before beating "low" again; that takes at most
+    # ceil(w_i / w_low) dispatches each.
+    bound = sum(int(w / low_weight) + 1 for w in competitor_weights) + 1
+    order = drain_with_immediate_finish(d, bound)
+    assert "low" in order, (
+        f"low-weight tenant starved for {bound} dispatches "
+        f"(competitors={competitor_weights}, low={low_weight})"
+    )
+
+
+@needs_hypothesis
+@given(
+    weights=weights_strategy,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_random_arrival_orders_preserve_fifo_per_tenant(weights, seed):
+    """Whatever the interleaving, each tenant's jobs dispatch in FIFO order."""
+    rng = random.Random(seed)
+    d = make_dispatcher(weights, capacity=2)
+    counters = [0] * len(weights)
+    seen = {f"t{i}": [] for i in range(len(weights))}
+    for _ in range(200):
+        op = rng.random()
+        tenant_i = rng.randrange(len(weights))
+        tenant = f"t{tenant_i}"
+        if op < 0.6:
+            d.enqueue(tenant, counters[tenant_i])
+            counters[tenant_i] += 1
+        else:
+            pick = d.start_next()
+            if pick is not None:
+                who, item = pick
+                seen[who].append(item)
+                d.finish(who)
+    # Drain the rest.
+    while True:
+        pick = d.start_next()
+        if pick is None:
+            if d.total_queued == 0:
+                break
+            who2 = [t for t in d.tenants if d.running(t) > 0]
+            if not who2:
+                break
+            d.finish(who2[0])
+            continue
+        who, item = pick
+        seen[who].append(item)
+        d.finish(who)
+    for tenant, items in seen.items():
+        assert items == sorted(items), f"{tenant} dispatched out of FIFO order"
+
+
+# ----------------------------------------------------------------------
+# Seeded non-Hypothesis mirror of the same invariants
+# ----------------------------------------------------------------------
+def test_seeded_sweep_share_and_conservation():
+    rng = random.Random(1234)
+    for _ in range(25):
+        k = rng.randint(1, 5)
+        weights = [rng.uniform(0.5, 8.0) for _ in range(k)]
+        d = make_dispatcher(weights)
+        n = 300
+        for i in range(k):
+            for j in range(n):
+                d.enqueue(f"t{i}", j)
+        drain_with_immediate_finish(d, n)
+        total_w = sum(weights)
+        min_w = min(weights)
+        for i, w in enumerate(weights):
+            ideal = n * w / total_w
+            assert abs(d.dispatched(f"t{i}") - ideal) <= w / min_w + 1.0
+        assert d.total_queued == k * n - n
+
+
+# ----------------------------------------------------------------------
+# Deterministic unit coverage: re-sync, preemption, and error paths
+# ----------------------------------------------------------------------
+class TestDispatcherMechanics:
+    def test_idle_resync_prevents_credit_burst(self):
+        d = make_dispatcher([1.0, 1.0])
+        for j in range(20):
+            d.enqueue("t0", j)
+        drain_with_immediate_finish(d, 10)
+        # t1 was idle throughout; on enqueue it re-syncs to the virtual
+        # clock instead of bursting through 10 jobs of accumulated credit.
+        for j in range(20):
+            d.enqueue("t1", j)
+        order = drain_with_immediate_finish(d, 10)
+        assert order.count("t1") <= 6, f"idle tenant burst through: {order}"
+
+    def test_force_start_runs_over_capacity(self):
+        d = make_dispatcher([1.0, 1.0], capacity=1)
+        d.enqueue("t0", "a")
+        d.enqueue("t1", "b")
+        assert d.start_next() is not None
+        assert d.start_next() is None  # capacity exhausted
+        item = d.force_start("t1")
+        assert item == "b"
+        assert d.running_total == 2 > d.capacity
+
+    def test_preemption_victim_is_most_over_share(self):
+        d = make_dispatcher([4.0, 1.0], capacity=4)
+        for j in range(3):
+            d.enqueue("t0", j)
+        d.enqueue("t1", 0)
+        while d.start_next() is not None:
+            pass
+        # t0 runs 3 jobs at weight 4 (0.75/share); t1 runs 1 at weight 1.
+        assert d.preemption_victim() == "t1"
+        assert d.preemption_victim(exclude=("t1",)) == "t0"
+        d.finish("t1")
+        assert d.preemption_victim(exclude=("t0",)) is None
+
+    def test_error_paths(self):
+        d = make_dispatcher([1.0])
+        with pytest.raises(ValueError):
+            d.add_tenant("t0")  # duplicate
+        with pytest.raises(ValueError):
+            d.add_tenant("bad", weight=0.0)
+        with pytest.raises(ValueError):
+            d.finish("t0")  # nothing running
+        with pytest.raises(ValueError):
+            d.force_start("t0")  # nothing queued
+        with pytest.raises(ValueError):
+            FairShareDispatcher(0)
+
+    def test_accessors(self):
+        d = make_dispatcher([2.0])
+        assert d.tenants == ["t0"]
+        assert d.weight("t0") == 2.0
+        assert d.head("t0") is None
+        d.enqueue("t0", "x")
+        assert d.head("t0") == "x"
+        assert d.queued("t0") == 1
+        assert d.idle_capacity == 1
