@@ -1,0 +1,112 @@
+"""Nightly cost-of-crash-tolerance case for the tuning service.
+
+Not a paper figure: the write-ahead journal and the control-plane
+fault machinery both ride the service's hot completion path, so this
+benchmark prices them.  One seeded stream runs four ways -- plain,
+journaled, killed-and-resumed, and under a tuner-crash plan -- and the
+wall times land in ``benchmarks/results/BENCH_recovery.json`` so
+nightly runs expose the journal's overhead ratio and the degraded-mode
+slowdown as trends, not anecdotes.
+
+Assertions guard the recovery contract itself: the journaled digest
+matches the plain one (arming the journal must not perturb the
+stream), the resumed digest matches the uninterrupted one (the
+byte-identical-resume guarantee), and the faulted stream still
+completes every job on last-known-good configurations.
+"""
+
+import time
+
+import pytest
+
+from repro.faults import Fault, FaultPlan, plan_to_json
+from repro.recovery import ServiceKilled, read_journal
+from repro.service import ServiceConfig, default_tenants, run_service
+
+from benchmarks.bench_common import record_bench, run_once
+
+NUM_TENANTS = 2
+JOBS_PER_TENANT = 6
+SEED = 1
+KILL_AFTER = 4
+
+CRASH_PLAN = plan_to_json(
+    FaultPlan(
+        faults=(
+            Fault(time=400.0, kind="tuner_crash", node_id=0, duration=120.0),
+            Fault(time=900.0, kind="monitor_outage", node_id=0, duration=60.0),
+        )
+    )
+)
+
+
+def make_config(**overrides) -> ServiceConfig:
+    base = dict(
+        tenants=default_tenants(NUM_TENANTS, rate=1.0 / 300.0),
+        jobs_per_tenant=JOBS_PER_TENANT,
+        seed=SEED,
+        capacity=2,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_recovery_overhead(benchmark, tmp_path):
+    plain, plain_wall = timed(lambda: run_service(make_config()))
+    assert plain.jobs_completed == NUM_TENANTS * JOBS_PER_TENANT
+
+    # Journal armed, no kill: same stream, plus one fsynced record
+    # group per completion.
+    journal = str(tmp_path / "svc.journal")
+    t0 = time.perf_counter()
+    journaled = run_once(
+        benchmark,
+        lambda: run_service(make_config(journal_path=journal)),
+    )
+    journaled_wall = time.perf_counter() - t0
+    assert journaled.digest() == plain.digest()
+    state = read_journal(journal)
+    assert len(state.jobs) == plain.jobs_completed
+
+    # Kill mid-stream, then resume against the same journal: the
+    # resumed report must be byte-identical to the uninterrupted one.
+    killed_journal = str(tmp_path / "killed.journal")
+    t0 = time.perf_counter()
+    with pytest.raises(ServiceKilled):
+        run_service(
+            make_config(journal_path=killed_journal, kill_after_jobs=KILL_AFTER)
+        )
+    resumed = run_service(make_config(journal_path=killed_journal))
+    resume_wall = time.perf_counter() - t0
+    assert resumed.digest() == plain.digest()
+
+    # Tuner crash + monitor outage mid-stream: degraded mode must
+    # still complete every job.
+    faulted, faulted_wall = timed(
+        lambda: run_service(make_config(fault_plan=CRASH_PLAN))
+    )
+    assert faulted.jobs_completed == plain.jobs_completed
+
+    record_bench(
+        "recovery",
+        journaled_wall,
+        extra={
+            "jobs_completed": plain.jobs_completed,
+            "plain_wall_s": round(plain_wall, 6),
+            "journal_overhead_ratio": round(
+                journaled_wall / max(plain_wall, 1e-9), 3
+            ),
+            "journal_records": len(state.records),
+            "kill_after_jobs": KILL_AFTER,
+            "kill_and_resume_wall_s": round(resume_wall, 6),
+            "resume_digest_matches": resumed.digest() == plain.digest(),
+            "faulted_wall_s": round(faulted_wall, 6),
+            "faulted_jobs_completed": faulted.jobs_completed,
+        },
+    )

@@ -3,6 +3,7 @@
 from repro.backends.local.backend import (
     LocalJobHandle,
     LocalProcessBackend,
+    WatchdogSettings,
     knobs_from_config,
 )
 from repro.backends.local.corpus import (
@@ -18,6 +19,7 @@ __all__ = [
     "LocalJobHandle",
     "LocalProcessBackend",
     "TaskKnobs",
+    "WatchdogSettings",
     "corpus_splits",
     "generate_corpus",
     "knobs_from_config",

@@ -28,12 +28,16 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal
 import tempfile
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.backends.local.corpus import corpus_splits
 from repro.backends.local.worker import (
@@ -53,13 +57,55 @@ from repro.mapreduce.jobspec import JobSpec, TaskId, TaskType
 from repro.monitor.central_monitor import CentralMonitor
 from repro.monitor.statistics import NodeStats, TaskStats
 from repro.sim.engine import Simulator
+from repro.sim.rng import derive_seed
 from repro.telemetry import TelemetryBus
-from repro.telemetry.events import NodeSampled, TaskStatsRecorded
+from repro.telemetry.events import NodeSampled, TaskStatsRecorded, WorkerHang
+from repro.util.backoff import BackoffPolicy, decorrelated_jitter_delays
 from repro.yarn.app_master import ConfigProvider, JobResult, LaunchGate
 
 #: One retry per task (the Hadoop default is 4; small local jobs need
 #: just enough budget to recover an infeasible sampled config).
 MAX_ATTEMPTS = 2
+
+
+@dataclass(frozen=True)
+class WatchdogSettings:
+    """Wall-clock liveness policy for the hung-worker watchdog.
+
+    A worker process that neither finishes nor dies -- stuck on a
+    deadlocked pipe, a runaway loop, an NFS stall -- would otherwise
+    wedge the whole phase: ``futures_wait`` has no deadline of its own.
+    The watchdog polls the in-flight futures, and any attempt alive past
+    its phase deadline is SIGKILLed (taking the shared pool's workers
+    with it -- the same blast radius a node loss has in the simulator);
+    the hung attempt retries as failure kind ``"hang"``, collateral
+    attempts retry as ``"env"``, both within the normal
+    :data:`MAX_ATTEMPTS` budget.  A decorrelated-jitter pause
+    (:func:`repro.util.backoff.decorrelated_jitter_delays`) spaces out
+    pool rebuilds when hangs repeat.
+    """
+
+    #: Wall-clock seconds one map attempt may run before it is hung.
+    map_deadline: float = 120.0
+    #: Reducers merge+fetch, so they get a longer leash.
+    reduce_deadline: float = 180.0
+    #: How often the watchdog wakes to check deadlines.
+    poll_interval: float = 1.0
+    #: Pool-rebuild pause schedule (decorrelated jitter over this).
+    backoff: BackoffPolicy = BackoffPolicy(base=0.05, cap=0.5)
+
+    def __post_init__(self) -> None:
+        if self.map_deadline <= 0 or self.reduce_deadline <= 0:
+            raise ValueError("watchdog deadlines must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    def deadline_for(self, task_type: TaskType) -> float:
+        return (
+            self.map_deadline
+            if task_type is TaskType.MAP
+            else self.reduce_deadline
+        )
 
 
 def knobs_from_config(config: Configuration, task_type: TaskType) -> TaskKnobs:
@@ -132,7 +178,14 @@ class LocalProcessBackend:
         polite.
     seed:
         Recorded for provenance; the runtime itself draws no random
-        numbers (outputs are corpus + config determined).
+        numbers for task execution (outputs are corpus + config
+        determined).  The watchdog's jittered pool-rebuild pauses draw
+        from a stream derived from it.
+    watchdog:
+        Hung-worker liveness policy; ``None`` disables the watchdog and
+        restores unbounded waits.  The defaults are far above any
+        healthy task's runtime, so enabling it cannot perturb a
+        well-behaved run.
     """
 
     name = "local"
@@ -142,8 +195,16 @@ class LocalProcessBackend:
         workspace: Optional[str] = None,
         slots: Optional[int] = None,
         seed: int = 0,
+        watchdog: Optional[WatchdogSettings] = WatchdogSettings(),
     ) -> None:
         self.seed = seed
+        self.watchdog = watchdog
+        self._hang_delays: Optional[Iterator[float]] = None
+        if watchdog is not None:
+            self._hang_delays = decorrelated_jitter_delays(
+                watchdog.backoff,
+                np.random.default_rng(derive_seed(seed, "watchdog", "backoff")),
+            )
         if workspace is None:
             self.workspace = tempfile.mkdtemp(prefix="repro-local-")
             self._owns_workspace = True
@@ -186,6 +247,24 @@ class LocalProcessBackend:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.slots)
         return self._pool
+
+    def _kill_workers(self) -> None:
+        """SIGKILL every live worker process of the current pool.
+
+        This is the watchdog's hammer: a hung worker ignores polite
+        shutdown by definition.  Killing the workers breaks the whole
+        executor (every in-flight future resolves with
+        ``BrokenProcessPool``); the caller rebuilds the pool lazily via
+        :meth:`_ensure_pool`.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        for pid in list(getattr(pool, "_processes", {}) or {}):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                pass
 
     def job_dir(self, spec: JobSpec) -> str:
         return os.path.join(self.workspace, "jobs", spec.job_id)
@@ -384,7 +463,7 @@ class LocalProcessBackend:
         spec = handle.spec
         gate = handle.gate
         provider = handle.config_provider
-        pool = self._ensure_pool()
+        self._ensure_pool()
         task_id_of = (
             spec.map_task_id if task_type is TaskType.MAP else spec.reduce_task_id
         )
@@ -399,9 +478,11 @@ class LocalProcessBackend:
             request_admission(index)
         self._pump()
 
-        running: Dict[object, Tuple[int, int, Configuration, TaskKnobs]] = {}
+        running: Dict[object, Tuple[int, int, Configuration, TaskKnobs, float]] = {}
         attempts: Dict[int, int] = {i: 0 for i in range(count)}
         oom_retry: Dict[int, bool] = {}
+        #: Indices awaiting their ``hang`` classification after a kill.
+        hung_pending: set = set()
         completed = 0
         phase_ok = True
 
@@ -416,10 +497,10 @@ class LocalProcessBackend:
                 else:
                     config = provider.task_config(spec, task_id_of(index))
                 knobs = knobs_from_config(config, task_type)
-                future = pool.submit(
+                future = self._ensure_pool().submit(
                     worker_fn, build_spec(index, attempts[index], knobs)
                 )
-                running[future] = (index, wave, config, knobs)
+                running[future] = (index, wave, config, knobs, self._now())
                 self._sample_node(len(running), knobs.container_memory_bytes)
             if not running:
                 if admitted:
@@ -428,14 +509,56 @@ class LocalProcessBackend:
                     f"launch gate starved {spec.job_id} {task_type.value} phase: "
                     f"{completed}/{count} tasks done, none admitted or running"
                 )
-            done, _pending = futures_wait(running, return_when=FIRST_COMPLETED)
+            if self.watchdog is None:
+                done, _pending = futures_wait(running, return_when=FIRST_COMPLETED)
+            else:
+                done, _pending = futures_wait(
+                    running,
+                    timeout=self.watchdog.poll_interval,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    deadline = self.watchdog.deadline_for(task_type)
+                    overdue = sorted(
+                        (state[0], state[4])
+                        for state in running.values()
+                        if self._now() - state[4] > deadline
+                    )
+                    if not overdue:
+                        continue  # nobody finished, nobody hung: keep polling
+                    # A worker past its liveness deadline will never
+                    # finish on its own.  SIGKILL the pool (collateral
+                    # in-flight attempts die too -- the node-loss blast
+                    # radius), classify, pause with jitter, and let the
+                    # retry ladder re-admit survivors on a fresh pool.
+                    for index, started in overdue:
+                        hung_pending.add(index)
+                        if self.telemetry.wants("fault"):
+                            self.telemetry.emit(
+                                WorkerHang(
+                                    time=self._now(),
+                                    task=str(task_id_of(index)),
+                                    deadline=deadline,
+                                    attempt=attempts[index],
+                                )
+                            )
+                        self.telemetry.increment("backend.worker_hangs")
+                    self._kill_workers()
+                    done, _pending = futures_wait(running)
+                    pool = self._pool
+                    if pool is not None:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        self._pool = None
+                    time.sleep(next(self._hang_delays))
             # Deterministic handling order regardless of completion order.
             for future in sorted(done, key=lambda f: running[f][0]):
-                index, wave, config, knobs = running.pop(future)
+                index, wave, config, knobs, _started = running.pop(future)
                 attempts[index] += 1
                 try:
                     report: TaskReport = future.result()
                 except Exception as exc:
+                    hung = index in hung_pending
+                    hung_pending.discard(index)
                     report = TaskReport(
                         index=index,
                         attempt=attempts[index] - 1,
@@ -444,8 +567,12 @@ class LocalProcessBackend:
                         cpu_seconds=0.0,
                         working_set_bytes=0,
                         failed=True,
-                        failure_kind="env",
-                        failure_reason=f"worker crashed: {exc!r}",
+                        failure_kind="hang" if hung else "env",
+                        failure_reason=(
+                            "liveness deadline exceeded; SIGKILLed by watchdog"
+                            if hung
+                            else f"worker crashed: {exc!r}"
+                        ),
                     )
                 stats = self._to_task_stats(
                     task_id_of(index), task_type, report, config, knobs, wave

@@ -382,16 +382,35 @@ def cmd_serve(args) -> int:
         run_service_local,
     )
 
+    from repro.recovery import ServiceKilled
+
+    fault_plan = None
+    if args.fault_plan:
+        with open(args.fault_plan) as fh:
+            fault_plan = fh.read()
     backend = args.backend or "sim"
     if backend == "sim":
-        config = ServiceConfig(
-            tenants=default_tenants(args.tenants, rate=1.0 / args.interarrival),
-            jobs_per_tenant=args.jobs,
-            seed=args.seed,
-            capacity=args.capacity,
-            warm_start=not args.cold,
-        )
-        report = run_service(config)
+        try:
+            config = ServiceConfig(
+                tenants=default_tenants(
+                    args.tenants, rate=1.0 / args.interarrival
+                ),
+                jobs_per_tenant=args.jobs,
+                seed=args.seed,
+                capacity=args.capacity,
+                warm_start=not args.cold,
+                journal_path=args.journal,
+                kill_after_jobs=args.kill_after_jobs,
+                fault_plan=fault_plan,
+            )
+        except ValueError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+        try:
+            report = run_service(config)
+        except ServiceKilled as killed:
+            print(f"service killed: {killed}", file=sys.stderr)
+            return 3
     else:
         # Smoke scale on real worker processes: two tenants mixing the
         # local workloads, sequential dispatch, wall-clock latencies.
@@ -406,14 +425,24 @@ def cmd_serve(args) -> int:
             )
             for i in range(min(args.tenants, 2))
         )
-        config = ServiceConfig(
-            tenants=tenants,
-            jobs_per_tenant=min(args.jobs, 2),
-            seed=args.seed,
-            capacity=1,
-            warm_start=not args.cold,
-        )
-        report = run_service_local(config)
+        try:
+            config = ServiceConfig(
+                tenants=tenants,
+                jobs_per_tenant=min(args.jobs, 2),
+                seed=args.seed,
+                capacity=1,
+                warm_start=not args.cold,
+                journal_path=args.journal,
+                kill_after_jobs=args.kill_after_jobs,
+            )
+        except ValueError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+        try:
+            report = run_service_local(config)
+        except ServiceKilled as killed:
+            print(f"service killed: {killed}", file=sys.stderr)
+            return 3
     print(report.render())
     print(f"service digest: {report.digest()}")
     return 0
@@ -661,6 +690,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--cold",
         action="store_true",
         help="disable knowledge-base warm starts (the cold-start arm)",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead journal path; rerunning against an existing "
+        "journal resumes a killed run (sim: validated replay, local: "
+        "genuine skip-ahead)",
+    )
+    p.add_argument(
+        "--kill-after-jobs",
+        type=int,
+        default=0,
+        help="simulate a hard crash: exit (code 3) after N newly "
+        "journaled completions (requires --journal)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON fault-plan file (repro.faults.plan_to_json) injected "
+        "into the simulated cluster before the stream starts",
     )
 
     p = sub.add_parser(

@@ -155,6 +155,21 @@ class DynamicConfigurator:
     def queued_count(self, job_id: str, task_type: TaskType) -> int:
         return len(self._queues.get((job_id, task_type), ()))
 
+    def clear_wave_queue(self, job_id: str, task_type: TaskType) -> int:
+        """Drop every queued wave configuration for (*job_id*, *task_type*).
+
+        Degraded-mode escape hatch: when the tuner crashes mid-wave its
+        queued trial configurations must stop pinning new tasks --
+        subsequent launches fall through to the job-level
+        (last-known-good) configuration.  Returns the number dropped.
+        """
+        queue = self._queues.get((job_id, task_type))
+        if not queue:
+            return 0
+        dropped = len(queue)
+        queue.clear()
+        return dropped
+
     # ------------------------------------------------------------------
     # ConfigProvider seam (consumed by the app master)
     # ------------------------------------------------------------------

@@ -140,6 +140,14 @@ class _SearchState:
         #: the wave is voided rather than scored (its measurements mix
         #: two different clusters).
         self.capacity_shifted = False
+        #: Set when a control-plane outage (tuner crash or monitor
+        #: blackout) overlapped this batch; voided like a capacity
+        #: shift -- measurements taken while nobody was watching prove
+        #: nothing about the configurations.
+        self.outage_shifted = False
+        #: Set when a tuner crash voided this batch (or deferred the
+        #: next one); recovery reopens it from the incumbent.
+        self.crash_voided = False
 
 
 class _ConservativeState:
@@ -156,13 +164,22 @@ class _ConservativeState:
 class _TunerGate(LaunchGate):
     """Wave gate driven by the tuner's open sample batches."""
 
-    def __init__(self, job: "_JobTuning") -> None:
+    def __init__(self, job: "_JobTuning", tuner: "OnlineTuner") -> None:
         self.job = job
+        self.tuner = tuner
 
     def admit(self, task_type: TaskType, sim: Simulator) -> Event:
         ev = sim.event()
         state = self.job.search_states[task_type]
-        if state.search_done:
+        if self.tuner.tuner_down():
+            # Degraded mode: the tuner process is dead, so nobody is
+            # gating.  Release immediately on the last-known-good job
+            # configuration; wave -1 marks the launch as untracked.
+            # The admitted bump keeps the starved-batch detector's
+            # admitted/stats_seen balance honest (the stats still come).
+            state.admitted += 1
+            ev.succeed(-1)
+        elif state.search_done:
             state.admitted += 1
             ev.succeed(state.wave)
         elif state.slots > 0:
@@ -231,6 +248,15 @@ class OnlineTuner:
         #: spanning one are capacity-shifted and excluded from tuning.
         self._capacity_changes: List[float] = []
         self._elastic: Optional[object] = None
+        #: Control-plane outage windows (tuner crashes and monitor
+        #: blackouts); measurements overlapping one are quarantined.
+        self._outage_windows: List[Tuple[float, float]] = []
+        #: True while the (simulated) tuner process is crashed.
+        self._down = False
+        #: Simulated time the current outage ends; overlapping crashes
+        #: extend it, and a stale recovery callback checks against it.
+        self._down_until = 0.0
+        self._control: Optional[object] = None
         #: Telemetry bus for ``tuner``-category events; :meth:`submit`
         #: picks it up from the cluster's simulator automatically.
         self.telemetry = None
@@ -286,7 +312,7 @@ class OnlineTuner:
                 job.search_states[task_type] = state
                 self._bridge_search_decisions(spec.job_id, state)
                 self._open_batch(job, state)
-            job.gate = _TunerGate(job)
+            job.gate = _TunerGate(job, self)
         else:
             if seed is not None:
                 # Knowledge-base hit: start the single run from it.
@@ -347,6 +373,15 @@ class OnlineTuner:
                     t, live_nodes=len(e.cluster.live_nodes)
                 )
             )
+        control = getattr(
+            getattr(sim_cluster, "fault_injector", None), "control", None
+        )
+        if control is not None and control is not self._control:
+            # Control-plane faults are armed: register for crash /
+            # recover callbacks (a registration mid-outage crashes the
+            # tuner in place, so late-submitted jobs degrade too).
+            self._control = control
+            control.register_tuner(self)
         return am
 
     def submit_to(self, backend, spec: JobSpec):
@@ -409,6 +444,107 @@ class OnlineTuner:
         )
 
     # ------------------------------------------------------------------
+    # Control-plane faults (tuner crash / monitor outage)
+    # ------------------------------------------------------------------
+    def tuner_down(self) -> bool:
+        """True while the (simulated) tuner process is crashed."""
+        return self._down
+
+    def open_search_count(self) -> int:
+        """How many per-task-type searches are currently open."""
+        return sum(
+            0 if state.search_done else 1
+            for job in self._jobs.values()
+            for state in job.search_states.values()
+        )
+
+    def note_control_outage(self, start: float, end: float) -> None:
+        """Quarantine measurements spanning a control-plane outage.
+
+        Used for monitor outages (and by :meth:`on_tuner_crash`): the
+        job keeps running, but a wave whose measurements overlap the
+        dark window is voided rather than scored, and overlapping
+        samples are dropped from the rule windows -- Eq-1 inputs from a
+        blind monitor prove nothing about the configurations.
+        """
+        self._outage_windows.append((start, end))
+        for job in self._jobs.values():
+            for state in job.search_states.values():
+                if not state.search_done:
+                    state.outage_shifted = True
+
+    def _stats_outage_shifted(self, stats: TaskStats) -> bool:
+        """True when the measurement overlaps a control-plane outage."""
+        return any(
+            stats.start_time <= end and start <= stats.end_time
+            for start, end in self._outage_windows
+        )
+
+    def on_tuner_crash(self, now: float, until: float) -> int:
+        """The tuner process died at *now*; it restarts at *until*.
+
+        Open waves with an incumbent are voided immediately: their
+        queued trial configurations are dropped, the job configuration
+        is pinned to the last-known-good (incumbent) values, and every
+        task parked at the gate launches untracked.  Waves still
+        bootstrapping (no incumbent yet -- the initial sampling wave)
+        keep draining their already-queued samples; only the quarantine
+        flag is set, exactly as for a capacity shift.  Returns the
+        number of waves voided.
+        """
+        self._down = True
+        self._down_until = max(self._down_until, until)
+        self.note_control_outage(now, until)
+        voided = 0
+        for job in self._jobs.values():
+            for state in job.search_states.values():
+                if state.search_done:
+                    continue
+                if state.climber.rollback():
+                    voided += 1
+                    state.crash_voided = True
+                    self.configurator.clear_wave_queue(
+                        job.spec.job_id, state.task_type
+                    )
+                    state.slots = 0
+                    state.result_buffer = []
+                    # Stats for voided samples must not reach observe():
+                    # the batch they belonged to no longer exists.
+                    state.bindings.clear()
+                    best = state.climber.best_config(job.spec.base_config)
+                    values = {name: best[name] for name in state.space.names}
+                    self.configurator.set_job_parameters(job.spec.job_id, values)
+                    state.rule_log.append(
+                        f"wave {state.wave}: voided by tuner crash at "
+                        f"t={now:.1f} (degraded on last-known-good until "
+                        f"t={until:.1f})"
+                    )
+                # With the tuner dead nothing refills slots: release
+                # everything parked at the gate, untracked.
+                while state.admission_queue:
+                    ev = state.admission_queue.pop(0)
+                    state.admitted += 1
+                    ev.succeed(-1)
+        return voided
+
+    def on_tuner_recover(self, now: float) -> int:
+        """The tuner restarted; reopen every crash-voided search."""
+        if now < self._down_until:
+            return 0  # a later crash extended the outage
+        self._down = False
+        reopened = 0
+        for job in self._jobs.values():
+            for state in job.search_states.values():
+                if state.search_done or not state.crash_voided:
+                    continue
+                state.crash_voided = False
+                state.outage_shifted = False
+                reopened += 1
+                self._open_batch(job, state)
+                self._maybe_finish_starved(job, state)
+        return reopened
+
+    # ------------------------------------------------------------------
     # Statistics ingestion
     # ------------------------------------------------------------------
     def on_task_stats(self, stats: TaskStats) -> None:
@@ -430,6 +566,11 @@ class OnlineTuner:
 
     # -- aggressive path ----------------------------------------------------
     def _open_batch(self, job: _JobTuning, state: _SearchState) -> None:
+        if self._down:
+            # The tuner process is down: no new waves.  Recovery reopens
+            # this search (covers jobs attached mid-outage too).
+            state.crash_voided = True
+            return
         want = state.climber.replicas
         while True:
             samples = state.climber.propose()
@@ -545,16 +686,27 @@ class OnlineTuner:
         shifted = state.capacity_shifted or any(
             self._stats_capacity_shifted(s) for _sid, s in state.result_buffer
         )
+        # Likewise for waves observed across a control-plane outage: the
+        # monitor was dark (or the tuner dead) for part of the window.
+        outage = state.outage_shifted or any(
+            self._stats_outage_shifted(s) for _sid, s in state.result_buffer
+        )
         if (
-            (suspect > 0 and suspect * 2 >= total) or shifted
+            (suspect > 0 and suspect * 2 >= total) or shifted or outage
         ) and state.climber.rollback():
             state.result_buffer = []
             state.window = []
             state.capacity_shifted = False
+            state.outage_shifted = False
             if shifted:
                 line = (
                     f"wave {state.wave}: rolled back "
                     f"(capacity-shifted: cluster membership changed mid-wave)"
+                )
+            elif outage:
+                line = (
+                    f"wave {state.wave}: rolled back "
+                    f"(outage-shifted: control plane dark mid-wave)"
                 )
             else:
                 line = (
@@ -590,6 +742,7 @@ class OnlineTuner:
             state.climber.observe(sid, task_cost(s, t_max))
         state.result_buffer = []
         state.capacity_shifted = False
+        state.outage_shifted = False
         # Wave complete: gray-box bound adjustment, then the next batch.
         # Fetch-inflated measurements (nonzero fetch_retries) are kept in
         # the history but excluded from the rule window: their durations
@@ -600,7 +753,9 @@ class OnlineTuner:
             bounds=state.climber.bounds,
             window=[
                 s for s in state.window
-                if s.fetch_retries == 0 and not self._stats_capacity_shifted(s)
+                if s.fetch_retries == 0
+                and not self._stats_capacity_shifted(s)
+                and not self._stats_outage_shifted(s)
             ],
             history=state.history,
             rng=self.rng,
@@ -651,9 +806,13 @@ class OnlineTuner:
     # -- conservative path ----------------------------------------------------
     def _on_stats_conservative(self, job: _JobTuning, stats: TaskStats) -> None:
         state = job.conservative_states[stats.task_type]
-        state.window.append(stats)
         state.history.append(stats)
         job.cost_model.observe(stats)
+        if self._down:
+            # Degraded mode: statistics keep accumulating in the history
+            # but no rule updates fire until the tuner restarts.
+            return
+        state.window.append(stats)
         if len(state.window) < self.settings.conservative_window:
             return
         config = self.configurator.job_config(job.spec.job_id)
@@ -666,7 +825,9 @@ class OnlineTuner:
             # _on_stats_aggressive).
             window=[
                 s for s in state.window
-                if s.fetch_retries == 0 and not self._stats_capacity_shifted(s)
+                if s.fetch_retries == 0
+                and not self._stats_capacity_shifted(s)
+                and not self._stats_outage_shifted(s)
             ],
             history=state.history,
             rng=self.rng,
@@ -755,6 +916,25 @@ class OnlineTuner:
         for cstate in job.conservative_states.values():
             out.extend(cstate.rule_log)
         return out
+
+    def session_checkpoint(self, job_id: str) -> Dict[str, object]:
+        """A JSON-safe snapshot of the session's optimizer state.
+
+        One ``WaveOptimizer.checkpoint`` per task-type search --
+        incumbent point and cost, rule-tightened bounds, infeasible
+        regions, and the wave counters -- keyed for the recovery
+        journal.  Conservative sessions have no search state and
+        checkpoint to an empty mapping.
+        """
+        job = self._jobs[job_id]
+        return {
+            "job_id": job_id,
+            "workload": job.spec.workload.name,
+            "searches": {
+                task_type.value: state.climber.checkpoint()
+                for task_type, state in job.search_states.items()
+            },
+        }
 
     def session_summary(self, job_id: str) -> Dict[str, object]:
         """A structured account of the tuning session (for reports/UIs)."""

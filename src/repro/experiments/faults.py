@@ -47,6 +47,9 @@ KIND_TO_KNOB: Dict[str, str] = {
     "node_decommission": "decommissions",
     "node_join": "joins",
     "spot_preempt": "spot_preempts",
+    "tuner_crash": "tuner_crashes",
+    "monitor_outage": "monitor_outages",
+    "stats_gap": "stats_gaps",
 }
 
 #: Failure kind (``TaskStats.failure_kind``) -> the fault kind that
@@ -259,6 +262,9 @@ def _level_plans(
             decommissions=int(knobs.get("decommissions", 0)),
             joins=int(knobs.get("joins", 0)),
             spot_preempts=int(knobs.get("spot_preempts", 0)),
+            tuner_crashes=int(knobs.get("tuner_crashes", 0)),
+            monitor_outages=int(knobs.get("monitor_outages", 0)),
+            stats_gaps=int(knobs.get("stats_gaps", 0)),
         )
         out.append((level, plan_to_json(plan)))
     return tuple(out)

@@ -108,6 +108,9 @@ class SimCluster:
         decommissions: int = 0,
         joins: int = 0,
         spot_preempts: int = 0,
+        tuner_crashes: int = 0,
+        monitor_outages: int = 0,
+        stats_gaps: int = 0,
     ) -> FaultPlan:
         """Arm fault injection, from an explicit *plan* or generated knobs.
 
@@ -136,6 +139,9 @@ class SimCluster:
                 decommissions=decommissions,
                 joins=joins,
                 spot_preempts=spot_preempts,
+                tuner_crashes=tuner_crashes,
+                monitor_outages=monitor_outages,
+                stats_gaps=stats_gaps,
             )
         elastic = None
         if plan.has_elastic_faults:
@@ -152,6 +158,13 @@ class SimCluster:
                 start_node_monitor=self._start_slave_monitor,
                 stop_node_monitor=self._stop_slave_monitor,
             )
+        control = None
+        if plan.has_control_faults:
+            # A control-plane manager wired to this harness's central
+            # monitor; tuners register themselves on submit().
+            from repro.faults.control import ControlPlaneState
+
+            control = ControlPlaneState(self.sim, monitor=self.monitor)
         self.fault_injector = FaultInjector(
             self.sim,
             self.cluster,
@@ -160,6 +173,7 @@ class SimCluster:
             plan,
             fetch_rng=self.rngs.stream("faults", "fetch"),
             elastic=elastic,
+            control=control,
         )
         self.fault_injector.start()
         return plan

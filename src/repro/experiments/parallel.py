@@ -141,7 +141,8 @@ class RunRequest:
     #: declarative input to :func:`repro.faults.generate_fault_plan`
     #: (``crashes``, ``container_kills``, ``degraded``, ``horizon``,
     #: ``link_degraded``, ``link_flaky``, ``rack_partitions``,
-    #: ``decommissions``, ``joins``, ``spot_preempts``).
+    #: ``decommissions``, ``joins``, ``spot_preempts``,
+    #: ``tuner_crashes``, ``monitor_outages``, ``stats_gaps``).
     #: The plan itself is drawn worker-side from the run's own seeded
     #: ``("faults", "plan")`` stream, so the same request always yields
     #: the same scenario.  Alternatively a single ``("plan", json)``
@@ -168,6 +169,7 @@ class RunRequest:
                 "crashes", "container_kills", "degraded", "horizon",
                 "link_degraded", "link_flaky", "rack_partitions",
                 "decommissions", "joins", "spot_preempts",
+                "tuner_crashes", "monitor_outages", "stats_gaps",
             }
             bad = [name for name, _v in self.faults if name not in known]
             if bad:
@@ -353,6 +355,9 @@ def execute_request(request: RunRequest) -> RunOutcome:
                 decommissions=int(knobs.get("decommissions", 0)),
                 joins=int(knobs.get("joins", 0)),
                 spot_preempts=int(knobs.get("spot_preempts", 0)),
+                tuner_crashes=int(knobs.get("tuner_crashes", 0)),
+                monitor_outages=int(knobs.get("monitor_outages", 0)),
+                stats_gaps=int(knobs.get("stats_gaps", 0)),
             )
     spec = make_job_spec(case, sc.hdfs, base_config=request.config())
     recommended = None

@@ -1,9 +1,11 @@
 """Fault injection: declarative plans applied to the live simulation."""
 
+from repro.faults.control import ControlPlaneState
 from repro.faults.elastic import ElasticCluster
 from repro.faults.injector import FaultInjector
 from repro.faults.network_state import NetworkFaultState
 from repro.faults.plan import (
+    CONTROL_FAULT_KINDS,
     ELASTIC_FAULT_KINDS,
     FAULT_KINDS,
     NETWORK_FAULT_KINDS,
@@ -15,9 +17,11 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CONTROL_FAULT_KINDS",
     "ELASTIC_FAULT_KINDS",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",
+    "ControlPlaneState",
     "ElasticCluster",
     "Fault",
     "FaultPlan",

@@ -34,11 +34,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.faults.plan import Fault, FaultPlan
+from repro.faults.plan import CONTROL_FAULT_KINDS, Fault, FaultPlan
 from repro.yarn.node_manager import KillReason, NodeManager
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.topology import Cluster
+    from repro.faults.control import ControlPlaneState
     from repro.faults.elastic import ElasticCluster
     from repro.sim.engine import Simulator
     from repro.yarn.resource_manager import ResourceManager
@@ -56,6 +57,7 @@ class FaultInjector:
         plan: FaultPlan,
         fetch_rng: Optional[np.random.Generator] = None,
         elastic: Optional["ElasticCluster"] = None,
+        control: Optional["ControlPlaneState"] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -68,6 +70,10 @@ class FaultInjector:
         #: manager is built on demand in :meth:`start` when the plan
         #: actually contains elastic kinds.
         self.elastic = elastic
+        #: Control-plane fault manager; same deal as ``elastic`` -- the
+        #: harness passes one wired to its monitor/tuner, and a bare one
+        #: is built on demand when the plan contains a control kind.
+        self.control = control
         #: ``(time, description)`` log of faults actually applied.
         self.applied: List[Tuple[float, str]] = []
         #: Planned faults skipped because their target was already dead.
@@ -97,6 +103,10 @@ class FaultInjector:
             self.elastic = ElasticCluster(
                 self.sim, self.cluster, self.node_managers, self.rm
             )
+        if self.plan.has_control_faults and self.control is None:
+            from repro.faults.control import ControlPlaneState
+
+            self.control = ControlPlaneState(self.sim)
         ordered = [self.node_managers[nid] for nid in sorted(self.node_managers)]
         self.rm.start_failure_detection(ordered)
         for fault in self.plan.faults:
@@ -130,6 +140,12 @@ class FaultInjector:
             # whose rack the newcomer enters.
             node = self.elastic.join(fault.node_id)
             self._applied(fault, f"{fault.describe()} -> node {node.node_id}")
+            return
+        if fault.kind in CONTROL_FAULT_KINDS:
+            # Control-plane faults hit the tuner/monitor sidecar, not a
+            # cluster node, so they too dispatch before the node lookup
+            # (stats_gap carries a node_id but only as a label).
+            self._applied(fault, self.control.apply(fault))
             return
         node = self.cluster.node(fault.node_id)
         nm = self.node_managers[fault.node_id]

@@ -33,6 +33,9 @@ FAULT_KINDS = (
     "node_decommission",
     "node_join",
     "spot_preempt",
+    "tuner_crash",
+    "monitor_outage",
+    "stats_gap",
 )
 
 #: Kinds that act on the network fabric rather than a node's CPU/disks.
@@ -45,6 +48,13 @@ NETWORK_FAULT_KINDS = frozenset({"link_degrade", "link_flaky", "rack_partition"}
 #: registration, capacity-change notifications); fault-free runs and
 #: legacy fault plans never construct any of it.
 ELASTIC_FAULT_KINDS = frozenset({"node_decommission", "node_join", "spot_preempt"})
+
+#: Kinds that attack the advisory control plane (tuner, central
+#: monitor, slave-stats stream) instead of the data plane.  Their
+#: presence in a plan arms the :class:`ControlPlaneState` choreography;
+#: plans without them never construct any of it, so every pre-existing
+#: digest stays byte-identical.
+CONTROL_FAULT_KINDS = frozenset({"tuner_crash", "monitor_outage", "stats_gap"})
 
 
 @dataclass(frozen=True)
@@ -90,6 +100,21 @@ class Fault:
         still running on it is hard-killed and the node is reclaimed.
         During the grace window the AM proactively migrates the doomed
         attempts to other nodes.
+    ``tuner_crash``
+        The online tuner process dies at ``time`` and restarts
+        ``duration`` seconds later.  While down, wave gates release
+        immediately on the last-known-good configuration; on recovery
+        the tuner quarantines (voids) whatever was in flight across the
+        outage and resumes the search from its incumbent.  ``node_id``
+        is an anchor convention only (the tuner is not node-resident).
+    ``monitor_outage``
+        The central monitor is unreachable for ``duration`` seconds:
+        every slave-stats sample in the window is lost, and the tuner
+        treats task measurements spanning the window as suspect.
+    ``stats_gap``
+        One slave monitor (on ``node_id``) stops reporting for
+        ``duration`` seconds -- a gray control-plane failure.  The
+        central monitor bridges the gap instead of reading it as idle.
     """
 
     time: float
@@ -131,6 +156,8 @@ class Fault:
             raise ValueError("rack_partition needs duration > 0")
         if self.kind == "spot_preempt" and self.duration <= 0.0:
             raise ValueError("spot_preempt needs duration > 0 (the grace window)")
+        if self.kind in CONTROL_FAULT_KINDS and self.duration <= 0.0:
+            raise ValueError(f"{self.kind} needs duration > 0 (the outage window)")
 
     def describe(self) -> str:
         if self.kind == "node_crash":
@@ -161,6 +188,15 @@ class Fault:
             return (
                 f"t={self.time:.1f}s spot-preempt notice on node {self.node_id} "
                 f"(kill after {self.duration:.1f}s grace)"
+            )
+        if self.kind == "tuner_crash":
+            return f"t={self.time:.1f}s tuner crash (restarts +{self.duration:.1f}s)"
+        if self.kind == "monitor_outage":
+            return f"t={self.time:.1f}s monitor outage for {self.duration:.1f}s"
+        if self.kind == "stats_gap":
+            return (
+                f"t={self.time:.1f}s stats gap on node {self.node_id} "
+                f"for {self.duration:.1f}s"
             )
         recov = f", recovers +{self.recover_time:.1f}s" if self.recover_time > 0 else ""
         return (
@@ -202,6 +238,10 @@ class FaultPlan:
     @property
     def has_elastic_faults(self) -> bool:
         return any(f.kind in ELASTIC_FAULT_KINDS for f in self.faults)
+
+    @property
+    def has_control_faults(self) -> bool:
+        return any(f.kind in CONTROL_FAULT_KINDS for f in self.faults)
 
     def describe(self) -> List[str]:
         return [f.describe() for f in self.faults]
@@ -269,6 +309,9 @@ def generate_fault_plan(
     decommissions: int = 0,
     joins: int = 0,
     spot_preempts: int = 0,
+    tuner_crashes: int = 0,
+    monitor_outages: int = 0,
+    stats_gaps: int = 0,
 ) -> FaultPlan:
     """Draw a random fault scenario from *rng*.
 
@@ -290,6 +333,12 @@ def generate_fault_plan(
     rule: its draws come after every legacy *and* network draw.  Drain
     and preemption targets are distinct non-crashed nodes, and at least
     one seed node always stays in service.
+
+    Control-plane faults (``tuner_crashes`` tuner restarts,
+    ``monitor_outages`` central-monitor blackouts, ``stats_gaps``
+    single-slave reporting gaps) are the newest family and are drawn
+    strictly after every legacy, network, *and* elastic draw, keeping
+    every older-knob plan bit-identical from the same stream.
     """
     if num_nodes < 1:
         raise ValueError("need at least one node")
@@ -300,6 +349,8 @@ def generate_fault_plan(
     if link_degraded < 0 or link_flaky < 0 or rack_partitions < 0:
         raise ValueError("fault counts must be >= 0")
     if decommissions < 0 or joins < 0 or spot_preempts < 0:
+        raise ValueError("fault counts must be >= 0")
+    if tuner_crashes < 0 or monitor_outages < 0 or stats_gaps < 0:
         raise ValueError("fault counts must be >= 0")
     if crashes + decommissions + spot_preempts >= num_nodes:
         raise ValueError(
@@ -400,10 +451,48 @@ def generate_fault_plan(
         anchor = int(rng.integers(num_nodes))
         t = float(rng.uniform(0.10, 0.50)) * horizon
         faults.append(Fault(time=t, kind="node_join", node_id=anchor))
+    # -- control-plane faults: the newest family, drawn after every
+    # legacy, network, and elastic draw so all older-knob plans replay
+    # bit-identically from the same stream.  Crash/outage windows land
+    # mid-run (late enough that a search is underway, early enough that
+    # recovery happens within the horizon).  The tuner and the central
+    # monitor are not node-resident; node 0 is an anchor convention.
+    for _ in range(tuner_crashes):
+        t = float(rng.uniform(0.15, 0.55)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="tuner_crash",
+                node_id=0,
+                duration=float(rng.uniform(0.15, 0.35)) * horizon,
+            )
+        )
+    for _ in range(monitor_outages):
+        t = float(rng.uniform(0.15, 0.55)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="monitor_outage",
+                node_id=0,
+                duration=float(rng.uniform(0.10, 0.30)) * horizon,
+            )
+        )
+    for _ in range(stats_gaps):
+        node_id = int(healthy[int(rng.integers(len(healthy)))])
+        t = float(rng.uniform(0.10, 0.60)) * horizon
+        faults.append(
+            Fault(
+                time=t,
+                kind="stats_gap",
+                node_id=node_id,
+                duration=float(rng.uniform(0.10, 0.25)) * horizon,
+            )
+        )
     return FaultPlan(tuple(faults))
 
 
 __all__ = [
+    "CONTROL_FAULT_KINDS",
     "ELASTIC_FAULT_KINDS",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",

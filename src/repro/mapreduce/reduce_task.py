@@ -27,6 +27,7 @@ from repro.mapreduce.task_context import TaskContext
 from repro.monitor.statistics import TaskStats
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt
 from repro.sim.resources import Link
+from repro.util.backoff import BackoffPolicy
 
 MB = 1024 * 1024
 
@@ -84,7 +85,7 @@ def _shuffle_with_recovery(
     def fetch_segment(m: int) -> Generator[Event, object, Tuple[str, int, int, float]]:
         nonlocal seq
         retries = 0
-        backoff = s.backoff_base
+        delays = BackoffPolicy(base=s.backoff_base, cap=s.backoff_max).delays()
         while True:
             if cancelled:
                 return ("cancelled", m, -1, 0.0)
@@ -137,9 +138,9 @@ def _shuffle_with_recovery(
                 )
             if retries > s.max_retries:
                 return ("failed", m, src_id, 0.0)
-            stats.fetch_penalty_seconds += backoff
-            yield sim.timeout(backoff)
-            backoff = min(s.backoff_max, backoff * 2.0)
+            pause = next(delays)
+            stats.fetch_penalty_seconds += pause
+            yield sim.timeout(pause)
 
     while True:
         cursor, fresh = catalog.new_outputs_since(cursor)

@@ -8,7 +8,7 @@ both through query methods -- it never touches simulator internals.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.mapreduce.jobspec import TaskType
 from repro.monitor.statistics import NodeStats, TaskStats, UtilizationTimeline
@@ -44,6 +44,10 @@ class CentralMonitor:
         #: set instead of averaging over ghosts.
         self.departed_nodes: Dict[int, float] = {}
         self.joined_nodes: Dict[int, float] = {}
+        #: Blackout windows ``(node_id-or-None, start, end)`` opened by
+        #: injected monitor outages / stats gaps.  Node samples inside
+        #: an applicable window are dropped on ingestion.
+        self.gaps: List[Tuple[Optional[int], float, float]] = []
         if bus is not None:
             self.subscribe_to(bus)
 
@@ -82,7 +86,29 @@ class CentralMonitor:
         for listener in self.task_listeners:
             listener(stats)
 
+    def begin_gap(
+        self, start: float, end: float, node_id: Optional[int] = None
+    ) -> None:
+        """Black out node-sample ingestion over ``[start, end]``.
+
+        ``node_id=None`` means cluster-wide (a central-monitor outage);
+        a specific id silences one slave monitor.  Task statistics keep
+        flowing -- they arrive through the app masters' completion path,
+        which buffers until the monitor answers -- but utilization
+        samples inside the window are lost for good, so the timelines
+        bridge the gap with the last pre-window level.
+        """
+        self.gaps.append((node_id, start, end))
+
+    def _in_gap(self, node_id: int, time: float) -> bool:
+        return any(
+            (gap_node is None or gap_node == node_id) and start <= time <= end
+            for gap_node, start, end in self.gaps
+        )
+
     def on_node_stats(self, sample: NodeStats) -> None:
+        if self.gaps and self._in_gap(sample.node_id, sample.time):
+            return
         self.node_samples.append(sample)
         self.cpu_timelines[sample.node_id].add(sample.time, sample.cpu_utilization)
         self.mem_timelines[sample.node_id].add(sample.time, sample.memory_utilization)

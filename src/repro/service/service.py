@@ -82,6 +82,16 @@ class ServiceConfig:
     preempt_after: Optional[float] = 2000.0
     #: Victim down-weight multiplier on preemption.
     preempt_weight_factor: float = 0.1
+    #: Write-ahead journal path (arms crash recovery; None disables).
+    #: Rerunning against an existing journal resumes the killed run.
+    journal_path: Optional[str] = None
+    #: Simulate a hard crash: raise :class:`ServiceKilled` after this
+    #: many *newly journaled* completions (0 disables; needs a journal).
+    kill_after_jobs: int = 0
+    #: JSON fault plan (``repro.faults.plan_to_json``) injected into the
+    #: simulated cluster before the stream starts (sim backend only).
+    #: Kept as the JSON string so the frozen config stays hashable.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -94,6 +104,31 @@ class ServiceConfig:
             raise ValueError("preempt_after must be positive (or None)")
         if not 0.0 < self.preempt_weight_factor <= 1.0:
             raise ValueError("preempt_weight_factor must be in (0, 1]")
+        if self.kill_after_jobs < 0:
+            raise ValueError("kill_after_jobs must be >= 0")
+        if self.kill_after_jobs and not self.journal_path:
+            raise ValueError("kill_after_jobs requires journal_path")
+
+    def fingerprint(self) -> str:
+        """sha256 identity of the run the journal binds itself to.
+
+        The journal/kill knobs are excluded on purpose: the killed run
+        and its resume differ exactly there, yet must share a journal.
+        """
+        import hashlib
+
+        identity = (
+            self.tenants,
+            self.jobs_per_tenant,
+            self.seed,
+            self.capacity,
+            self.tuned,
+            self.warm_start,
+            self.preempt_after,
+            self.preempt_weight_factor,
+            self.fault_plan,
+        )
+        return hashlib.sha256(repr(identity).encode()).hexdigest()
 
 
 @dataclass
@@ -136,6 +171,10 @@ def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
     sc = backend.cluster
     sim = sc.sim
     bus = sc.telemetry
+    if config.fault_plan:
+        from repro.faults import plan_from_json
+
+        sc.inject_faults(plan=plan_from_json(config.fault_plan))
     tenant_specs = {t.name: t for t in config.tenants}
     arrivals = generate_arrivals(config.tenants, config.jobs_per_tenant, config.seed)
     tuner_service = TunerService(config.seed, warm_start=config.warm_start)
@@ -145,6 +184,24 @@ def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
     state = _ServiceState()
     total = len(arrivals)
     done = sim.event()
+
+    # Crash recovery: the simulator resumes by *re-running* the whole
+    # trace (it is deterministic) and cross-validating every replayed
+    # completion against the journaled prefix -- so a killed and
+    # recovered run reproduces the uninterrupted report byte-for-byte,
+    # and any code/config drift surfaces as JournalDivergence instead
+    # of a silently different report.
+    journal = None
+    prior_jobs: Dict[Tuple[str, int], CompletedJob] = {}
+    prior_preemptions: List[Dict[str, object]] = []
+    fresh_jobs = 0
+    if config.journal_path:
+        from repro.recovery import JournalDivergence, ServiceJournal, ServiceKilled
+
+        journal = ServiceJournal(config.journal_path)
+        prior = journal.open(config.fingerprint())
+        prior_jobs = {(j.tenant, j.index): j for j in prior.jobs}
+        prior_preemptions = list(prior.preemptions)
 
     def emit(event) -> None:
         if bus.wants("service"):
@@ -190,6 +247,44 @@ def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
                 return
             launch(pick[0], pick[1])
 
+    def journal_completion(record, session, job, job_id) -> None:
+        """Validate against the journaled prefix or append-and-fsync.
+
+        A completion inside the recovered prefix must replay exactly
+        (same identity, same timestamps); one beyond it is written
+        ahead -- job record, tuning summary, optimizer checkpoints, and
+        the tenant's knowledge-base snapshot -- before the service
+        reacts to it.  The ``kill_after_jobs`` crash fires only on
+        *newly* journaled jobs, so a resumed run replays the prefix and
+        then dies N jobs further in (or finishes).
+        """
+        nonlocal fresh_jobs
+        key = (record.tenant, record.index)
+        prior_record = prior_jobs.pop(key, None)
+        if prior_record is not None:
+            if prior_record != record:
+                raise JournalDivergence(
+                    f"resumed run diverged from journal at "
+                    f"{record.tenant}#{record.index}: journaled "
+                    f"{prior_record}, replayed {record}"
+                )
+            return
+        journal.record_job(record)
+        if session is not None:
+            journal.record_tuning(session)
+            journal.record_checkpoint(
+                record.tenant,
+                record.profile,
+                record.index,
+                job.tuner.session_checkpoint(job_id)["searches"],
+            )
+            journal.record_knowledge(
+                record.tenant, tuner_service.knowledge_base(record.tenant)
+            )
+        fresh_jobs += 1
+        if config.kill_after_jobs and fresh_jobs >= config.kill_after_jobs:
+            raise ServiceKilled(len(state.completed))
+
     def on_complete(job_id: str, result) -> None:
         job = state.running.pop(job_id)
         tenant = tenant_specs[job.tenant]
@@ -208,10 +303,13 @@ def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
             preempted_into=job.forced,
         )
         state.completed.append(record)
+        session = None
         if job.tuner is not None:
-            tuner_service.record_session(
+            session = tuner_service.record_session(
                 job.tenant, job.arrival.profile, job.arrival.index, job.tuner, job_id
             )
+        if journal is not None:
+            journal_completion(record, session, job, job_id)
         dispatcher.finish(job.tenant)
         emit(
             ServiceJobCompleted(
@@ -256,6 +354,23 @@ def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
         )
         sc.rm.set_app_weight(victim_job_id, new_weight)
         state.preemptions += 1
+        if journal is not None:
+            decision = {
+                "time": sim.now,
+                "tenant": arrival.tenant,
+                "victim_tenant": victim_tenant,
+            }
+            if prior_preemptions:
+                prior_decision = prior_preemptions.pop(0)
+                if prior_decision != decision:
+                    raise JournalDivergence(
+                        f"resumed run diverged from journal: journaled "
+                        f"preemption {prior_decision}, replayed {decision}"
+                    )
+            else:
+                journal.record_preemption(
+                    sim.now, arrival.tenant, victim_tenant
+                )
         emit(
             ServicePreemption(
                 time=sim.now,
@@ -290,8 +405,18 @@ def run_service(config: ServiceConfig, backend=None) -> ServiceReport:
 
     for arrival in arrivals:
         sim.call_at(arrival.time, lambda a=arrival: on_arrival(a))
-    if total:
-        sim.run_until_complete(done)
+    try:
+        if total:
+            sim.run_until_complete(done)
+    finally:
+        if journal is not None:
+            journal.close()
+    if journal is not None and prior_jobs:
+        leftover = sorted(prior_jobs)
+        raise JournalDivergence(
+            f"{len(leftover)} journaled job(s) never replayed on resume: "
+            f"{leftover[:5]}"
+        )
 
     report = build_report(
         seed=config.seed,
@@ -331,7 +456,13 @@ def run_service_local(
     tuning session, so the warm-vs-cold bookkeeping is exercised against
     real task executions.  Latencies are wall-clock and the report's
     digest is *not* pinned anywhere.
+
+    With ``config.journal_path`` set, resume is a genuine skip-ahead:
+    wall-clock work is not replayable, so journaled jobs are loaded
+    from disk instead of re-executed and the tenant knowledge bases are
+    restored so later warm starts still see the pre-crash sessions.
     """
+    import json as _json
     import os
     import shutil
     import tempfile
@@ -342,9 +473,26 @@ def run_service_local(
         local_job_spec,
     )
 
+    if config.fault_plan:
+        raise ValueError("fault_plan is simulator-only; the local backend "
+                         "meets real crashes, not injected ones")
     arrivals = generate_arrivals(config.tenants, config.jobs_per_tenant, config.seed)
     tenant_specs = {t.name: t for t in config.tenants}
     tuner_service = TunerService(config.seed, warm_start=config.warm_start)
+    journal = None
+    journaled_keys: set = set()
+    fresh_jobs = 0
+    clock_floor = 0.0
+    if config.journal_path:
+        from repro.recovery import ServiceJournal, ServiceKilled
+
+        journal = ServiceJournal(config.journal_path)
+        prior = journal.open(config.fingerprint())
+        journaled_keys = prior.completed_keys()
+        clock_floor = max((j.completion for j in prior.jobs), default=0.0)
+        tuner_service.records.extend(prior.tuning)
+        for tenant, entries in prior.knowledge.items():
+            tuner_service.restore_knowledge(tenant, _json.dumps(entries))
     own_workspace = workspace is None
     if own_workspace:
         workspace = tempfile.mkdtemp(prefix="repro-service-")
@@ -353,12 +501,16 @@ def run_service_local(
         corpus_dir, num_splits=num_splits, split_kb=split_kb, seed=config.seed
     )
     completed: List[CompletedJob] = []
+    if journal is not None:
+        completed.extend(prior.jobs)
     backend = LocalProcessBackend(
         workspace=os.path.join(workspace, "jobs"), seed=config.seed
     )
     try:
-        clock = 0.0
+        clock = clock_floor
         for arrival in arrivals:
+            if (arrival.tenant, arrival.index) in journaled_keys:
+                continue  # recovered from the journal, not re-executed
             # An open stream replayed at full speed: a job "arrives" at
             # its trace time and starts when the machine frees up.
             clock = max(clock, arrival.time)
@@ -383,31 +535,50 @@ def run_service_local(
             execution = _time.monotonic() - start_wall
             dispatch = clock
             clock += execution
-            completed.append(
-                CompletedJob(
-                    tenant=arrival.tenant,
-                    profile=arrival.profile,
-                    index=arrival.index,
-                    arrival=arrival.time,
-                    dispatch=dispatch,
-                    completion=clock,
-                    slo_seconds=tenant_specs[arrival.tenant].slo_seconds,
-                    warm_started=(
-                        tuner is not None
-                        and tuner.warm_start_seeds.get(spec.job_id) is not None
-                    ),
-                )
+            record = CompletedJob(
+                tenant=arrival.tenant,
+                profile=arrival.profile,
+                index=arrival.index,
+                arrival=arrival.time,
+                dispatch=dispatch,
+                completion=clock,
+                slo_seconds=tenant_specs[arrival.tenant].slo_seconds,
+                warm_started=(
+                    tuner is not None
+                    and tuner.warm_start_seeds.get(spec.job_id) is not None
+                ),
             )
+            completed.append(record)
+            session = None
             if tuner is not None:
-                tuner_service.record_session(
+                session = tuner_service.record_session(
                     arrival.tenant,
                     arrival.profile,
                     arrival.index,
                     tuner,
                     spec.job_id,
                 )
+            if journal is not None:
+                journal.record_job(record)
+                if session is not None:
+                    journal.record_tuning(session)
+                    journal.record_checkpoint(
+                        arrival.tenant,
+                        arrival.profile,
+                        arrival.index,
+                        tuner.session_checkpoint(spec.job_id)["searches"],
+                    )
+                    journal.record_knowledge(
+                        arrival.tenant,
+                        tuner_service.knowledge_base(arrival.tenant),
+                    )
+                fresh_jobs += 1
+                if config.kill_after_jobs and fresh_jobs >= config.kill_after_jobs:
+                    raise ServiceKilled(len(completed))
     finally:
         backend.close()
+        if journal is not None:
+            journal.close()
         if own_workspace:
             shutil.rmtree(workspace, ignore_errors=True)
     return build_report(

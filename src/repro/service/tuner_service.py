@@ -91,6 +91,15 @@ class TunerService:
             kb = self._knowledge[tenant] = TuningKnowledgeBase()
         return kb
 
+    def restore_knowledge(self, tenant: str, payload: str) -> None:
+        """Reinstate a journaled knowledge-base snapshot (JSON).
+
+        Used by the local-backend resume path: skipped (already
+        journaled) sessions never re-run, so their knowledge must come
+        off disk for later warm starts to see it.
+        """
+        self._knowledge[tenant] = TuningKnowledgeBase.from_json(payload)
+
     def tuner_for(self, tenant: str, profile: str, index: int) -> OnlineTuner:
         """A fresh aggressive tuning session for one dispatched job.
 

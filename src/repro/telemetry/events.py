@@ -500,6 +500,66 @@ class SearchDecision(TelemetryEvent):
     detail: Mapping[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class TunerCrash(TelemetryEvent):
+    """The tuner process died; wave gates fall back to releasing tasks
+    immediately on the last-known-good configuration until recovery."""
+
+    category: ClassVar[str] = "tuner"
+    kind: ClassVar[str] = "tuner_crash"
+
+    down_until: float = 0.0
+    open_searches: int = 0
+    voided_waves: int = 0
+
+
+@dataclass(frozen=True)
+class TunerRecovered(TelemetryEvent):
+    """The tuner restarted after a crash: outage-spanning waves were
+    quarantined and the search resumed from the incumbent."""
+
+    category: ClassVar[str] = "tuner"
+    kind: ClassVar[str] = "tuner_recovered"
+
+    downtime: float = 0.0
+    reopened_waves: int = 0
+
+
+@dataclass(frozen=True)
+class MonitorOutage(TelemetryEvent):
+    """The central monitor went dark: slave-stats samples in the window
+    are lost and Eq-1 windows bridge the gap instead of reading zeros."""
+
+    category: ClassVar[str] = "fault"
+    kind: ClassVar[str] = "monitor_outage"
+
+    until: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatsGap(TelemetryEvent):
+    """One slave monitor stopped reporting for a window."""
+
+    category: ClassVar[str] = "fault"
+    kind: ClassVar[str] = "stats_gap"
+
+    node_id: int = -1
+    until: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkerHang(TelemetryEvent):
+    """The local backend's watchdog SIGKILLed a worker that blew its
+    wall-clock liveness deadline; the task retries as ``hang``."""
+
+    category: ClassVar[str] = "fault"
+    kind: ClassVar[str] = "worker_hang"
+
+    task: str = ""
+    deadline: float = 0.0
+    attempt: int = 0
+
+
 # ----------------------------------------------------------------------
 # service: the multi-tenant tuning service
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -56,8 +57,48 @@ class JsonlExporter:
         return hashlib.sha256(self.dumps().encode()).hexdigest()
 
     def save(self, path: str) -> None:
-        with open(path, "w") as fh:
-            fh.write(self.dumps())
+        """Crash-safe write: the log appears atomically or not at all.
+
+        The bytes land in a sibling ``<path>.tmp`` first and are
+        fsynced, then renamed over *path* -- a crash mid-write leaves
+        any previous log intact instead of a torn half-file.
+        """
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(self.dumps())
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+def replay_records(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL file, tolerating a torn final line.
+
+    Append-mode writers (the recovery journal) can die mid-line; every
+    complete line before the tear is intact by construction, so replay
+    returns those and silently drops a trailing partial record.  A
+    malformed line *before* the end still raises -- that is corruption,
+    not a crash artifact.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        lines = fh.read().split("\n")
+    # A well-formed file ends with "\n", leaving a final empty chunk.
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn final line: the crash ate the tail
+            raise
+    return records
 
 
 class ChromeTraceExporter:

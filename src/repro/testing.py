@@ -3,24 +3,41 @@
 from __future__ import annotations
 
 import os
-from typing import Union
+from typing import List, Union
 
 from repro.hdfs.filesystem import HdfsFileSystem
 
 
-def _local_backend_leaks(target) -> list:
-    """Leaked attempt-temporaries of a LocalProcessBackend or directory."""
+def leaked_temporaries(target) -> List[str]:
+    """Every uncommitted temporary left behind under *target*.
+
+    Two kinds of debris count, covering both staging conventions in the
+    codebase:
+
+    - files under an attempt-staging ``_temporary`` directory (both
+      runtimes rename a winning attempt's directory into place and
+      sweep the rest);
+    - ``*.tmp`` siblings of the atomic tmp-then-rename writers (the
+      telemetry exporters and the recovery journal's repair rewrite
+      stage through ``<path>.tmp`` and must rename or unlink it).
+
+    A :class:`~repro.backends.local.LocalProcessBackend` is asked for
+    its own ``leaked_temporaries()``; anything else is treated as a
+    directory path and walked on disk.
+    """
     if hasattr(target, "leaked_temporaries"):
-        return list(target.leaked_temporaries())
+        return sorted(target.leaked_temporaries())
     leaks = []
     for root, _dirs, files in os.walk(str(target)):
-        if "_temporary" in root.split(os.sep):
-            leaks.extend(os.path.join(root, name) for name in files)
+        staged = "_temporary" in root.split(os.sep)
+        for name in files:
+            if staged or name.endswith(".tmp"):
+                leaks.append(os.path.join(root, name))
     return sorted(leaks)
 
 
 def assert_no_output_leaks(target: Union[HdfsFileSystem, str, object]) -> None:
-    """Assert every attempt-temporary file was committed or deleted.
+    """Assert every staged temporary was committed or deleted.
 
     Both runtimes stage attempt output under a ``_temporary`` directory
     and either rename it into place (the winning attempt) or sweep it
@@ -31,12 +48,14 @@ def assert_no_output_leaks(target: Union[HdfsFileSystem, str, object]) -> None:
       ``list_files()``;
     - a :class:`~repro.backends.local.LocalProcessBackend` is asked for
       its :meth:`leaked_temporaries`;
-    - a plain path (e.g. a backend workspace that already closed) is
-      walked on disk.
+    - a plain path (e.g. a backend workspace that already closed, or a
+      directory holding journals/exports) is checked through
+      :func:`leaked_temporaries`, which also flags orphaned ``*.tmp``
+      files from the atomic-rename writers.
     """
     if isinstance(target, HdfsFileSystem):
         stale = [path for path in target.list_files() if "/_temporary/" in path]
         assert not stale, f"leaked attempt-temporary HDFS files: {stale}"
         return
-    stale = _local_backend_leaks(target)
-    assert not stale, f"leaked attempt-temporary local files: {stale}"
+    stale = leaked_temporaries(target)
+    assert not stale, f"leaked temporary files: {stale}"

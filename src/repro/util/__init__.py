@@ -1,0 +1,5 @@
+"""Small shared utilities with no repro-internal dependencies."""
+
+from repro.util.backoff import BackoffPolicy, decorrelated_jitter_delays
+
+__all__ = ["BackoffPolicy", "decorrelated_jitter_delays"]

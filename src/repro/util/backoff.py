@@ -1,0 +1,60 @@
+"""Shared retry-backoff schedules.
+
+Two callers grew ad-hoc copies of the same loop -- the shuffle
+fetch-recovery path (`repro.mapreduce.reduce_task`) and the local
+backend's worker-retry path -- so the schedule lives here once.
+
+Both generators are deterministic: :meth:`BackoffPolicy.delays` is a
+pure function of the policy, and :func:`decorrelated_jitter_delays` is
+a pure function of the policy plus the caller-supplied RNG stream.
+Nothing here sleeps; callers own the clock (simulated timeouts or
+``time.sleep``), which is what keeps digest-pinned simulations and
+wall-clock retries on one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """An exponential backoff schedule: ``base, base*factor, ...`` capped.
+
+    The growth step is computed iteratively as ``min(cap, prev * factor)``
+    -- bit-identical to the historical inline loops, which pinned digests
+    depend on (``base * factor**n`` rounds differently in floating point).
+    """
+
+    base: float
+    cap: float
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("backoff base must be positive")
+        if self.cap < self.base:
+            raise ValueError("backoff cap must be >= base")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def delays(self) -> Iterator[float]:
+        """Infinite deterministic delay sequence for one retry episode."""
+        delay = self.base
+        while True:
+            yield delay
+            delay = min(self.cap, delay * self.factor)
+
+
+def decorrelated_jitter_delays(policy: BackoffPolicy, rng) -> Iterator[float]:
+    """AWS-style decorrelated jitter: ``min(cap, uniform(base, prev*3))``.
+
+    Spreads concurrent retriers apart (the exponential schedule
+    synchronizes them), yet stays deterministic given *rng* -- pass a
+    dedicated seeded stream so replays draw the same sleeps.
+    """
+    delay = policy.base
+    while True:
+        yield delay
+        delay = min(policy.cap, float(rng.uniform(policy.base, delay * 3.0)))

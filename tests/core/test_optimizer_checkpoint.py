@@ -1,0 +1,162 @@
+"""Checkpoint/restore of the shared wave-optimizer state.
+
+The recovery journal snapshots every finished session's optimizers via
+``WaveOptimizer.checkpoint``; these tests pin the contract: the
+snapshot is JSON-round-trip safe, carries the incumbent (point *and*
+cost), the rule-tightened bounds, and the infeasible regions, and a
+freshly constructed optimizer restored from it answers the questions
+the tuner asks (``best_config``, ``is_infeasible``, ``rollback``) the
+way the original would.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import parameters as P
+from repro.core.cost import FAILURE_COST
+from repro.core.hill_climbing import GrayBoxHillClimber, HillClimbSettings
+from repro.core.optimizers import make_optimizer
+from repro.core.parameters import PARAMETER_SPACE
+
+SETTINGS = HillClimbSettings(m=6, n=4, global_search_limit=2)
+
+
+def subspace():
+    return PARAMETER_SPACE.subspace([P.IO_SORT_MB, P.SORT_SPILL_PERCENT])
+
+
+def make(seed=7):
+    return make_optimizer(
+        "hill_climb", subspace(), np.random.default_rng(seed), SETTINGS
+    )
+
+
+def bowl(point):
+    return float(np.sum((point - 0.4) ** 2))
+
+
+def drive_waves(opt, waves, objective=bowl, mark_infeasible_first=False):
+    """Observe *waves* full waves (no batch left in flight)."""
+    for _ in range(waves):
+        samples = opt.propose()
+        if not samples:
+            return
+        if mark_infeasible_first:
+            opt.mark_infeasible(samples[0].sample_id)
+            mark_infeasible_first = False
+        for s in opt.pending_samples():
+            cost = objective(s.point)
+            opt.observe(
+                s.sample_id,
+                FAILURE_COST if opt.is_infeasible(s.point) else cost,
+            )
+
+
+class TestCheckpointRoundTrip:
+    def test_snapshot_is_json_safe(self):
+        opt = make()
+        drive_waves(opt, 3, mark_infeasible_first=True)
+        ckpt = opt.checkpoint()
+        assert ckpt == json.loads(json.dumps(ckpt))
+
+    def test_restore_reinstates_counters_and_incumbent(self):
+        opt = make()
+        drive_waves(opt, 3)
+        ckpt = opt.checkpoint()
+        restored = make(seed=99)
+        restored.restore(ckpt)
+        assert restored.samples_proposed == opt.samples_proposed
+        assert restored.observations == opt.observations
+        assert restored.waves_started == opt.waves_started
+        assert restored.wave_of_best == opt.wave_of_best
+        assert restored.cost_trajectory == opt.cost_trajectory
+        assert restored.best_cost() == pytest.approx(opt.best_cost())
+        np.testing.assert_allclose(restored.best_point(), opt.best_point())
+        base = restored.best_config()
+        assert base.as_dict() == opt.best_config().as_dict()
+
+    def test_checkpoint_of_restore_round_trips(self):
+        opt = make()
+        drive_waves(opt, 3, mark_infeasible_first=True)
+        ckpt = json.loads(json.dumps(opt.checkpoint()))
+        restored = make(seed=99)
+        restored.restore(ckpt)
+        assert restored.checkpoint() == ckpt
+
+    def test_bounds_and_infeasible_regions_survive(self):
+        opt = make()
+        drive_waves(opt, 2, mark_infeasible_first=True)
+        opt.bounds.raise_lower(0, 0.2)
+        bad_point = opt._infeasible_points[0]
+        restored = make(seed=99)
+        restored.restore(opt.checkpoint())
+        assert restored.bounds.lo[0] == pytest.approx(0.2)
+        assert restored.is_infeasible(bad_point)
+        assert restored.infeasible_regions == opt.infeasible_regions
+        assert restored.infeasible_marks == opt.infeasible_marks
+
+    def test_restored_incumbent_supports_rollback(self):
+        # The restored optimizer can void a distrusted wave and fall
+        # back to the journaled incumbent -- the degraded-mode path.
+        opt = make()
+        drive_waves(opt, 2)
+        restored = make(seed=99)
+        restored.restore(opt.checkpoint())
+        assert restored.propose()
+        assert restored.rollback()
+        assert restored.best_cost() == pytest.approx(opt.best_cost())
+
+    def test_restored_search_continues(self):
+        opt = make()
+        drive_waves(opt, 2)
+        restored = make(seed=99)
+        restored.restore(opt.checkpoint())
+        before = restored.waves_started
+        drive_waves(restored, 1)
+        assert restored.waves_started == before + 1
+
+
+class TestCheckpointEdges:
+    def test_restore_over_in_flight_batch_raises(self):
+        opt = make()
+        drive_waves(opt, 1)
+        donor = make(seed=11)
+        drive_waves(donor, 1)
+        opt.propose()  # wave now in flight
+        with pytest.raises(RuntimeError, match="in-flight batch"):
+            opt.restore(donor.checkpoint())
+
+    def test_fresh_optimizer_checkpoint_is_empty(self):
+        ckpt = make().checkpoint()
+        assert ckpt["samples_proposed"] == 0
+        assert ckpt["incumbent_point"] is None
+        assert ckpt["incumbent_cost"] is None
+        assert not ckpt["done"]
+        restored = make(seed=99)
+        restored.restore(ckpt)
+        assert restored.best_point() is None
+        assert not restored.rollback()
+
+    def test_in_flight_batch_is_excluded_from_checkpoint(self):
+        opt = make()
+        drive_waves(opt, 2)
+        quiescent = opt.checkpoint()
+        opt.propose()  # open a wave, observe nothing
+        assert opt.checkpoint()["observations"] == quiescent["observations"]
+
+    def test_done_flag_round_trips(self):
+        opt = make()
+        # Drive to termination.
+        for _ in range(400):
+            samples = opt.propose()
+            if not samples:
+                break
+            for s in opt.pending_samples():
+                opt.observe(s.sample_id, bowl(s.point))
+        assert opt.finished
+        restored = make(seed=99)
+        restored.restore(opt.checkpoint())
+        assert restored.finished
+        assert restored.propose() == []

@@ -1,0 +1,325 @@
+"""Control-plane faults: tuner crashes, monitor outages, stats gaps.
+
+Covers the degraded-mode chain end to end: a mid-search tuner crash
+voids the open wave, drops its queued trial configurations, pins the
+job to the last-known-good configuration, releases gated tasks
+untracked, and -- at the scheduled restart -- reopens the search from
+the incumbent.  Monitor outages and per-node stats gaps black out
+sample ingestion without poisoning the rule windows.
+"""
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.configuration import Configuration
+from repro.core.hill_climbing import HillClimbSettings
+from repro.core.tuner import OnlineTuner, TunerSettings, TuningStrategy
+from repro.experiments.harness import SimCluster
+from repro.faults import ControlPlaneState, Fault, FaultPlan
+from repro.faults.control import ControlPlaneState as DirectControlPlaneState
+from repro.mapreduce.jobspec import JobSpec, TaskType, WorkloadProfile
+from repro.monitor.central_monitor import CentralMonitor
+from repro.monitor.statistics import NodeStats
+from repro.sim.engine import Simulator
+from repro.telemetry.events import (
+    MonitorOutage,
+    StatsGap,
+    TunerCrash,
+    TunerRecovered,
+)
+from repro.testing import assert_no_output_leaks
+from repro.workloads.datasets import DatasetSpec
+from repro.yarn.app_master import FaultToleranceSettings
+
+MB = 1024**2
+
+
+def small_cluster(seed=0, start_monitors=False):
+    return SimCluster(
+        seed=seed,
+        cluster_spec=ClusterSpec(num_slaves=4, racks=(2, 2)),
+        start_monitors=start_monitors,
+        fault_tolerance=FaultToleranceSettings(),
+    )
+
+
+def search_spec(sc, blocks=36, reducers=8):
+    DatasetSpec("d", num_blocks=blocks).load(sc.hdfs, "/in")
+    profile = WorkloadProfile(
+        name="t", map_output_ratio=1.0, map_output_record_size=100.0,
+        map_output_noise=0.02, partition_skew=0.1,
+        map_fixed_mem_bytes=150 * MB, reduce_fixed_mem_bytes=200 * MB,
+    )
+    return JobSpec(
+        name="t", workload=profile, input_path="/in", num_reducers=reducers,
+        base_config=Configuration(), slowstart=0.05,
+    )
+
+
+def make_tuner(strategy=TuningStrategy.AGGRESSIVE):
+    return OnlineTuner(
+        strategy,
+        settings=TunerSettings(
+            hill_climb=HillClimbSettings(m=4, n=4, global_search_limit=2),
+            use_knowledge_base=False,
+        ),
+        rng=np.random.default_rng(0),
+    )
+
+
+def run_tuned(plan=None, strategy=TuningStrategy.AGGRESSIVE):
+    sc = small_cluster()
+    events = []
+    sc.telemetry.subscribe(events.append, categories=("tuner", "fault"))
+    if plan is not None:
+        sc.inject_faults(plan=plan)
+    spec = search_spec(sc)
+    tuner = make_tuner(strategy)
+    am = tuner.submit(sc, spec)
+    result = sc.sim.run_until_complete(am.completion, max_events=40_000_000)
+    return sc, tuner, spec, result, events
+
+
+def crash_plan(time=80.0, duration=60.0):
+    return FaultPlan(
+        (Fault(time=time, kind="tuner_crash", node_id=0, duration=duration),)
+    )
+
+
+class TestTunerCrashEndToEnd:
+    def test_mid_search_crash_degrades_recovers_and_job_succeeds(self):
+        """The acceptance scenario: a crash lands mid-search (an
+        incumbent exists), the open wave is voided, the job completes
+        with every task successful, the search reopens at restart, and
+        the final cost stays within a pinned bound of the fault-free
+        incumbent."""
+        _, tuner0, spec0, res0, _ = run_tuned()
+        assert res0.succeeded
+        base_costs = sum(
+            st.climber.best_cost()
+            for st in tuner0._jobs[spec0.job_id].search_states.values()
+        )
+
+        sc, tuner, spec, result, events = run_tuned(plan=crash_plan())
+        assert result.succeeded
+        assert all(not s.failed for s in result.task_stats if not s.speculative)
+
+        crashes = [e for e in events if isinstance(e, TunerCrash)]
+        recoveries = [e for e in events if isinstance(e, TunerRecovered)]
+        assert len(crashes) == 1 and len(recoveries) == 1
+        assert crashes[0].time == 80.0
+        assert crashes[0].down_until == 140.0
+        assert crashes[0].voided_waves >= 1
+        assert recoveries[0].time == 140.0
+        assert recoveries[0].downtime == 60.0
+        assert recoveries[0].reopened_waves == crashes[0].voided_waves
+        assert sc.telemetry.counters.get("faults.applied", 0) == 1
+        assert not tuner.tuner_down()
+
+        states = tuner._jobs[spec.job_id].search_states
+        assert any(
+            "voided by tuner crash" in line
+            for st in states.values()
+            for line in st.rule_log
+        )
+        # Every search still converges to a recommendation.
+        assert all(st.search_done for st in states.values())
+        crash_costs = sum(st.climber.best_cost() for st in states.values())
+        # Pinned bound: losing one wave to the crash may cost some
+        # search progress, but never more than 35% of the final cost.
+        assert crash_costs <= base_costs * 1.35
+        assert_no_output_leaks(sc.hdfs)
+
+    def test_crash_before_incumbent_keeps_bootstrap_wave(self):
+        """A crash during the initial sampling wave has nothing to roll
+        back to: the queued samples keep draining (quarantined), and the
+        job still completes with a finished search."""
+        sc, tuner, spec, result, events = run_tuned(
+            plan=crash_plan(time=1.0, duration=30.0)
+        )
+        assert result.succeeded
+        crashes = [e for e in events if isinstance(e, TunerCrash)]
+        assert len(crashes) == 1
+        assert crashes[0].voided_waves == 0
+        states = tuner._jobs[spec.job_id].search_states
+        assert all(st.search_done for st in states.values())
+        assert_no_output_leaks(sc.hdfs)
+
+    def test_crash_run_is_deterministic(self):
+        """The same seeded crash scenario replays bit-identically."""
+        _, _, spec_a, res_a, ev_a = run_tuned(plan=crash_plan())
+        _, _, spec_b, res_b, ev_b = run_tuned(plan=crash_plan())
+        assert res_a.duration == res_b.duration
+        assert len(ev_a) == len(ev_b)
+
+        def key(s):
+            # Job ids come from a process-global counter, so compare on
+            # the per-job task suffix only.
+            return (s.task_id.task_type.value, str(s.task_id).rsplit("_", 1)[-1],
+                    s.start_time, s.end_time)
+
+        assert sorted(map(key, res_a.task_stats)) == sorted(map(key, res_b.task_stats))
+
+
+class TestDegradedGate:
+    def test_gate_releases_untracked_while_down(self):
+        sim = Simulator()
+        tuner = make_tuner()
+        spec = JobSpec(
+            name="t",
+            workload=WorkloadProfile(
+                name="t", map_output_ratio=1.0, map_output_record_size=100.0
+            ),
+            input_path="/in",
+            num_reducers=2,
+        )
+        _, gate = tuner.attach_job(spec)
+        state = tuner._jobs[spec.job_id].search_states[TaskType.MAP]
+        voided = tuner.on_tuner_crash(0.0, 10.0)
+        assert tuner.tuner_down()
+        assert voided == 0  # no incumbent yet: nothing to void
+        before = state.admitted
+        ev = gate.admit(TaskType.MAP, sim)
+        assert ev.value == -1  # untracked launch
+        assert state.admitted == before + 1
+
+    def test_crash_voids_queue_and_pins_last_known_good(self):
+        tuner = make_tuner()
+        spec = JobSpec(
+            name="t",
+            workload=WorkloadProfile(
+                name="t", map_output_ratio=1.0, map_output_record_size=100.0
+            ),
+            input_path="/in",
+            num_reducers=2,
+        )
+        tuner.attach_job(spec)
+        job = tuner._jobs[spec.job_id]
+        state = job.search_states[TaskType.MAP]
+        # Manufacture an incumbent: score the whole first wave, then
+        # open the second so a batch is in flight when the crash hits.
+        for sample in state.climber.pending_samples():
+            state.climber.observe(sample.sample_id, 1.0)
+        tuner._open_batch(job, state)
+        assert tuner.configurator.queued_count(spec.job_id, TaskType.MAP) > 0
+        voided = tuner.on_tuner_crash(5.0, 15.0)
+        assert voided >= 1
+        assert tuner.configurator.queued_count(spec.job_id, TaskType.MAP) == 0
+        assert state.slots == 0 and state.crash_voided
+        # Recovery reopens the search with a fresh wave.
+        reopened = tuner.on_tuner_recover(15.0)
+        assert reopened == voided
+        assert not tuner.tuner_down()
+        assert tuner.configurator.queued_count(spec.job_id, TaskType.MAP) > 0
+
+    def test_recover_noop_while_outage_extended(self):
+        tuner = make_tuner()
+        spec = JobSpec(
+            name="t",
+            workload=WorkloadProfile(
+                name="t", map_output_ratio=1.0, map_output_record_size=100.0
+            ),
+            input_path="/in",
+            num_reducers=2,
+        )
+        tuner.attach_job(spec)
+        tuner.on_tuner_crash(0.0, 10.0)
+        tuner.on_tuner_crash(5.0, 20.0)  # overlapping crash extends it
+        assert tuner.on_tuner_recover(10.0) == 0  # stale callback
+        assert tuner.tuner_down()
+        tuner.on_tuner_recover(20.0)
+        assert not tuner.tuner_down()
+
+
+class TestControlPlaneState:
+    def test_register_mid_outage_crashes_in_place(self):
+        sim = Simulator()
+        control = ControlPlaneState(sim)
+        control.apply(
+            Fault(time=0.0, kind="tuner_crash", node_id=0, duration=25.0)
+        )
+        tuner = make_tuner()
+        control.register_tuner(tuner)
+        assert tuner.tuner_down()
+        assert control.down_until == 25.0
+        assert control.crashes == [(0.0, 25.0)]
+
+    def test_exported_from_faults_package(self):
+        assert ControlPlaneState is DirectControlPlaneState
+
+
+class TestMonitorOutage:
+    def run_with_monitors(self, plan):
+        sc = small_cluster(start_monitors=True)
+        events = []
+        sc.telemetry.subscribe(events.append, categories=("fault",))
+        sc.inject_faults(plan=plan)
+        spec = search_spec(sc, blocks=12, reducers=4)
+        am = sc.submit(spec)
+        result = sc.sim.run_until_complete(am.completion, max_events=40_000_000)
+        return sc, result, events
+
+    def test_outage_blacks_out_all_node_samples(self):
+        plan = FaultPlan(
+            (Fault(time=10.0, kind="monitor_outage", node_id=0, duration=30.0),)
+        )
+        sc, result, events = self.run_with_monitors(plan)
+        assert result.succeeded
+        assert [e for e in events if isinstance(e, MonitorOutage)]
+        assert sc.monitor.gaps == [(None, 10.0, 40.0)]
+        assert not any(
+            10.0 <= s.time <= 40.0 for s in sc.monitor.node_samples
+        )
+        # Samples outside the window still flow.
+        assert any(s.time < 10.0 or s.time > 40.0 for s in sc.monitor.node_samples)
+
+    def test_stats_gap_scoped_to_one_node(self):
+        plan = FaultPlan(
+            (Fault(time=10.0, kind="stats_gap", node_id=1, duration=30.0),)
+        )
+        sc, result, events = self.run_with_monitors(plan)
+        assert result.succeeded
+        gaps = [e for e in events if isinstance(e, StatsGap)]
+        assert gaps and gaps[0].node_id == 1
+        assert not any(
+            s.node_id == 1 and 10.0 <= s.time <= 40.0
+            for s in sc.monitor.node_samples
+        )
+        assert any(
+            s.node_id != 1 and 10.0 <= s.time <= 40.0
+            for s in sc.monitor.node_samples
+        )
+
+    def test_timeline_bridges_gap_with_last_level(self):
+        sim = Simulator()
+        monitor = CentralMonitor(sim)
+        monitor.begin_gap(5.0, 15.0, node_id=3)
+
+        def sample(t, cpu):
+            return NodeStats(
+                node_id=3, time=t, cpu_utilization=cpu,
+                memory_utilization=0.0, running_containers=0,
+            )
+
+        monitor.on_node_stats(sample(2.0, 0.5))
+        monitor.on_node_stats(sample(10.0, 1.0))  # dropped: inside gap
+        monitor.on_node_stats(sample(20.0, 0.5))
+        assert len(monitor.node_samples) == 2
+        # The in-gap spike never lands, so the mean holds at 0.5.
+        assert monitor.cpu_timelines[3].mean(0.0, until=20.0) == 0.5
+
+    def test_outage_quarantines_tuned_waves(self):
+        plan = FaultPlan(
+            (Fault(time=30.0, kind="monitor_outage", node_id=0, duration=40.0),)
+        )
+        sc, tuner, spec, result, events = run_tuned(plan=plan)
+        assert result.succeeded
+        assert tuner._outage_windows == [(30.0, 70.0)]
+        assert [e for e in events if isinstance(e, MonitorOutage)]
+        # A wave observed across the dark window was rolled back.
+        assert any(
+            "outage-shifted" in line
+            for st in tuner._jobs[spec.job_id].search_states.values()
+            for line in st.rule_log
+        )
+        assert_no_output_leaks(sc.hdfs)

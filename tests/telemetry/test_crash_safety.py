@@ -1,0 +1,96 @@
+"""Crash safety of the JSONL writers: atomic save, tolerant replay.
+
+``JsonlExporter.save`` stages through ``<path>.tmp`` and renames, so a
+crash mid-write can never tear an existing log; ``replay_records``
+reads append-mode files (the recovery journal) and drops a torn *final*
+line while still rejecting interior corruption.  These are the
+regression tests for both properties.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import JsonlExporter, TelemetryBus, replay_records
+from repro.telemetry.events import JobSubmitted
+from repro.testing import assert_no_output_leaks, leaked_temporaries
+
+
+def exporter_with_events(n=5) -> JsonlExporter:
+    bus = TelemetryBus(clock=lambda: 0.0)
+    exporter = JsonlExporter().attach(bus, ("job",))
+    for i in range(n):
+        bus.emit(JobSubmitted(time=float(i), job_id=f"job_{i:04d}"))
+    return exporter
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_tmp_sibling(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        exporter_with_events().save(path)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+        assert not leaked_temporaries(str(tmp_path))
+        assert_no_output_leaks(str(tmp_path))
+
+    def test_saved_bytes_match_dumps(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        exporter = exporter_with_events()
+        exporter.save(path)
+        with open(path) as fh:
+            assert fh.read() == exporter.dumps()
+
+    def test_failed_save_preserves_previous_log(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "trace.jsonl")
+        exporter = exporter_with_events()
+        exporter.save(path)
+        before = open(path).read()
+
+        # A crash mid-write: the replace step never runs.
+        def boom(*args, **kwargs):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", boom)
+        bigger = exporter_with_events(50)
+        with pytest.raises(OSError):
+            bigger.save(path)
+        monkeypatch.undo()
+        assert open(path).read() == before  # old log untouched
+        assert not os.path.exists(path + ".tmp")  # staging cleaned up
+
+
+class TestReplayRecords:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        exporter = exporter_with_events()
+        exporter.save(path)
+        assert replay_records(path) == exporter.records
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        exporter = exporter_with_events()
+        exporter.save(path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-7])  # the crash ate the tail
+        records = replay_records(path)
+        assert records == exporter.records[:-1]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        exporter_with_events().save(path)
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        lines[1] = lines[1][:-4]  # torn line *before* the end
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            replay_records(path)
+
+    def test_empty_and_blank_lines(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"a":1}\n\n{"b":2}\n')
+        assert replay_records(path) == [{"a": 1}, {"b": 2}]
